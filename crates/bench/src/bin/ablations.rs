@@ -1,0 +1,96 @@
+//! Ablation studies for the design choices DESIGN.md §5 calls out —
+//! beyond the paper's own figures.
+//!
+//! 1. **spec_horizon** — how far ahead the S-IQ's intra-group enable
+//!    logic looks before steering a consumer (Fig. 8 modelling knob),
+//! 2. **S-IQ size** — the paper fixes it at 2× dispatch width; sweep it,
+//! 3. **MDP on/off for Ballerino** — steering interacts with holds,
+//! 4. **prefetcher on/off** — how much of the suite's MLP comes from the
+//!    stride prefetcher vs. the scheduler,
+//! 5. **sharing constraints** — same-half and single-active-head
+//!    constraints individually (the paper only reports both-off).
+
+use ballerino_bench::{seed, suite_len};
+use ballerino_core::{Ballerino, BallerinoConfig};
+use ballerino_energy::StructureSizes;
+use ballerino_sim::stats::geomean;
+use ballerino_sim::{run_machine, Core, CoreConfig, MachineKind, Width};
+use ballerino_workloads::{workload, workload_names};
+
+fn run_cfg(bcfg: BallerinoConfig, mem_prefetch: bool) -> f64 {
+    let mut ipcs = Vec::new();
+    for wl in workload_names() {
+        let t = workload(wl, suite_len(), seed());
+        let mut cfg = CoreConfig::preset(Width::Eight);
+        cfg.mem.prefetch = mem_prefetch;
+        let mut b = bcfg.clone();
+        b.num_phys_regs = cfg.total_phys();
+        let sizes = StructureSizes {
+            cam_entries: 0,
+            fifo_entries: b.siq_entries + b.num_piqs * b.piq_entries,
+            has_steer: true,
+            rob_entries: cfg.rob_entries,
+            lsq_entries: cfg.lq_entries + cfg.sq_entries,
+            prf_entries: cfg.total_phys(),
+            has_mdp: cfg.use_mdp,
+        };
+        ipcs.push(Core::new(cfg, Box::new(Ballerino::new(b)), sizes).run(&t).ipc());
+    }
+    geomean(&ipcs)
+}
+
+fn main() {
+    let base = BallerinoConfig::eight_wide();
+    println!("Ballerino ablations (geomean IPC over the suite, n = {})\n", suite_len());
+
+    println!("1. speculative-issue horizon (cycles a consumer may linger in the S-IQ):");
+    for h in [0u64, 1, 2, 4] {
+        let ipc = run_cfg(BallerinoConfig { spec_horizon: h, ..base.clone() }, true);
+        println!("   horizon {h}: {ipc:.3}");
+    }
+
+    println!("\n2. S-IQ size (paper: 2x dispatch width = 8):");
+    for s in [4usize, 8, 16, 32] {
+        let ipc = run_cfg(
+            BallerinoConfig { siq_entries: s, ..base.clone() },
+            true,
+        );
+        println!("   {s:>2} entries: {ipc:.3}");
+    }
+
+    println!("\n3. S-IQ window (slots examined per cycle, paper: rename width = 4):");
+    for w in [2usize, 4, 8] {
+        let ipc = run_cfg(BallerinoConfig { siq_window: w, ..base.clone() }, true);
+        println!("   window {w}: {ipc:.3}");
+    }
+
+    println!("\n4. stride prefetcher:");
+    let with = run_cfg(base.clone(), true);
+    let without = run_cfg(base.clone(), false);
+    println!("   on  : {with:.3}");
+    println!("   off : {without:.3}  ({:+.1}% from prefetching)", 100.0 * (with / without - 1.0));
+
+    println!("\n5. MDP interaction (baseline OoO for reference):");
+    let mut w_ipc = Vec::new();
+    let mut wo_ipc = Vec::new();
+    for wl in workload_names() {
+        let t = workload(wl, suite_len(), seed());
+        w_ipc.push(run_machine(MachineKind::OutOfOrder, Width::Eight, &t).ipc());
+        wo_ipc.push(run_machine(MachineKind::OutOfOrderNoMdp, Width::Eight, &t).ipc());
+    }
+    println!("   OoO with MDP   : {:.3}", geomean(&w_ipc));
+    println!("   OoO without MDP: {:.3}", geomean(&wo_ipc));
+
+    println!("\n6. sharing constraints (paper reports only both-off = ideal):");
+    for (label, sharing, ideal) in [
+        ("no sharing (Step 2)  ", false, false),
+        ("constrained (Step 3) ", true, false),
+        ("unconstrained (ideal)", true, true),
+    ] {
+        let ipc = run_cfg(
+            BallerinoConfig { piq_sharing: sharing, ideal_sharing: ideal, ..base.clone() },
+            true,
+        );
+        println!("   {label}: {ipc:.3}");
+    }
+}

@@ -1,0 +1,39 @@
+//! Extension baselines beyond the paper's evaluation: the slice-out-of-
+//! order (Load Slice Core) and hybrid (Delay-and-Bypass) families from
+//! §VII related work, compared against the paper's designs on the same
+//! suite. Expected shape: both land between CASINO and Ballerino — they
+//! recover MLP (LSC) or criticality-aware scheduling (DNB) with partial
+//! ILP, but neither tracks arbitrary dependence chains like the
+//! clustered P-IQs do.
+
+use ballerino_bench::{
+    print_header, print_row, run_suite, speedups_with_geomean, suite_len, workload_cols,
+};
+use ballerino_sim::{MachineKind, Width};
+
+fn main() {
+    println!(
+        "Extension baselines (speedup over InO, 8-wide, n = {} μops/workload)\n",
+        suite_len()
+    );
+    let base = run_suite(MachineKind::InOrder, Width::Eight);
+    let cols = workload_cols();
+    print_header(&cols, 9);
+    for kind in [
+        MachineKind::Casino,
+        MachineKind::LoadSliceCore,
+        MachineKind::DelayAndBypass,
+        MachineKind::Ces,
+        MachineKind::Ballerino,
+        MachineKind::OutOfOrder,
+    ] {
+        let runs = run_suite(kind, Width::Eight);
+        let sp = speedups_with_geomean(&runs, &base);
+        print_row(&kind.label(), &sp, 9, 2);
+    }
+    println!(
+        "\nLSC bypasses load slices around a stalled main queue (MLP without\n\
+         wakeup); DNB spends a small 32-entry CAM only on load-dependent\n\
+         slices. Both are §VII families the paper positions Ballerino against."
+    );
+}

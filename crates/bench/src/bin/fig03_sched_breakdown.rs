@@ -1,0 +1,71 @@
+//! Figure 3c: breakdown of average decode-to-issue cycles on InO, CES,
+//! CASINO and OoO, split by instruction class (Ld / LdC / Rst).
+//!
+//! Paper shape: CES shows large decode→dispatch delays (steering stalls);
+//! CASINO shows small decode→dispatch but large ready→issue for LdC
+//! (load consumers stuck in the in-order last IQ); OoO shows near-zero
+//! ready→issue everywhere except loads capped by MLP limits.
+
+use ballerino_bench::{run_suite, suite_len};
+use ballerino_sim::stats::{TimingClass, TIMING_CLASSES};
+use ballerino_sim::{MachineKind, Width};
+
+fn main() {
+    println!("Fig. 3c — decode-to-issue breakdown (avg cycles/μop, suite-wide)");
+    println!("n = {} μops per workload\n", suite_len());
+    println!(
+        "{:<10} {:<5} {:>14} {:>15} {:>13}",
+        "design", "class", "decode→dispatch", "dispatch→ready", "ready→issue"
+    );
+    for kind in [
+        MachineKind::InOrder,
+        MachineKind::Ces,
+        MachineKind::Casino,
+        MachineKind::OutOfOrder,
+    ] {
+        let runs = run_suite(kind, Width::Eight);
+        for class in TIMING_CLASSES {
+            // Weighted average across workloads.
+            let (mut s0, mut s1, mut s2, mut n) = (0.0, 0.0, 0.0, 0u64);
+            for r in &runs {
+                let c = r.timing.count(class);
+                let (a, b, d) = r.timing.avg(class);
+                s0 += a * c as f64;
+                s1 += b * c as f64;
+                s2 += d * c as f64;
+                n += c;
+            }
+            let n = n.max(1) as f64;
+            println!(
+                "{:<10} {:<5} {:>14.1} {:>15.1} {:>13.1}",
+                kind.label(),
+                class.label(),
+                s0 / n,
+                s1 / n,
+                s2 / n
+            );
+        }
+        // Combined row.
+        let (mut s0, mut s1, mut s2, mut n) = (0.0, 0.0, 0.0, 0u64);
+        for r in &runs {
+            for class in TIMING_CLASSES {
+                let c = r.timing.count(class);
+                let (a, b, d) = r.timing.avg(class);
+                s0 += a * c as f64;
+                s1 += b * c as f64;
+                s2 += d * c as f64;
+                n += c;
+            }
+        }
+        let nf = n.max(1) as f64;
+        println!(
+            "{:<10} {:<5} {:>14.1} {:>15.1} {:>13.1}\n",
+            kind.label(),
+            "All",
+            s0 / nf,
+            s1 / nf,
+            s2 / nf
+        );
+        let _ = TimingClass::Ld;
+    }
+}

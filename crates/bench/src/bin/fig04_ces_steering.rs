@@ -1,0 +1,69 @@
+//! Figure 4: breakdown of instruction steering results in CES with eight
+//! P-IQs, with applications sorted by the `[Stall] Ready` fraction.
+//!
+//! Paper shape: ~27% of events steer along a DC; the remainder allocate
+//! or stall, with ready-at-dispatch μops causing most allocations (72%)
+//! and stalls (79%), and the CES speedup over InO degrading as the
+//! ready-stall fraction grows.
+
+use ballerino_bench::{seed, suite_len};
+use ballerino_sim::{run_machine, MachineKind, Width};
+use ballerino_workloads::{workload, workload_names};
+
+fn main() {
+    println!("Fig. 4 — CES-8 steering outcome breakdown (fractions of steer events)");
+    println!("n = {} μops per workload, sorted by [Stall] Ready\n", suite_len());
+
+    let mut rows = Vec::new();
+    for wl in workload_names() {
+        let t = workload(wl, suite_len(), seed());
+        let ino = run_machine(MachineKind::InOrder, Width::Eight, &t);
+        let ces = run_machine(MachineKind::Ces, Width::Eight, &t);
+        let s = ces.steer;
+        let total = s.total().max(1) as f64;
+        rows.push((
+            wl,
+            s.steer_dc as f64 / total,
+            s.alloc_ready as f64 / total,
+            s.alloc_nonready as f64 / total,
+            s.stall_ready as f64 / total,
+            s.stall_nonready as f64 / total,
+            ces.speedup_over(&ino),
+        ));
+    }
+    rows.sort_by(|a, b| a.4.partial_cmp(&b.4).unwrap());
+
+    println!(
+        "{:<18}{:>9}{:>9}{:>10}{:>9}{:>10}{:>9}",
+        "workload", "steerDC", "allocRdy", "allocNRdy", "stallRdy", "stallNRdy", "speedup"
+    );
+    let mut agg = [0.0f64; 5];
+    for (wl, dc, ar, an, sr, sn, sp) in &rows {
+        println!(
+            "{wl:<18}{dc:>9.2}{ar:>9.2}{an:>10.2}{sr:>9.2}{sn:>10.2}{sp:>9.2}"
+        );
+        for (a, v) in agg.iter_mut().zip([dc, ar, an, sr, sn]) {
+            *a += *v;
+        }
+    }
+    let n = rows.len() as f64;
+    println!(
+        "{:<18}{:>9.2}{:>9.2}{:>10.2}{:>9.2}{:>10.2}",
+        "MEAN",
+        agg[0] / n,
+        agg[1] / n,
+        agg[2] / n,
+        agg[3] / n,
+        agg[4] / n
+    );
+    let alloc = agg[1] + agg[2];
+    let stall = agg[3] + agg[4];
+    if alloc > 0.0 && stall > 0.0 {
+        println!(
+            "\nready-at-dispatch share: {:.0}% of allocations, {:.0}% of stalls \
+             (paper: 72% / 79%)",
+            100.0 * agg[1] / alloc,
+            100.0 * agg[3] / stall
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Figure 6: architectural bottleneck analysis of the Step 2 design.
+//!
+//! * **6a** — breakdown of per-cycle P-IQ head states: issuing, stalled
+//!   on an M-dependent load, stalled on register operands, port
+//!   conflicts, or empty. Paper shape: issue only ~6% of the time; ~9%
+//!   of stalls caused by M-dependent loads (on the Step-1 design before
+//!   MDA steering).
+//! * **6b** — IPC sensitivity of Step 2 to the number and size of the
+//!   P-IQs. Paper shape: sensitive to the count, much less to the size.
+
+use ballerino_bench::{seed, suite_len};
+use ballerino_sim::stats::geomean;
+use ballerino_sim::{run_machine, MachineKind, Width};
+use ballerino_workloads::{workload, workload_names};
+
+fn main() {
+    let n = suite_len();
+    println!("Fig. 6a — P-IQ head states per cycle (fractions, suite mean)\n");
+    for kind in [MachineKind::BallerinoStep1, MachineKind::BallerinoStep2] {
+        let mut agg = [0.0f64; 5];
+        for wl in workload_names() {
+            let t = workload(wl, n, seed());
+            let r = run_machine(kind, Width::Eight, &t);
+            let h = r.heads;
+            let tot = h.total().max(1) as f64;
+            for (a, v) in agg.iter_mut().zip([
+                h.issuing,
+                h.stall_mdep_load,
+                h.stall_nonready,
+                h.stall_port_conflict,
+                h.empty,
+            ]) {
+                *a += v as f64 / tot;
+            }
+        }
+        let m = workload_names().len() as f64;
+        println!(
+            "{:<8} issuing {:.3}  stall-Mdep {:.3}  stall-regs {:.3}  port-conflict {:.3}  empty {:.3}",
+            kind.label(),
+            agg[0] / m,
+            agg[1] / m,
+            agg[2] / m,
+            agg[3] / m,
+            agg[4] / m
+        );
+    }
+
+    println!("\nFig. 6b — Step 2 IPC sensitivity to P-IQ count × size (geomean IPC)\n");
+    print!("{:<10}", "piqs\\size");
+    let sizes = [6usize, 8, 12, 16, 24];
+    for s in sizes {
+        print!("{s:>8}");
+    }
+    println!();
+    for piqs in [3usize, 5, 7, 9, 11, 15] {
+        print!("{piqs:<10}");
+        for size in sizes {
+            let mut ipcs = Vec::new();
+            for wl in workload_names() {
+                let t = workload(wl, n, seed());
+                // Step 2 with a custom geometry: reuse BallerinoN and patch
+                // the entry count through the machine factory's config.
+                let r = run_custom(piqs, size, &t);
+                ipcs.push(r);
+            }
+            print!("{:>8.3}", geomean(&ipcs));
+        }
+        println!();
+    }
+}
+
+/// Step-2 Ballerino with `piqs` P-IQs of `size` entries.
+fn run_custom(piqs: usize, size: usize, t: &ballerino_isa::Trace) -> f64 {
+    use ballerino_core::{Ballerino, BallerinoConfig};
+    use ballerino_energy::StructureSizes;
+    use ballerino_sim::{Core, CoreConfig};
+
+    let cfg = CoreConfig::preset(Width::Eight);
+    let bcfg = BallerinoConfig {
+        num_piqs: piqs,
+        piq_entries: size,
+        piq_sharing: false,
+        num_phys_regs: cfg.total_phys(),
+        ..BallerinoConfig::eight_wide()
+    };
+    let sizes = StructureSizes {
+        cam_entries: 0,
+        fifo_entries: bcfg.siq_entries + piqs * size,
+        has_steer: true,
+        rob_entries: cfg.rob_entries,
+        lsq_entries: cfg.lq_entries + cfg.sq_entries,
+        prf_entries: cfg.total_phys(),
+        has_mdp: true,
+    };
+    let core = Core::new(cfg, Box::new(Ballerino::new(bcfg)), sizes);
+    core.run(t).ipc()
+}

@@ -1,0 +1,26 @@
+//! Figure 11: performance of every 8-wide design, normalized to InO.
+//!
+//! Paper shape (geomean speedup over InO): CES 2.4×, CASINO 2.1×,
+//! FXA 2.8×, Ballerino 2.7× (within 7% of OoO), Ballerino-12 2.8×
+//! (within 2% of OoO), OoO ≈ 2.86×, OoO+oldest-first ≈ +2% over OoO.
+
+use ballerino_bench::{
+    print_header, print_row, run_suite, speedups_with_geomean, suite_len, workload_cols,
+};
+use ballerino_sim::{MachineKind, Width};
+
+fn main() {
+    println!("Fig. 11 — speedup over InO, 8-wide (n = {} μops/workload)\n", suite_len());
+    let base = run_suite(MachineKind::InOrder, Width::Eight);
+    let cols = workload_cols();
+    print_header(&cols, 9);
+    for kind in MachineKind::FIG11 {
+        let runs = run_suite(kind, Width::Eight);
+        let sp = speedups_with_geomean(&runs, &base);
+        print_row(&kind.label(), &sp, 9, 2);
+    }
+    println!(
+        "\npaper geomeans: CES 2.4, CASINO 2.1, FXA 2.8, Ballerino 2.7, \
+         Ballerino-12 2.8, OoO 2.86, OoO+of +2%"
+    );
+}

@@ -1,0 +1,50 @@
+//! Figure 12: scheduling performance — Ballerino's decode-to-issue
+//! breakdown against CES and CASINO.
+//!
+//! Paper shape: Ballerino's decode→dispatch is slightly larger than
+//! CASINO's and much smaller than CES's; LdC ready→issue is near zero
+//! (like CES); Rst shows a small ready→issue delay from steering stalls
+//! in the middle of the S-IQ.
+
+use ballerino_bench::{run_suite, suite_len};
+use ballerino_sim::stats::TIMING_CLASSES;
+use ballerino_sim::{MachineKind, Width};
+
+fn main() {
+    println!("Fig. 12 — decode-to-issue breakdown (avg cycles/μop, suite-wide)\n");
+    println!("n = {} μops per workload\n", suite_len());
+    println!(
+        "{:<12} {:<5} {:>14} {:>15} {:>13}",
+        "design", "class", "decode→dispatch", "dispatch→ready", "ready→issue"
+    );
+    for kind in [
+        MachineKind::Ces,
+        MachineKind::Casino,
+        MachineKind::Ballerino,
+        MachineKind::Ballerino12,
+        MachineKind::OutOfOrder,
+    ] {
+        let runs = run_suite(kind, Width::Eight);
+        for class in TIMING_CLASSES {
+            let (mut s0, mut s1, mut s2, mut n) = (0.0, 0.0, 0.0, 0u64);
+            for r in &runs {
+                let c = r.timing.count(class);
+                let (a, b, d) = r.timing.avg(class);
+                s0 += a * c as f64;
+                s1 += b * c as f64;
+                s2 += d * c as f64;
+                n += c;
+            }
+            let nf = n.max(1) as f64;
+            println!(
+                "{:<12} {:<5} {:>14.1} {:>15.1} {:>13.1}",
+                kind.label(),
+                class.label(),
+                s0 / nf,
+                s1 / nf,
+                s2 / nf
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,45 @@
+//! Figure 13: performance impact of the proposed techniques, applied
+//! step by step on top of CES.
+//!
+//! Paper shape (percentage-point gains over InO-relative speedup):
+//! CES → +4 (MDA steering) → Step 1 (+7: S-IQ replaces a P-IQ) →
+//! Step 2 (+5: MDA) → Step 3 (+13: P-IQ sharing) → +5 more without
+//! the implementation constraints (ideal).
+
+use ballerino_bench::{
+    print_header, print_row, run_suite, speedups_with_geomean, suite_len, workload_cols,
+};
+use ballerino_sim::{MachineKind, Width};
+
+fn main() {
+    println!("Fig. 13 — step-by-step gains over InO (n = {} μops/workload)\n", suite_len());
+    let base = run_suite(MachineKind::InOrder, Width::Eight);
+    let cols = workload_cols();
+    print_header(&cols, 9);
+    let mut geomeans = Vec::new();
+    let kinds = [
+        MachineKind::Ces,
+        MachineKind::CesMda,
+        MachineKind::BallerinoStep1,
+        MachineKind::BallerinoStep2,
+        MachineKind::Ballerino,
+        MachineKind::BallerinoIdeal,
+        MachineKind::OutOfOrder,
+    ];
+    for kind in kinds {
+        let runs = run_suite(kind, Width::Eight);
+        let sp = speedups_with_geomean(&runs, &base);
+        geomeans.push((kind.label(), *sp.last().unwrap()));
+        print_row(&kind.label(), &sp, 9, 2);
+    }
+    println!("\nstep deltas (percentage points of InO-relative speedup):");
+    for w in geomeans.windows(2) {
+        println!(
+            "  {} → {}: {:+.0} pts",
+            w[0].0,
+            w[1].0,
+            100.0 * (w[1].1 - w[0].1)
+        );
+    }
+    println!("paper: CES→+MDA +4, →Step1 +7, →Step2 +5, →Step3 +13, →ideal +5");
+}

@@ -1,0 +1,52 @@
+//! Figure 15: core-wide energy consumption by component, normalized to
+//! OoO.
+//!
+//! Paper shape: CES and Ballerino save the most (Schedule energy shrinks
+//! to FIFO-head examination); CASINO pays extra read ports and
+//! inter-queue copies; FXA keeps a half-size CAM IQ and lands highest of
+//! the alternatives; Ballerino-12 totals ≈0.81× OoO.
+
+use ballerino_bench::run_suite;
+use ballerino_energy::{DvfsLevel, EnergyModel, COMPONENTS};
+use ballerino_sim::{MachineKind, Width};
+
+fn main() {
+    println!("Fig. 15 — energy by component, normalized to OoO total (suite sum)\n");
+    let ooo = run_suite(MachineKind::OutOfOrder, Width::Eight);
+    let ooo_total: f64 = ooo
+        .iter()
+        .map(|r| EnergyModel::new(r.sizes, DvfsLevel::L4).breakdown(&r.energy).total())
+        .sum();
+
+    print!("{:<14}", "design");
+    for c in COMPONENTS {
+        print!("{:>10}", c.label().split_whitespace().next().unwrap());
+    }
+    println!("{:>10}", "TOTAL");
+
+    for kind in [
+        MachineKind::Ces,
+        MachineKind::Casino,
+        MachineKind::Fxa,
+        MachineKind::Ballerino,
+        MachineKind::Ballerino12,
+        MachineKind::OutOfOrder,
+    ] {
+        let runs = run_suite(kind, Width::Eight);
+        let mut per_comp = [0.0f64; 9];
+        for r in &runs {
+            let b = EnergyModel::new(r.sizes, DvfsLevel::L4).breakdown(&r.energy);
+            for (i, (_, v)) in b.iter().enumerate() {
+                per_comp[i] += v;
+            }
+        }
+        print!("{:<14}", kind.label());
+        let mut total = 0.0;
+        for v in per_comp {
+            print!("{:>10.3}", v / ooo_total);
+            total += v;
+        }
+        println!("{:>10.3}", total / ooo_total);
+    }
+    println!("\npaper totals vs OoO: CES lowest, Ballerino ≈ CES, Ballerino-12 ≈ 0.81");
+}

@@ -1,0 +1,39 @@
+//! Figure 16: energy efficiency (performance per energy, 1/EDP)
+//! normalized to the 8-wide out-of-order core.
+//!
+//! Paper shape: Ballerino (Ballerino-12) is 9% (7%) above CES, 42% (39%)
+//! above CASINO, 5% (3%) above FXA and 22% (20%) above OoO.
+
+use ballerino_bench::{seed, suite_len};
+use ballerino_energy::{DvfsLevel, EnergyModel};
+use ballerino_sim::stats::geomean;
+use ballerino_sim::{run_machine, MachineKind, Width};
+use ballerino_workloads::{workload, workload_names};
+
+fn main() {
+    println!("Fig. 16 — energy efficiency (1/EDP) normalized to OoO\n");
+    let n = suite_len();
+    let kinds = [
+        MachineKind::Ces,
+        MachineKind::Casino,
+        MachineKind::Fxa,
+        MachineKind::Ballerino,
+        MachineKind::Ballerino12,
+        MachineKind::OutOfOrder,
+    ];
+    let mut per_kind: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
+    for wl in workload_names() {
+        let t = workload(wl, n, seed());
+        let ooo = run_machine(MachineKind::OutOfOrder, Width::Eight, &t);
+        let edp_ooo = EnergyModel::new(ooo.sizes, DvfsLevel::L4).edp(&ooo.energy);
+        for (i, k) in kinds.iter().enumerate() {
+            let r = run_machine(*k, Width::Eight, &t);
+            let edp = EnergyModel::new(r.sizes, DvfsLevel::L4).edp(&r.energy);
+            per_kind[i].push(edp_ooo / edp);
+        }
+    }
+    for (i, k) in kinds.iter().enumerate() {
+        println!("{:<14}{:>8.3}", k.label(), geomean(&per_kind[i]));
+    }
+    println!("\npaper: Ballerino 1.22, Ballerino-12 1.20, CES ≈1.12, CASINO ≈0.86, FXA ≈1.16");
+}

@@ -1,0 +1,121 @@
+//! Figure 17: sensitivity analysis.
+//!
+//! * `a` — issue-width scaling (2/4/8/10-wide) as speedup over 2-wide
+//!   InO. Paper shape: CES/Ballerino scale well; InO and CASINO flatten
+//!   beyond 8-wide; FXA tracks OoO.
+//! * `b` — DVFS levels L4..L1: speedup, power, energy and efficiency of
+//!   Ballerino and OoO relative to CES at L4.
+//! * `c` — Ballerino IPC versus the number of P-IQs. Paper shape: gains
+//!   up to eleven P-IQs, then diminishing returns.
+//!
+//! Pass `a`, `b` or `c` as the first argument (default: all).
+
+use ballerino_bench::{seed, suite_len};
+use ballerino_energy::{DvfsLevel, EnergyModel};
+use ballerino_sim::stats::geomean;
+use ballerino_sim::{run_machine, MachineKind, SimResult, Width};
+use ballerino_workloads::{workload, workload_names};
+
+fn suite_runs(kind: MachineKind, width: Width) -> Vec<SimResult> {
+    workload_names()
+        .into_iter()
+        .map(|wl| run_machine(kind, width, &workload(wl, suite_len(), seed())))
+        .collect()
+}
+
+fn part_a() {
+    println!("Fig. 17a — width scaling: geomean speedup over 2-wide InO\n");
+    let base = suite_runs(MachineKind::InOrder, Width::Two);
+    print!("{:<12}", "design");
+    for w in ["2-wide", "4-wide", "8-wide", "10-wide"] {
+        print!("{w:>9}");
+    }
+    println!();
+    for kind in [
+        MachineKind::InOrder,
+        MachineKind::Casino,
+        MachineKind::Ces,
+        MachineKind::Ballerino,
+        MachineKind::Fxa,
+        MachineKind::OutOfOrder,
+    ] {
+        print!("{:<12}", kind.label());
+        for width in [Width::Two, Width::Four, Width::Eight, Width::Ten] {
+            let runs = suite_runs(kind, width);
+            let sp: Vec<f64> =
+                runs.iter().zip(&base).map(|(r, b)| r.speedup_over(b)).collect();
+            print!("{:>9.2}", geomean(&sp));
+        }
+        println!();
+    }
+}
+
+fn part_b() {
+    println!("\nFig. 17b — DVFS levels (suite sums, relative to CES @ L4)\n");
+    let ces = suite_runs(MachineKind::Ces, Width::Eight);
+    let ces_time: f64 = ces.iter().map(|r| r.seconds()).sum();
+    let ces_energy: f64 = ces
+        .iter()
+        .map(|r| EnergyModel::new(r.sizes, DvfsLevel::L4).breakdown(&r.energy).total())
+        .sum();
+
+    println!(
+        "{:<12}{:<5}{:>10}{:>10}{:>10}{:>12}",
+        "design", "lvl", "speedup", "power", "energy", "efficiency"
+    );
+    for kind in [MachineKind::Ballerino, MachineKind::OutOfOrder] {
+        let runs = suite_runs(kind, Width::Eight);
+        for level in DvfsLevel::ALL {
+            let time: f64 = runs
+                .iter()
+                .map(|r| level.seconds(r.cycles))
+                .sum();
+            let energy: f64 = runs
+                .iter()
+                .map(|r| EnergyModel::new(r.sizes, level).breakdown(&r.energy).total())
+                .sum();
+            let speedup = ces_time / time;
+            let rel_e = energy / ces_energy;
+            let power = rel_e / (time / ces_time);
+            let eff = speedup / rel_e;
+            println!(
+                "{:<12}{:<5}{:>10.2}{:>10.2}{:>10.2}{:>12.2}",
+                kind.label(),
+                level.name,
+                speedup,
+                power,
+                rel_e,
+                eff
+            );
+        }
+    }
+    println!("\npaper: Ballerino@L3 within CES power, +5% perf, +9% eff; OoO@L1 −27% eff");
+}
+
+fn part_c() {
+    println!("\nFig. 17c — Ballerino geomean IPC vs number of P-IQs (8-wide)\n");
+    print!("{:<8}", "P-IQs");
+    println!("{:>10}{:>12}", "IPC", "vs OoO");
+    let ooo = suite_runs(MachineKind::OutOfOrder, Width::Eight);
+    let ooo_ipc = geomean(&ooo.iter().map(|r| r.ipc()).collect::<Vec<_>>());
+    for piqs in [3usize, 5, 7, 9, 11, 13, 15] {
+        let runs = suite_runs(MachineKind::BallerinoN(piqs), Width::Eight);
+        let ipc = geomean(&runs.iter().map(|r| r.ipc()).collect::<Vec<_>>());
+        println!("{:<8}{:>10.3}{:>12.3}", piqs, ipc, ipc / ooo_ipc);
+    }
+    println!("\npaper: gains up to eleven P-IQs (Ballerino-12 ≈ OoO), then flat");
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match which.as_str() {
+        "a" => part_a(),
+        "b" => part_b(),
+        "c" => part_c(),
+        _ => {
+            part_a();
+            part_b();
+            part_c();
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Generic simulation driver: pick a machine, width and workload on the
+//! command line and get a full report — the "run anything" tool.
+//!
+//! ```sh
+//! simulate <machine> [workload] [width] [n] [seed]
+//!   machine : ino | ooo | ooo-of | ooo-nomdp | ces | ces-mda | casino |
+//!             fxa | step1 | step2 | ballerino | ideal | ballerino12 | b<N>
+//!   workload: any name from ballerino-workloads (default hash_join),
+//!             or "all" for the whole suite
+//!   width   : 2 | 4 | 8 | 10          (default 8)
+//!   n       : μops per workload        (default 20000)
+//!   seed    : generator seed           (default 42)
+//! ```
+
+use ballerino_energy::{DvfsLevel, EnergyModel};
+use ballerino_sim::stats::TIMING_CLASSES;
+use ballerino_sim::{run_machine, MachineKind, SimResult, Width};
+use ballerino_workloads::{workload, workload_names};
+
+fn parse_machine(s: &str) -> Option<MachineKind> {
+    Some(match s {
+        "ino" => MachineKind::InOrder,
+        "ooo" => MachineKind::OutOfOrder,
+        "ooo-of" => MachineKind::OutOfOrderOldestFirst,
+        "ooo-nomdp" => MachineKind::OutOfOrderNoMdp,
+        "ces" => MachineKind::Ces,
+        "ces-mda" => MachineKind::CesMda,
+        "casino" => MachineKind::Casino,
+        "fxa" => MachineKind::Fxa,
+        "step1" => MachineKind::BallerinoStep1,
+        "step2" => MachineKind::BallerinoStep2,
+        "ballerino" => MachineKind::Ballerino,
+        "ideal" => MachineKind::BallerinoIdeal,
+        "ballerino12" => MachineKind::Ballerino12,
+        other => {
+            let n: usize = other.strip_prefix('b')?.parse().ok()?;
+            MachineKind::BallerinoN(n)
+        }
+    })
+}
+
+fn parse_width(s: &str) -> Option<Width> {
+    Some(match s {
+        "2" => Width::Two,
+        "4" => Width::Four,
+        "8" => Width::Eight,
+        "10" => Width::Ten,
+        _ => return None,
+    })
+}
+
+fn report(r: &SimResult) {
+    println!("── {} on {} ─────────────────────────", r.scheduler, r.workload);
+    println!(
+        "  IPC {:.3}   cycles {}   committed {}   time {:.1} µs @ {} GHz",
+        r.ipc(),
+        r.cycles,
+        r.committed,
+        r.seconds() * 1e6,
+        r.freq_ghz
+    );
+    println!(
+        "  mispredicts {}   violations {}   dispatch-stalls {}   stalls[rob,lq,sq,regs,sched] {:?}",
+        r.mispredicts, r.violations, r.dispatch_stalls, r.stall_reasons
+    );
+    println!(
+        "  mem: L1 {}  L2 {}  L3 {}  DRAM {}  prefetches {}",
+        r.mem.hits_l1, r.mem.hits_l2, r.mem.hits_l3, r.mem.hits_mem, r.mem.prefetches
+    );
+    for class in TIMING_CLASSES {
+        let (a, b, c) = r.timing.avg(class);
+        println!(
+            "  {:>4}: decode→dispatch {:>7.1}  dispatch→ready {:>7.1}  ready→issue {:>6.1}  (n={})",
+            class.label(),
+            a,
+            b,
+            c,
+            r.timing.count(class)
+        );
+    }
+    let ib = r.issue_breakdown;
+    println!(
+        "  issues: S-IQ {}  P-IQ {}  in-order {}  OoO {}  IXU {}",
+        ib.from_siq, ib.from_piq, ib.from_inorder, ib.from_ooo, ib.from_ixu
+    );
+    let model = EnergyModel::new(r.sizes, DvfsLevel::L4);
+    let bd = model.breakdown(&r.energy);
+    println!("  energy {:.1} µJ   avg power {:.2} W   EDP {:.3e}", bd.total() * 1e-6, model.power_w(&r.energy), model.edp(&r.energy));
+    print!("  components:");
+    for (c, v) in bd.iter() {
+        print!(" {} {:.0}%", c.label(), 100.0 * v / bd.total());
+    }
+    println!("\n");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let usage = || {
+        eprintln!("usage: simulate <machine> [workload|all] [width] [n] [seed]");
+        eprintln!("machines: ino ooo ooo-of ooo-nomdp ces ces-mda casino fxa");
+        eprintln!("          step1 step2 ballerino ideal ballerino12 b<N>");
+        eprintln!("workloads: {}", workload_names().join(" "));
+        std::process::exit(2);
+    };
+    let Some(kind) = args.get(1).and_then(|s| parse_machine(s)) else {
+        usage();
+        return;
+    };
+    let wl = args.get(2).cloned().unwrap_or_else(|| "hash_join".into());
+    let width = args.get(3).map(|s| parse_width(s).unwrap_or_else(|| {
+        eprintln!("bad width {s}");
+        std::process::exit(2)
+    })).unwrap_or(Width::Eight);
+    let n: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let seed: u64 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    if wl == "all" {
+        for name in workload_names() {
+            let t = workload(name, n, seed);
+            report(&run_machine(kind, width, &t));
+        }
+    } else {
+        let t = workload(&wl, n, seed);
+        report(&run_machine(kind, width, &t));
+    }
+}

@@ -1,0 +1,67 @@
+//! Tables I and II: the simulated machine configurations.
+//!
+//! Regenerates the configuration tables so reviewers can check the
+//! modelled parameters against the paper.
+
+use ballerino_sim::{build_scheduler, CoreConfig, MachineKind, Width};
+
+fn main() {
+    println!("=== Table I: Core and Memory System Configurations ===\n");
+    for width in [Width::Eight, Width::Four, Width::Two] {
+        let c = CoreConfig::preset(width);
+        println!(
+            "{:?}-wide @ {} GHz: front {}, issue {}, ROB {}, LQ {}, SQ {}, \
+             PRF {}int/{}fp, recovery {} cy, ports {}",
+            width,
+            c.freq_ghz,
+            c.front_width,
+            c.issue_width,
+            c.rob_entries,
+            c.lq_entries,
+            c.sq_entries,
+            c.int_regs,
+            c.fp_regs,
+            c.recovery_penalty,
+            c.port_map.num_ports(),
+        );
+        let i = CoreConfig::preset_inorder(width);
+        println!(
+            "  InO variant: scoreboard {}, SQ {}, recovery {} cy, MDP {}",
+            i.rob_entries, i.sq_entries, i.recovery_penalty, i.use_mdp
+        );
+    }
+    let m = CoreConfig::preset(Width::Eight).mem;
+    println!(
+        "\nMemory: L1 {}KiB/{}w/{}cy/{}MSHR, L2 {}KiB/{}w/{}cy/{}MSHR, \
+         L3 {}KiB/{}w/{}cy/{}MSHR, stride prefetch x{}",
+        m.l1d.size_bytes / 1024, m.l1d.ways, m.l1d.latency, m.l1d.mshrs,
+        m.l2.size_bytes / 1024, m.l2.ways, m.l2.latency, m.l2.mshrs,
+        m.l3.size_bytes / 1024, m.l3.ways, m.l3.latency, m.l3.mshrs,
+        m.prefetch_degree,
+    );
+    println!(
+        "DRAM: {} banks, {} B rows, CAS/RCD/RP {}/{}/{} cy, burst {} cy",
+        m.dram.banks, m.dram.row_bytes, m.dram.cas, m.dram.rcd, m.dram.rp, m.dram.burst
+    );
+
+    println!("\n=== Table II: Scheduling Window Configurations (8-wide) ===\n");
+    for kind in [
+        MachineKind::InOrder,
+        MachineKind::OutOfOrder,
+        MachineKind::Ces,
+        MachineKind::Casino,
+        MachineKind::Fxa,
+        MachineKind::Ballerino,
+        MachineKind::Ballerino12,
+    ] {
+        let (_, sched, sizes) = build_scheduler(kind, Width::Eight);
+        println!(
+            "{:<14} window {:>3} entries ({})  [cam {}, fifo {}]",
+            kind.label(),
+            sched.capacity(),
+            sched.name(),
+            sizes.cam_entries,
+            sizes.fifo_entries,
+        );
+    }
+}

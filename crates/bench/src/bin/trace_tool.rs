@@ -1,0 +1,89 @@
+//! Trace utility: export synthetic workloads to the text trace format,
+//! inspect traces, and simulate imported traces from external tools.
+//!
+//! ```sh
+//! trace_tool export <workload> <file> [n] [seed]   # generate + save
+//! trace_tool stats  <file>                         # class mix summary
+//! trace_tool run    <file> <machine> [width]       # simulate a trace
+//! ```
+
+use ballerino_isa::{from_text, to_text, Trace};
+use ballerino_sim::{run_machine, MachineKind, Width};
+use ballerino_workloads::workload;
+
+fn load_trace(path: &str) -> Trace {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    from_text(&text).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("export") => {
+            let wl = args.get(2).expect("workload name");
+            let file = args.get(3).expect("output file");
+            let n: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+            let seed: u64 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(42);
+            let t = workload(wl, n, seed);
+            std::fs::write(file, to_text(&t)).expect("write trace");
+            println!("wrote {} μops of {wl} to {file}", t.len());
+        }
+        Some("stats") => {
+            let t = load_trace(args.get(2).expect("trace file"));
+            let s = t.stats();
+            println!("trace {}: {} μops", t.name, s.total);
+            println!(
+                "  loads {} ({:.1}%)  stores {}  branches {} ({:.1}% taken)",
+                s.loads,
+                100.0 * s.load_frac(),
+                s.stores,
+                s.branches,
+                100.0 * s.taken_branches as f64 / s.branches.max(1) as f64
+            );
+            println!("  int ops {}  fp ops {}", s.int_ops, s.fp_ops);
+        }
+        Some("run") => {
+            let t = load_trace(args.get(2).expect("trace file"));
+            let kind = match args.get(3).map(String::as_str) {
+                Some("ino") => MachineKind::InOrder,
+                Some("ooo") => MachineKind::OutOfOrder,
+                Some("ces") => MachineKind::Ces,
+                Some("casino") => MachineKind::Casino,
+                Some("fxa") => MachineKind::Fxa,
+                Some("ballerino") | None => MachineKind::Ballerino,
+                Some(other) => {
+                    eprintln!("unknown machine {other}");
+                    std::process::exit(2);
+                }
+            };
+            let width = match args.get(4).map(String::as_str) {
+                Some("2") => Width::Two,
+                Some("4") => Width::Four,
+                Some("10") => Width::Ten,
+                _ => Width::Eight,
+            };
+            let r = run_machine(kind, width, &t);
+            println!(
+                "{} on {}: IPC {:.3}, {} cycles, {} mispredicts, {} violations",
+                r.scheduler,
+                r.workload,
+                r.ipc(),
+                r.cycles,
+                r.mispredicts,
+                r.violations
+            );
+        }
+        _ => {
+            eprintln!("usage: trace_tool export <workload> <file> [n] [seed]");
+            eprintln!("       trace_tool stats  <file>");
+            eprintln!("       trace_tool run    <file> [machine] [width]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! # ballerino-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation (see DESIGN.md §3 for the index), plus Criterion
+//! micro-benchmarks of the library itself.
+//!
+//! All binaries honor two environment variables:
+//!
+//! * `BALLERINO_N` — μops per workload (default 20 000; the paper runs
+//!   300M-instruction SimPoints, so crank this up for smoother numbers),
+//! * `BALLERINO_SEED` — workload generator seed (default 42).
+
+#![warn(missing_docs)]
+
+use ballerino_sim::stats::geomean;
+use ballerino_sim::{run_machine, MachineKind, SimResult, Width};
+use ballerino_workloads::{workload, workload_names};
+
+/// μops per workload (env `BALLERINO_N`, default 20 000).
+pub fn suite_len() -> usize {
+    std::env::var("BALLERINO_N").ok().and_then(|s| s.parse().ok()).unwrap_or(20_000)
+}
+
+/// Workload seed (env `BALLERINO_SEED`, default 42).
+pub fn seed() -> u64 {
+    std::env::var("BALLERINO_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+/// Runs one machine kind over the whole suite at a width, one thread
+/// per workload (simulations are independent and deterministic).
+pub fn run_suite(kind: MachineKind, width: Width) -> Vec<SimResult> {
+    let n = suite_len();
+    let s = seed();
+    let names = workload_names();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = names
+            .iter()
+            .map(|wl| {
+                scope.spawn(move || {
+                    let t = workload(wl, n, s);
+                    run_machine(kind, width, &t)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("simulation panicked")).collect()
+    })
+}
+
+/// Runs several machine kinds over the suite; returns `[kind][workload]`.
+pub fn run_matrix(kinds: &[MachineKind], width: Width) -> Vec<Vec<SimResult>> {
+    kinds.iter().map(|&k| run_suite(k, width)).collect()
+}
+
+/// Per-workload speedups of `results` over `base` (paired by index),
+/// followed by the geometric mean as the final element.
+pub fn speedups_with_geomean(results: &[SimResult], base: &[SimResult]) -> Vec<f64> {
+    assert_eq!(results.len(), base.len());
+    let mut v: Vec<f64> =
+        results.iter().zip(base).map(|(r, b)| r.speedup_over(b)).collect();
+    v.push(geomean(&v));
+    v
+}
+
+/// Prints one markdown-style table row.
+pub fn print_row(label: &str, vals: &[f64], width: usize, prec: usize) {
+    print!("{label:<20}");
+    for v in vals {
+        print!("{v:>width$.prec$}");
+    }
+    println!();
+}
+
+/// Prints the table header: workload names plus `GEOMEAN`.
+pub fn print_header(cols: &[&str], width: usize) {
+    print!("{:<20}", "");
+    for c in cols {
+        let c = if c.len() >= width { &c[..width - 1] } else { c };
+        print!("{c:>width$}");
+    }
+    println!();
+}
+
+/// Short column labels for the suite plus a geomean column.
+pub fn workload_cols() -> Vec<&'static str> {
+    let mut v = workload_names();
+    v.push("GEOMEAN");
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        assert!(suite_len() >= 1000);
+        let _ = seed();
+    }
+
+    #[test]
+    fn workload_cols_end_with_geomean() {
+        let cols = workload_cols();
+        assert_eq!(*cols.last().unwrap(), "GEOMEAN");
+        assert_eq!(cols.len(), 16);
+    }
+}

@@ -1,0 +1,835 @@
+//! The Ballerino scheduler (§IV): S-IQ speculative issue + P-SCB-driven
+//! steering + MDA steering + P-IQ sharing, behind the common
+//! [`Scheduler`] trait.
+
+use crate::piq::{PartId, Piq};
+use ballerino_isa::PhysReg;
+use ballerino_sched::{
+    DispatchOutcome, HeadState, HeadStateStats, IssueBreakdown, LocTable, PortAlloc, ReadyCtx,
+    SchedEnergyEvents, SchedUop, Scheduler, StallReason, SteerEvent, SteerStats,
+};
+use std::collections::VecDeque;
+
+/// Ballerino configuration (Table II plus the step toggles of Fig. 13).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BallerinoConfig {
+    /// S-IQ entries (Table II: 8 at 8-wide — 2× the dispatch width).
+    pub siq_entries: usize,
+    /// S-IQ slots examined per cycle (the speculative scheduling window;
+    /// equals the rename width: 4r4w).
+    pub siq_window: usize,
+    /// Number of clustered P-IQs (7 for Ballerino, 11 for Ballerino-12).
+    pub num_piqs: usize,
+    /// Entries per P-IQ (Table II: 12).
+    pub piq_entries: usize,
+    /// Step 2: steer M-dependent loads behind their producer stores.
+    pub mda_steering: bool,
+    /// Step 3: allow two chains to share one P-IQ.
+    pub piq_sharing: bool,
+    /// Fig. 13 "w/o constraints": lift the same-half and single-active-
+    /// head constraints.
+    pub ideal_sharing: bool,
+    /// Physical registers tracked by the P-SCB.
+    pub num_phys_regs: usize,
+    /// Store-set ids tracked by the LFST steering extension.
+    pub num_ssids: usize,
+    /// How many cycles ahead a source may become ready while its consumer
+    /// is allowed to linger in the S-IQ instead of being steered
+    /// (captures the intra-group enable logic of Fig. 8: consumers of
+    /// just-issued single-cycle producers issue back-to-back from the
+    /// S-IQ).
+    pub spec_horizon: u64,
+}
+
+impl Default for BallerinoConfig {
+    fn default() -> Self {
+        Self::eight_wide()
+    }
+}
+
+impl BallerinoConfig {
+    /// Ballerino at 8-wide: 8-entry S-IQ + 7×12-entry P-IQs (Table II).
+    pub fn eight_wide() -> Self {
+        BallerinoConfig {
+            siq_entries: 8,
+            siq_window: 4,
+            num_piqs: 7,
+            piq_entries: 12,
+            mda_steering: true,
+            piq_sharing: true,
+            ideal_sharing: false,
+            num_phys_regs: 348,
+            num_ssids: 128,
+            spec_horizon: 1,
+        }
+    }
+
+    /// Ballerino-12: 1 S-IQ + 11 P-IQs (§VI-A).
+    pub fn twelve() -> Self {
+        BallerinoConfig { num_piqs: 11, ..Self::eight_wide() }
+    }
+
+    /// Step 1 of Fig. 13: S-IQ + 7 P-IQs, no MDA steering, no sharing.
+    pub fn step1() -> Self {
+        BallerinoConfig { mda_steering: false, piq_sharing: false, ..Self::eight_wide() }
+    }
+
+    /// Step 2 of Fig. 13: Step 1 + MDA steering.
+    pub fn step2() -> Self {
+        BallerinoConfig { piq_sharing: false, ..Self::eight_wide() }
+    }
+
+    /// Step 3 without implementation constraints (ideal, Fig. 13).
+    pub fn step3_ideal() -> Self {
+        BallerinoConfig { ideal_sharing: true, ..Self::eight_wide() }
+    }
+
+    /// 4-wide variant (Table II: 8-entry S-IQ, 3×16-entry P-IQs).
+    pub fn four_wide() -> Self {
+        BallerinoConfig {
+            siq_entries: 8,
+            siq_window: 4,
+            num_piqs: 3,
+            piq_entries: 16,
+            ..Self::eight_wide()
+        }
+    }
+
+    /// 2-wide variant (Table II: 4-entry S-IQ, 1×16-entry P-IQ).
+    pub fn two_wide() -> Self {
+        BallerinoConfig {
+            siq_entries: 4,
+            siq_window: 2,
+            num_piqs: 1,
+            piq_entries: 16,
+            ..Self::eight_wide()
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LfstSteer {
+    piq: u16,
+    part: u8,
+    reserved: bool,
+    store_seq: u64,
+}
+
+/// Location encoding stored in the P-SCB: P-IQ index × partition.
+fn encode_loc(piq: usize, part: PartId) -> u16 {
+    (piq as u16) * 2 + part.0 as u16
+}
+
+fn decode_loc(loc: u16) -> (usize, PartId) {
+    ((loc / 2) as usize, PartId((loc % 2) as u8))
+}
+
+/// The Ballerino scheduler.
+#[derive(Debug)]
+pub struct Ballerino {
+    cfg: BallerinoConfig,
+    siq: VecDeque<SchedUop>,
+    piqs: Vec<Piq>,
+    /// P-SCB producer-location extension.
+    loc: LocTable,
+    lfst_steer: Vec<Option<LfstSteer>>,
+    energy: SchedEnergyEvents,
+    steer: SteerStats,
+    heads: HeadStateStats,
+    breakdown: IssueBreakdown,
+    /// Sharing-mode activations (diagnostics / Fig. 13 analysis).
+    pub sharing_activations: u64,
+}
+
+impl Ballerino {
+    /// Builds an empty Ballerino scheduler.
+    pub fn new(cfg: BallerinoConfig) -> Self {
+        let piqs = (0..cfg.num_piqs).map(|_| Piq::new(cfg.piq_entries, cfg.ideal_sharing)).collect();
+        let loc = LocTable::new(cfg.num_phys_regs);
+        let lfst_steer = vec![None; cfg.num_ssids];
+        Ballerino {
+            cfg,
+            piqs,
+            siq: VecDeque::new(),
+            loc,
+            lfst_steer,
+            energy: SchedEnergyEvents::default(),
+            steer: SteerStats::default(),
+            heads: HeadStateStats::default(),
+            breakdown: IssueBreakdown::default(),
+            sharing_activations: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BallerinoConfig {
+        &self.cfg
+    }
+
+    /// Current S-IQ occupancy (tests/diagnostics).
+    pub fn siq_len(&self) -> usize {
+        self.siq.len()
+    }
+
+    /// Occupancy of P-IQ `i` (tests/diagnostics).
+    pub fn piq_len(&self, i: usize) -> usize {
+        self.piqs[i].len()
+    }
+
+    /// Whether P-IQ `i` is in sharing mode.
+    pub fn piq_shared(&self, i: usize) -> bool {
+        self.piqs[i].is_shared()
+    }
+
+    fn push_tracked(&mut self, piq: usize, part: PartId, uop: SchedUop) {
+        if let Some(d) = uop.dst {
+            self.loc.set_location(d, encode_loc(piq, part));
+        }
+        if self.cfg.mda_steering && uop.is_store() {
+            if let Some(ssid) = uop.ssid {
+                self.lfst_steer[ssid.0 as usize] = Some(LfstSteer {
+                    piq: piq as u16,
+                    part: part.0,
+                    reserved: false,
+                    store_seq: uop.seq,
+                });
+                self.energy.loc_writes += 1;
+            }
+        }
+        self.energy.queue_writes += 1;
+        self.piqs[piq].push(part, uop);
+    }
+
+    /// MDA steering target (§III-B): the partition whose tail is the
+    /// μop's predicted producer store.
+    fn mda_target(&mut self, uop: &SchedUop) -> Option<(usize, PartId)> {
+        if !self.cfg.mda_steering || !(uop.is_load() || uop.is_store()) {
+            return None;
+        }
+        let ssid = uop.ssid?;
+        let e = self.lfst_steer[ssid.0 as usize]?;
+        self.energy.loc_reads += 1;
+        if e.reserved {
+            return None;
+        }
+        let (k, part) = (e.piq as usize, PartId(e.part));
+        let at_tail = self.piqs[k].back(part).map(|b| b.seq == e.store_seq).unwrap_or(false);
+        if at_tail && self.piqs[k].can_push(part) {
+            self.lfst_steer[ssid.0 as usize].as_mut().expect("checked").reserved = true;
+            self.energy.loc_writes += 1;
+            Some((k, part))
+        } else {
+            None
+        }
+    }
+
+    /// R-dependence steering target: the partition holding a producer at
+    /// its tail; with two candidates the younger producer's chain wins.
+    fn rdep_target(&mut self, uop: &SchedUop) -> Option<(usize, PartId, PhysReg)> {
+        let mut best: Option<(usize, PartId, PhysReg, u64)> = None;
+        for src in uop.srcs.iter().flatten() {
+            let e = self.loc.get(*src);
+            let Some(enc) = e.iq_index else { continue };
+            if e.reserved {
+                continue;
+            }
+            let (k, part) = decode_loc(enc);
+            if !self.piqs[k].can_push(part) {
+                continue;
+            }
+            // The producer must still be resident at that tail.
+            let tail_seq = match self.piqs[k].back(part) {
+                Some(b) => b.seq,
+                None => continue,
+            };
+            if best.map(|(_, _, _, s)| tail_seq > s).unwrap_or(true) {
+                best = Some((k, part, *src, tail_seq));
+            }
+        }
+        best.map(|(k, p, src, _)| (k, p, src))
+    }
+
+    /// Allocation target for a new dependence head: an empty P-IQ, an
+    /// empty partition of a shared P-IQ, or (Step 3) a freshly shared
+    /// partition of an eligible P-IQ.
+    fn alloc_target(&mut self) -> Option<(usize, PartId)> {
+        if let Some(k) = self.piqs.iter().position(|q| q.is_empty() && !q.is_shared()) {
+            return Some((k, PartId(0)));
+        }
+        for (k, q) in self.piqs.iter().enumerate() {
+            if let Some(p) = q.empty_partition() {
+                return Some((k, p));
+            }
+        }
+        if self.cfg.piq_sharing {
+            if let Some(k) = self.piqs.iter().position(|q| q.shareable()) {
+                let p = self.piqs[k].activate_sharing();
+                self.sharing_activations += 1;
+                return Some((k, p));
+            }
+        }
+        None
+    }
+
+    /// Steers one non-ready μop out of the S-IQ window. Returns whether a
+    /// P-IQ accepted it.
+    fn steer(&mut self, uop: &SchedUop) -> bool {
+        self.energy.steer_ops += 1;
+        if let Some((k, part)) = self.mda_target(uop) {
+            self.steer.record(SteerEvent::SteerDc);
+            self.push_tracked(k, part, *uop);
+            return true;
+        }
+        if let Some((k, part, src)) = self.rdep_target(uop) {
+            self.loc.reserve(src);
+            self.steer.record(SteerEvent::SteerDc);
+            self.push_tracked(k, part, *uop);
+            return true;
+        }
+        if let Some((k, part)) = self.alloc_target() {
+            let shared = self.piqs[k].is_shared();
+            self.steer.record(if shared { SteerEvent::SteerShared } else { SteerEvent::AllocNonReady });
+            self.push_tracked(k, part, *uop);
+            return true;
+        }
+        false
+    }
+
+    fn release_store_lfst(&mut self, u: &SchedUop) {
+        if self.cfg.mda_steering && u.is_store() {
+            if let Some(ssid) = u.ssid {
+                if let Some(e) = self.lfst_steer[ssid.0 as usize] {
+                    if e.store_seq == u.seq {
+                        self.lfst_steer[ssid.0 as usize] = None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Scheduler for Ballerino {
+    fn name(&self) -> String {
+        let mut n = format!("ballerino-{}", self.cfg.num_piqs + 1);
+        if !self.cfg.mda_steering {
+            n.push_str("-step1");
+        } else if !self.cfg.piq_sharing {
+            n.push_str("-step2");
+        } else if self.cfg.ideal_sharing {
+            n.push_str("-ideal");
+        }
+        n
+    }
+
+    fn try_dispatch(&mut self, uop: SchedUop, _ctx: &ReadyCtx<'_>) -> DispatchOutcome {
+        if self.siq.len() >= self.cfg.siq_entries {
+            return DispatchOutcome::Stall(StallReason::Full);
+        }
+        self.energy.queue_writes += 1;
+        self.siq.push_back(uop);
+        DispatchOutcome::Accepted
+    }
+
+    fn issue(&mut self, ctx: &ReadyCtx<'_>, ports: &mut PortAlloc<'_>, out: &mut Vec<u64>) {
+        // Destinations of single-cycle μops issued *this very cycle*: the
+        // scoreboard is only updated by the pipeline after this call, so
+        // the intra-group enable logic (Fig. 8) must track them here to
+        // keep their consumers in the S-IQ for back-to-back issue.
+        let mut just_issued: Vec<PhysReg> = Vec::new();
+        let note_issue = |u: &SchedUop, v: &mut Vec<PhysReg>| {
+            if !u.is_load() && u.class.exec_latency() as u64 <= 1 {
+                if let Some(d) = u.dst {
+                    v.push(d);
+                }
+            }
+        };
+
+        // ---- 1. P-IQ heads: highest select priority (prefix-sum order,
+        //         §IV-E), examined via the active head pointer(s).
+        let mut any_candidate = false;
+        for k in 0..self.piqs.len() {
+            let mut issued_part: Option<PartId> = None;
+            let mut recorded = false;
+            for part in self.piqs[k].issue_candidates() {
+                let state = match self.piqs[k].front(part) {
+                    None => HeadState::Empty,
+                    Some(head) => {
+                        self.energy.head_examinations += 1;
+                        if ctx.is_ready(head) {
+                            any_candidate = true;
+                            if ports.try_claim(head.port, head.class) {
+                                HeadState::Issuing
+                            } else {
+                                HeadState::StallPortConflict
+                            }
+                        } else if ctx.is_mdp_blocked(head) {
+                            HeadState::StallMdepLoad
+                        } else {
+                            HeadState::StallNonReady
+                        }
+                    }
+                };
+                if !recorded {
+                    // One observation per queue per cycle.
+                    self.heads.record(state);
+                    recorded = true;
+                }
+                if state == HeadState::Issuing {
+                    let u = self.piqs[k].pop(part).expect("head present");
+                    self.energy.queue_reads += 1;
+                    self.breakdown.from_piq += 1;
+                    self.release_store_lfst(&u);
+                    note_issue(&u, &mut just_issued);
+                    out.push(u.seq);
+                    issued_part = Some(part);
+                }
+            }
+            self.piqs[k].end_cycle(issued_part);
+        }
+
+        // ---- 2. S-IQ speculative scheduling window: ready μops issue,
+        //         far-from-ready μops are steered to the P-IQs.
+        let window = self.cfg.siq_window.min(self.siq.len());
+        let mut remove: Vec<usize> = Vec::new();
+        let mut lingering: Vec<PhysReg> = Vec::new();
+        for i in 0..window {
+            let u = self.siq[i];
+            self.energy.head_examinations += 1;
+            if ctx.is_ready(&u) {
+                any_candidate = true;
+                if ports.try_claim(u.port, u.class) {
+                    self.energy.queue_reads += 1;
+                    self.breakdown.from_siq += 1;
+                    self.steer.record(SteerEvent::SpeculativeIssue);
+                    self.release_store_lfst(&u);
+                    note_issue(&u, &mut just_issued);
+                    out.push(u.seq);
+                    remove.push(i);
+                } else {
+                    // Ready but port-denied (§IV-C case 3): steer to a new
+                    // P-IQ head; re-examined there next cycle.
+                    self.energy.steer_ops += 1;
+                    if let Some((k, part)) = self.alloc_target() {
+                        let shared = self.piqs[k].is_shared();
+                        self.steer.record(if shared {
+                            SteerEvent::SteerShared
+                        } else {
+                            SteerEvent::AllocReady
+                        });
+                        self.push_tracked(k, part, u);
+                        remove.push(i);
+                    }
+                    // No free queue: it simply stays in the S-IQ.
+                }
+                continue;
+            }
+            // Held loads must move to the P-IQs (ideally behind their
+            // producer store via MDA steering).
+            let held = ctx.held.contains(&u.seq);
+            if !held {
+                // Soon-ready consumers linger for back-to-back issue; a
+                // source counts as soon-ready when its producer issued
+                // within this very cycle with single-cycle latency, or
+                // when the producer itself lingers in the window (the
+                // intra-group dependence analysis of Fig. 8 keeps whole
+                // soon-ready chains in the S-IQ).
+                let far = u.srcs.iter().flatten().any(|s| {
+                    let rc = ctx.scb.ready_cycle(*s);
+                    rc > ctx.cycle + self.cfg.spec_horizon
+                        && !just_issued.contains(s)
+                        && !lingering.contains(s)
+                });
+                if !far {
+                    if let Some(d) = u.dst {
+                        lingering.push(d);
+                    }
+                    continue;
+                }
+            }
+            if self.steer(&u) {
+                remove.push(i);
+            } else {
+                // Steering stall: the window cannot advance past this μop.
+                self.steer.record(SteerEvent::StallNonReady);
+                break;
+            }
+        }
+        for &i in remove.iter().rev() {
+            self.siq.remove(i);
+        }
+
+        if any_candidate {
+            // Each port's prefix-sum sees P-IQ head requests above S-IQ
+            // slot requests (§IV-E).
+            let inputs = self.cfg.num_piqs + self.cfg.siq_window;
+            self.energy.select_inputs += inputs as u64;
+        }
+    }
+
+    fn on_complete(&mut self, dst: PhysReg) {
+        self.loc.clear(dst);
+    }
+
+    fn flush_after(&mut self, seq: u64, flushed_dests: &[PhysReg]) {
+        while self.siq.back().map(|u| u.seq > seq).unwrap_or(false) {
+            self.siq.pop_back();
+        }
+        for q in &mut self.piqs {
+            q.flush_after(seq);
+        }
+        for d in flushed_dests {
+            self.loc.clear(*d);
+        }
+        for e in &mut self.lfst_steer {
+            if e.map(|s| s.store_seq > seq).unwrap_or(false) {
+                *e = None;
+            }
+        }
+    }
+
+    fn occupancy(&self) -> usize {
+        self.siq.len() + self.piqs.iter().map(|q| q.len()).sum::<usize>()
+    }
+
+    fn capacity(&self) -> usize {
+        self.cfg.siq_entries + self.cfg.num_piqs * self.cfg.piq_entries
+    }
+
+    fn energy_events(&self) -> SchedEnergyEvents {
+        let mut e = self.energy;
+        e.loc_reads += self.loc.reads;
+        e.loc_writes += self.loc.writes;
+        e
+    }
+
+    fn issue_breakdown(&self) -> IssueBreakdown {
+        self.breakdown
+    }
+
+    fn steer_stats(&self) -> SteerStats {
+        self.steer
+    }
+
+    fn head_stats(&self) -> HeadStateStats {
+        self.heads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ballerino_isa::{OpClass, PortId};
+    use ballerino_mem::SsId;
+    use ballerino_sched::{FuBusy, Scoreboard};
+    use std::collections::HashSet;
+
+    fn op(seq: u64, dst: Option<u32>, srcs: [Option<u32>; 2]) -> SchedUop {
+        SchedUop {
+            port: PortId((seq % 4) as u8),
+            srcs: [srcs[0].map(PhysReg), srcs[1].map(PhysReg)],
+            dst: dst.map(PhysReg),
+            ..SchedUop::test_op(seq)
+        }
+    }
+
+    struct Rig {
+        b: Ballerino,
+        scb: Scoreboard,
+        held: HashSet<u64>,
+    }
+
+    impl Rig {
+        fn new(cfg: BallerinoConfig) -> Self {
+            Rig { b: Ballerino::new(cfg), scb: Scoreboard::new(348), held: HashSet::new() }
+        }
+
+        fn dispatch(&mut self, u: SchedUop) -> DispatchOutcome {
+            let ctx = ReadyCtx { cycle: 0, scb: &self.scb, held: &self.held };
+            self.b.try_dispatch(u, &ctx)
+        }
+
+        fn issue(&mut self, cycle: u64) -> Vec<u64> {
+            let ctx = ReadyCtx { cycle, scb: &self.scb, held: &self.held };
+            let busy = FuBusy::new();
+            let mut pa = PortAlloc::new(8, 8, &busy, cycle);
+            let mut out = Vec::new();
+            self.b.issue(&ctx, &mut pa, &mut out);
+            out
+        }
+    }
+
+    #[test]
+    fn ready_ops_issue_speculatively_without_piq_allocation() {
+        let mut r = Rig::new(BallerinoConfig::eight_wide());
+        for i in 0..4 {
+            assert_eq!(r.dispatch(op(i, None, [None, None])), DispatchOutcome::Accepted);
+        }
+        let out = r.issue(0);
+        assert_eq!(out.len(), 4);
+        assert_eq!(r.b.issue_breakdown().from_siq, 4);
+        assert_eq!(r.b.piqs.iter().map(|q| q.len()).sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn far_nonready_ops_are_steered_along_chains() {
+        let mut r = Rig::new(BallerinoConfig::eight_wide());
+        for p in [10, 11, 12] {
+            r.scb.allocate(PhysReg(p));
+        }
+        // Producer never issues; chain 10 -> 11 -> 12.
+        r.dispatch(op(0, Some(11), [Some(10), None]));
+        r.dispatch(op(1, Some(12), [Some(11), None]));
+        let out = r.issue(0);
+        assert!(out.is_empty());
+        assert_eq!(r.b.piq_len(0), 2, "chain shares one P-IQ");
+        assert_eq!(r.b.steer_stats().steer_dc, 1);
+        assert_eq!(r.b.steer_stats().alloc_nonready, 1);
+    }
+
+    #[test]
+    fn soon_ready_consumer_lingers_for_back_to_back() {
+        let mut r = Rig::new(BallerinoConfig::eight_wide());
+        r.scb.allocate(PhysReg(10));
+        r.dispatch(op(0, Some(10), [None, None])); // ready producer
+        r.dispatch(op(1, Some(11), [Some(10), None])); // consumer
+        // Cycle 0: producer issues; consumer is 1 cycle from ready and
+        // must NOT be steered.
+        let out = r.issue(0);
+        assert_eq!(out, vec![0]);
+        r.scb.set_ready_at(PhysReg(10), 1); // pipeline would do this at issue
+        assert_eq!(r.b.siq_len(), 1);
+        assert_eq!(r.b.piq_len(0), 0);
+        // Cycle 1: back-to-back issue from the S-IQ.
+        let out = r.issue(1);
+        assert_eq!(out, vec![1]);
+        assert_eq!(r.b.issue_breakdown().from_siq, 2);
+    }
+
+    #[test]
+    fn piq_head_issues_when_long_latency_producer_completes() {
+        let mut r = Rig::new(BallerinoConfig::eight_wide());
+        r.scb.allocate(PhysReg(10));
+        r.dispatch(op(1, Some(11), [Some(10), None]));
+        let _ = r.issue(0); // steered to P-IQ 0
+        assert_eq!(r.b.piq_len(0), 1);
+        r.scb.set_ready_at(PhysReg(10), 40);
+        let out = r.issue(40);
+        assert_eq!(out, vec![1]);
+        assert_eq!(r.b.issue_breakdown().from_piq, 1);
+    }
+
+    #[test]
+    fn sharing_activates_when_piqs_exhausted() {
+        let mut r = Rig::new(BallerinoConfig { num_piqs: 2, ..BallerinoConfig::eight_wide() });
+        for p in 10..20 {
+            r.scb.allocate(PhysReg(p));
+        }
+        // Three independent blocked chains; only 2 P-IQs.
+        r.dispatch(op(0, Some(15), [Some(10), None]));
+        r.dispatch(op(1, Some(16), [Some(11), None]));
+        r.dispatch(op(2, Some(17), [Some(12), None]));
+        let _ = r.issue(0);
+        assert_eq!(r.b.sharing_activations, 1);
+        assert!(r.b.piq_shared(0));
+        assert_eq!(r.b.piq_len(0), 2);
+        assert_eq!(r.b.steer_stats().steer_shared, 1);
+    }
+
+    #[test]
+    fn sharing_disabled_blocks_third_chain_in_siq() {
+        let mut r = Rig::new(BallerinoConfig {
+            num_piqs: 2,
+            piq_sharing: false,
+            ..BallerinoConfig::eight_wide()
+        });
+        for p in 10..20 {
+            r.scb.allocate(PhysReg(p));
+        }
+        r.dispatch(op(0, Some(15), [Some(10), None]));
+        r.dispatch(op(1, Some(16), [Some(11), None]));
+        r.dispatch(op(2, Some(17), [Some(12), None]));
+        let _ = r.issue(0);
+        assert_eq!(r.b.siq_len(), 1, "third chain stalls in S-IQ");
+        assert!(r.b.steer_stats().stall_nonready > 0);
+    }
+
+    #[test]
+    fn steering_stall_blocks_younger_window_entries() {
+        let mut r = Rig::new(BallerinoConfig {
+            num_piqs: 1,
+            piq_sharing: false,
+            ..BallerinoConfig::eight_wide()
+        });
+        for p in 10..20 {
+            r.scb.allocate(PhysReg(p));
+        }
+        r.dispatch(op(0, Some(15), [Some(10), None])); // takes P-IQ 0
+        r.dispatch(op(1, Some(16), [Some(11), None])); // stalls: no queue
+        r.dispatch(op(2, None, [None, None])); // ready, behind the stall
+        let out = r.issue(0);
+        assert!(out.is_empty(), "blocked head must not let younger μops issue: {out:?}");
+    }
+
+    #[test]
+    fn shared_partition_issues_out_of_order_wrt_other_partition() {
+        let mut r = Rig::new(BallerinoConfig { num_piqs: 1, ..BallerinoConfig::eight_wide() });
+        for p in 10..20 {
+            r.scb.allocate(PhysReg(p));
+        }
+        r.dispatch(op(0, Some(15), [Some(10), None])); // chain A -> P-IQ 0
+        r.dispatch(op(1, Some(16), [Some(11), None])); // chain B -> shared part 1
+        let _ = r.issue(0);
+        assert!(r.b.piq_shared(0));
+        // Chain B's producer completes first.
+        r.scb.set_ready_at(PhysReg(11), 10);
+        // The active head starts at partition 0 (blocked); with no issue
+        // it toggles, so within two cycles partition 1 must issue.
+        let mut issued = Vec::new();
+        for t in 10..13 {
+            issued.extend(r.issue(t));
+        }
+        assert_eq!(issued, vec![1], "younger chain must bypass the blocked one");
+    }
+
+    #[test]
+    fn ideal_sharing_issues_without_toggle_delay() {
+        let mut r = Rig::new(BallerinoConfig {
+            num_piqs: 1,
+            ideal_sharing: true,
+            ..BallerinoConfig::eight_wide()
+        });
+        for p in 10..20 {
+            r.scb.allocate(PhysReg(p));
+        }
+        r.dispatch(op(0, Some(15), [Some(10), None]));
+        r.dispatch(op(1, Some(16), [Some(11), None]));
+        let _ = r.issue(0);
+        r.scb.set_ready_at(PhysReg(11), 10);
+        let out = r.issue(10);
+        assert_eq!(out, vec![1], "ideal mode examines both heads every cycle");
+    }
+
+    #[test]
+    fn mda_steering_places_load_behind_store() {
+        let mut r = Rig::new(BallerinoConfig::eight_wide());
+        r.scb.allocate(PhysReg(20));
+        let mut st = op(0, None, [Some(20), None]);
+        st.class = OpClass::Store;
+        st.ssid = Some(SsId(3));
+        st.port = PortId(2);
+        r.dispatch(st);
+        let mut ld = op(1, Some(30), [None, None]);
+        ld.class = OpClass::Load;
+        ld.ssid = Some(SsId(3));
+        ld.mdp_wait = Some(0);
+        ld.port = PortId(3);
+        r.held.insert(1); // register-ready but MDP-held
+        r.dispatch(ld);
+        let _ = r.issue(0);
+        assert_eq!(r.b.piq_len(0), 2, "store and its M-dependent load share P-IQ 0");
+        assert_eq!(r.b.steer_stats().steer_dc, 1);
+    }
+
+    #[test]
+    fn without_mda_held_load_takes_own_piq() {
+        let mut r = Rig::new(BallerinoConfig::step1());
+        r.scb.allocate(PhysReg(20));
+        let mut st = op(0, None, [Some(20), None]);
+        st.class = OpClass::Store;
+        st.ssid = Some(SsId(3));
+        r.dispatch(st);
+        let mut ld = op(1, Some(30), [None, None]);
+        ld.class = OpClass::Load;
+        ld.ssid = Some(SsId(3));
+        r.held.insert(1);
+        r.dispatch(ld);
+        let _ = r.issue(0);
+        assert_eq!(r.b.piq_len(0), 1);
+        assert_eq!(r.b.piq_len(1), 1, "Step 1 wastes a P-IQ on the M-dependent load");
+    }
+
+    #[test]
+    fn ready_but_port_denied_is_steered_to_new_head() {
+        let mut r = Rig::new(BallerinoConfig::eight_wide());
+        // Two ready μops competing for the same port.
+        let mut a = op(0, None, [None, None]);
+        a.port = PortId(5);
+        let mut b = op(1, None, [None, None]);
+        b.port = PortId(5);
+        r.dispatch(a);
+        r.dispatch(b);
+        let out = r.issue(0);
+        assert_eq!(out, vec![0]);
+        assert_eq!(r.b.piq_len(0), 1, "loser steered to a P-IQ head");
+        assert_eq!(r.b.steer_stats().alloc_ready, 1);
+        // Next cycle it issues from the P-IQ head.
+        let out = r.issue(1);
+        assert_eq!(out, vec![1]);
+        assert_eq!(r.b.issue_breakdown().from_piq, 1);
+    }
+
+    #[test]
+    fn piq_heads_win_port_arbitration_over_siq() {
+        let mut r = Rig::new(BallerinoConfig::eight_wide());
+        r.scb.allocate(PhysReg(10));
+        let mut old = op(0, Some(15), [Some(10), None]);
+        old.port = PortId(5);
+        r.dispatch(old);
+        let _ = r.issue(0); // steered to P-IQ
+        // Make it ready, then race a younger ready S-IQ μop on the port.
+        r.scb.set_ready_at(PhysReg(10), 5);
+        let mut young = op(1, None, [None, None]);
+        young.port = PortId(5);
+        r.dispatch(young);
+        let out = r.issue(5);
+        assert_eq!(out, vec![0], "P-IQ head (older) has select priority");
+    }
+
+    #[test]
+    fn flush_clears_siq_piqs_and_lfst() {
+        let mut r = Rig::new(BallerinoConfig::eight_wide());
+        r.scb.allocate(PhysReg(10));
+        let mut st = op(0, None, [Some(10), None]);
+        st.class = OpClass::Store;
+        st.ssid = Some(SsId(2));
+        r.dispatch(st);
+        r.dispatch(op(1, Some(11), [Some(10), None]));
+        r.dispatch(op(2, Some(12), [None, None]));
+        let _ = r.issue(0); // st and op1 steered (both depend on 10)
+        r.b.flush_after(0, &[PhysReg(11), PhysReg(12)]);
+        assert_eq!(r.b.occupancy(), 1);
+        // LFST steering entry for a younger store would be gone; here the
+        // store itself (seq 0) survives.
+        assert_eq!(r.b.piqs.iter().map(|q| q.len()).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn capacity_counts_siq_plus_piqs() {
+        let b = Ballerino::new(BallerinoConfig::eight_wide());
+        assert_eq!(b.capacity(), 8 + 7 * 12);
+        let b12 = Ballerino::new(BallerinoConfig::twelve());
+        assert_eq!(b12.capacity(), 8 + 11 * 12);
+    }
+
+    #[test]
+    fn siq_full_stalls_dispatch() {
+        let mut r = Rig::new(BallerinoConfig::eight_wide());
+        r.scb.allocate(PhysReg(10));
+        for i in 0..8 {
+            assert_eq!(r.dispatch(op(i, None, [Some(10), None])), DispatchOutcome::Accepted);
+        }
+        assert_eq!(
+            r.dispatch(op(8, None, [Some(10), None])),
+            DispatchOutcome::Stall(StallReason::Full)
+        );
+    }
+
+    #[test]
+    fn names_encode_steps() {
+        assert_eq!(Ballerino::new(BallerinoConfig::eight_wide()).name(), "ballerino-8");
+        assert_eq!(Ballerino::new(BallerinoConfig::twelve()).name(), "ballerino-12");
+        assert_eq!(Ballerino::new(BallerinoConfig::step1()).name(), "ballerino-8-step1");
+        assert_eq!(Ballerino::new(BallerinoConfig::step2()).name(), "ballerino-8-step2");
+        assert_eq!(Ballerino::new(BallerinoConfig::step3_ideal()).name(), "ballerino-8-ideal");
+    }
+}

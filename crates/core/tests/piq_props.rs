@@ -1,0 +1,133 @@
+//! Property tests for the shareable P-IQ: against a reference model of
+//! two plain FIFOs, under arbitrary interleavings of pushes, pops,
+//! sharing activations and flushes.
+
+use ballerino_core::{PartId, Piq};
+use ballerino_sched::SchedUop;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u8),
+    Pop(u8),
+    ActivateSharing,
+    Flush(u64),
+    EndCycle(Option<u8>),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..2).prop_map(Op::Push),
+        (0u8..2).prop_map(Op::Pop),
+        Just(Op::ActivateSharing),
+        (0u64..200).prop_map(Op::Flush),
+        proptest::option::of(0u8..2).prop_map(Op::EndCycle),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn piq_matches_reference_fifos(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let cap = 8usize;
+        let mut piq = Piq::new(cap, false);
+        let mut model: [VecDeque<u64>; 2] = [VecDeque::new(), VecDeque::new()];
+        let mut shared = false;
+        let mut seq = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Push(p) => {
+                    let p = p as usize;
+                    let part = PartId(p as u8);
+                    // Model capacity: full cap in normal mode for part 0,
+                    // half per partition in sharing mode.
+                    let cap_p = if shared { cap / 2 } else if p == 0 { cap } else { 0 };
+                    let fits = model[p].len() < cap_p;
+                    prop_assert_eq!(piq.can_push(part), fits, "can_push mismatch");
+                    if fits {
+                        seq += 1;
+                        piq.push(part, SchedUop::test_op(seq));
+                        model[p].push_back(seq);
+                    }
+                }
+                Op::Pop(p) => {
+                    let p = p as usize;
+                    let got = piq.pop(PartId(p as u8)).map(|u| u.seq);
+                    let want = model[p].pop_front();
+                    prop_assert_eq!(got, want, "pop mismatch");
+                    if model[0].is_empty() && model[1].is_empty() {
+                        shared = false;
+                        let drained: VecDeque<u64> = VecDeque::new();
+                        model = [drained.clone(), drained];
+                    }
+                }
+                Op::ActivateSharing => {
+                    if piq.shareable() {
+                        let part = piq.activate_sharing();
+                        prop_assert_eq!(part, PartId(1));
+                        shared = true;
+                    }
+                }
+                Op::Flush(s) => {
+                    piq.flush_after(s);
+                    for m in model.iter_mut() {
+                        while m.back().map(|&x| x > s).unwrap_or(false) {
+                            m.pop_back();
+                        }
+                    }
+                    if model[0].is_empty() && model[1].is_empty() {
+                        shared = false;
+                    }
+                }
+                Op::EndCycle(p) => {
+                    piq.end_cycle(p.map(PartId));
+                }
+            }
+            // Global invariants.
+            prop_assert_eq!(piq.len(), model[0].len() + model[1].len());
+            prop_assert!(piq.len() <= cap);
+            prop_assert_eq!(piq.is_shared(), shared);
+            for p in 0..2usize {
+                prop_assert_eq!(
+                    piq.front(PartId(p as u8)).map(|u| u.seq),
+                    model[p].front().copied()
+                );
+                prop_assert_eq!(
+                    piq.back(PartId(p as u8)).map(|u| u.seq),
+                    model[p].back().copied()
+                );
+            }
+            // FIFO order within each partition.
+            if !shared {
+                let seqs: Vec<u64> = piq.iter().map(|u| u.seq).collect();
+                let mut sorted = seqs.clone();
+                sorted.sort_unstable();
+                prop_assert_eq!(seqs, sorted, "normal mode must be age-ordered");
+            }
+        }
+    }
+
+    #[test]
+    fn issue_candidates_always_point_at_occupied_or_sole_partition(
+        pushes in proptest::collection::vec(0u8..2, 0..10)
+    ) {
+        let mut piq = Piq::new(8, false);
+        let mut seq = 0;
+        for p in pushes {
+            if p == 1 && !piq.is_shared() && piq.shareable() {
+                piq.activate_sharing();
+            }
+            let part = PartId(if piq.is_shared() { p } else { 0 });
+            if piq.can_push(part) {
+                seq += 1;
+                piq.push(part, SchedUop::test_op(seq));
+            }
+        }
+        let cands = piq.issue_candidates();
+        prop_assert!(!cands.is_empty());
+        prop_assert!(cands.len() <= 2);
+    }
+}

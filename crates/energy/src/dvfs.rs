@@ -1,0 +1,67 @@
+//! DVFS levels L1–L4 (§VI-E2, after \[45\]).
+
+/// A frequency/voltage operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvfsLevel {
+    /// Level name (`"L1"`..`"L4"`).
+    pub name: &'static str,
+    /// Core frequency in GHz.
+    pub freq_ghz: f64,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+}
+
+impl DvfsLevel {
+    /// L4: 3.4 GHz @ 1.04 V (nominal).
+    pub const L4: DvfsLevel = DvfsLevel { name: "L4", freq_ghz: 3.4, vdd: 1.04 };
+    /// L3: 3.2 GHz @ 1.01 V.
+    pub const L3: DvfsLevel = DvfsLevel { name: "L3", freq_ghz: 3.2, vdd: 1.01 };
+    /// L2: 3.0 GHz @ 0.98 V.
+    pub const L2: DvfsLevel = DvfsLevel { name: "L2", freq_ghz: 3.0, vdd: 0.98 };
+    /// L1: 2.8 GHz @ 0.96 V.
+    pub const L1: DvfsLevel = DvfsLevel { name: "L1", freq_ghz: 2.8, vdd: 0.96 };
+
+    /// All levels, fastest first.
+    pub const ALL: [DvfsLevel; 4] = [Self::L4, Self::L3, Self::L2, Self::L1];
+
+    /// Dynamic-energy scale factor relative to L4 (∝ V²).
+    pub fn dyn_scale(&self) -> f64 {
+        (self.vdd / Self::L4.vdd).powi(2)
+    }
+
+    /// Static-power scale factor relative to L4 (∝ V, first order).
+    pub fn static_scale(&self) -> f64 {
+        self.vdd / Self::L4.vdd
+    }
+
+    /// Wall-clock seconds for `cycles` at this level.
+    pub fn seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.freq_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_match_section_vi_e2() {
+        assert_eq!(DvfsLevel::L4.freq_ghz, 3.4);
+        assert_eq!(DvfsLevel::L1.vdd, 0.96);
+        assert_eq!(DvfsLevel::ALL.len(), 4);
+    }
+
+    #[test]
+    fn lower_levels_save_dynamic_energy() {
+        assert_eq!(DvfsLevel::L4.dyn_scale(), 1.0);
+        assert!(DvfsLevel::L1.dyn_scale() < 1.0);
+        assert!(DvfsLevel::L1.dyn_scale() > 0.7);
+    }
+
+    #[test]
+    fn lower_levels_run_slower() {
+        let c = 3_400_000_000u64;
+        assert!((DvfsLevel::L4.seconds(c) - 1.0).abs() < 1e-9);
+        assert!(DvfsLevel::L1.seconds(c) > 1.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Event counts collected by the pipeline model.
+
+use ballerino_isa::OpClass;
+use ballerino_sched::SchedEnergyEvents;
+
+/// Functional-unit operation counts by class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuOpCounts {
+    /// Integer ALU operations.
+    pub ialu: u64,
+    /// Integer multiplies.
+    pub imul: u64,
+    /// Integer divides.
+    pub idiv: u64,
+    /// FP adds.
+    pub fadd: u64,
+    /// FP multiplies.
+    pub fmul: u64,
+    /// FP divides.
+    pub fdiv: u64,
+    /// Address generations (loads + stores).
+    pub agu: u64,
+    /// Branch resolutions.
+    pub branch: u64,
+}
+
+impl FuOpCounts {
+    /// Records one executed μop.
+    pub fn record(&mut self, class: OpClass) {
+        match class {
+            OpClass::IntAlu => self.ialu += 1,
+            OpClass::IntMul => self.imul += 1,
+            OpClass::IntDiv => self.idiv += 1,
+            OpClass::FpAdd => self.fadd += 1,
+            OpClass::FpMul => self.fmul += 1,
+            OpClass::FpDiv => self.fdiv += 1,
+            OpClass::Load | OpClass::Store => self.agu += 1,
+            OpClass::Branch => self.branch += 1,
+        }
+    }
+
+    /// Total FU operations.
+    pub fn total(&self) -> u64 {
+        self.ialu + self.imul + self.idiv + self.fadd + self.fmul + self.fdiv + self.agu
+            + self.branch
+    }
+}
+
+/// All energy-relevant event counts from one simulation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnergyEvents {
+    /// Cycles simulated (leakage integration).
+    pub cycles: u64,
+    /// μops fetched.
+    pub fetched_uops: u64,
+    /// μops decoded.
+    pub decoded_uops: u64,
+    /// Instruction-cache accesses (one per fetch group).
+    pub l1i_accesses: u64,
+    /// Branch-predictor lookups.
+    pub bp_lookups: u64,
+    /// RAT source lookups + destination allocations.
+    pub rename_lookups: u64,
+    /// RAT writes (new mappings + rollbacks).
+    pub rename_writes: u64,
+    /// SSIT lookups (loads and stores at rename).
+    pub mdp_lookups: u64,
+    /// SSIT/LFST updates (training, store fetch updates).
+    pub mdp_updates: u64,
+    /// ROB allocations.
+    pub rob_writes: u64,
+    /// ROB commits (reads).
+    pub rob_reads: u64,
+    /// Scheduler micro-events (from the `Scheduler` implementation).
+    pub sched: SchedEnergyEvents,
+    /// Load/store queue associative searches.
+    pub lsq_searches: u64,
+    /// Load/store queue allocations/updates.
+    pub lsq_writes: u64,
+    /// Physical register file reads (operands at issue).
+    pub prf_reads: u64,
+    /// Physical register file writes (results).
+    pub prf_writes: u64,
+    /// Functional-unit operations.
+    pub fu: FuOpCounts,
+    /// L1D accesses.
+    pub l1d_accesses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L3 accesses.
+    pub l3_accesses: u64,
+    /// DRAM accesses.
+    pub dram_accesses: u64,
+}
+
+/// Structure sizes for leakage scaling (entries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StructureSizes {
+    /// Scheduling-window entries implemented as CAM (OoO IQ).
+    pub cam_entries: usize,
+    /// Scheduling-window entries implemented as FIFO/RAM (S-IQs, P-IQs,
+    /// in-order IQs).
+    pub fifo_entries: usize,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Load-queue + store-queue entries.
+    pub lsq_entries: usize,
+    /// Physical registers.
+    pub prf_entries: usize,
+    /// Whether steering logic (and its P-SCB/LFST extensions) exists.
+    pub has_steer: bool,
+    /// Whether the MDP tables exist.
+    pub has_mdp: bool,
+}
+
+impl Default for StructureSizes {
+    fn default() -> Self {
+        StructureSizes {
+            cam_entries: 96,
+            fifo_entries: 0,
+            rob_entries: 224,
+            lsq_entries: 72 + 56,
+            prf_entries: 348,
+            has_steer: false,
+            has_mdp: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fu_counts_record_all_classes() {
+        let mut f = FuOpCounts::default();
+        for c in OpClass::ALL {
+            f.record(c);
+        }
+        assert_eq!(f.total(), 9);
+        assert_eq!(f.agu, 2); // load + store
+    }
+
+    #[test]
+    fn default_sizes_match_table_i_ooo() {
+        let s = StructureSizes::default();
+        assert_eq!(s.cam_entries, 96);
+        assert_eq!(s.rob_entries, 224);
+    }
+}

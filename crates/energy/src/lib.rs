@@ -1,0 +1,25 @@
+//! # ballerino-energy
+//!
+//! Event-based, McPAT-style core energy model (22 nm class) standing in
+//! for the paper's modified McPAT \[42, 43\]. The pipeline model counts
+//! micro-events (CAM broadcasts, queue reads, RAT lookups, cache
+//! accesses, ...); this crate converts them into per-component energy
+//! using fixed per-event energies plus per-cycle leakage scaled by
+//! structure sizes, and computes the efficiency metrics of Figs. 15–17
+//! (energy breakdown, 1/EDP, DVFS levels L1–L4).
+//!
+//! Absolute joules are *not* the claim — the paper's energy results are
+//! relative — but the first-order structure (CAM wakeup energy grows with
+//! window size and port count; FIFO head examination is cheap; CASINO
+//! pays inter-queue copies; FXA keeps a half-size CAM) is modelled
+//! faithfully so relative component ratios are preserved.
+
+#![warn(missing_docs)]
+
+pub mod dvfs;
+pub mod events;
+pub mod model;
+
+pub use dvfs::DvfsLevel;
+pub use events::{EnergyEvents, FuOpCounts, StructureSizes};
+pub use model::{Component, EnergyBreakdown, EnergyModel, COMPONENTS};

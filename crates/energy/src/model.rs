@@ -1,0 +1,352 @@
+//! Per-component energy accounting (the nine groups of Fig. 15).
+
+use crate::dvfs::DvfsLevel;
+use crate::events::{EnergyEvents, StructureSizes};
+
+/// Core component groups, exactly the Fig. 15 categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// L1 instruction + data caches (plus lower levels and DRAM I/O).
+    L1Cache,
+    /// Fetch and decode pipelines, branch predictors.
+    FetchDecode,
+    /// Register renaming (RAT, free lists).
+    Rename,
+    /// Steering logic (P-SCB location fields, steer muxes).
+    Steer,
+    /// Memory dependence predictor (SSIT/LFST).
+    Mdp,
+    /// Scheduling structures (IQs + ROB).
+    Schedule,
+    /// Load/store queues.
+    Lsq,
+    /// Physical register files.
+    Prf,
+    /// Functional units and bypass.
+    Fu,
+}
+
+/// All components in display order.
+pub const COMPONENTS: [Component; 9] = [
+    Component::L1Cache,
+    Component::FetchDecode,
+    Component::Rename,
+    Component::Steer,
+    Component::Mdp,
+    Component::Schedule,
+    Component::Lsq,
+    Component::Prf,
+    Component::Fu,
+];
+
+impl Component {
+    /// Short label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::L1Cache => "L1 I/D$",
+            Component::FetchDecode => "Fetch/Decode",
+            Component::Rename => "Rename",
+            Component::Steer => "Steer",
+            Component::Mdp => "MDP",
+            Component::Schedule => "Schedule",
+            Component::Lsq => "LSQ",
+            Component::Prf => "PRF",
+            Component::Fu => "FUs",
+        }
+    }
+}
+
+/// Energy per component in picojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    vals: [f64; 9],
+}
+
+impl EnergyBreakdown {
+    /// Energy of one component, pJ.
+    pub fn get(&self, c: Component) -> f64 {
+        self.vals[COMPONENTS.iter().position(|&x| x == c).expect("component listed")]
+    }
+
+    fn add(&mut self, c: Component, pj: f64) {
+        self.vals[COMPONENTS.iter().position(|&x| x == c).expect("component listed")] += pj;
+    }
+
+    /// Total core energy, pJ.
+    pub fn total(&self) -> f64 {
+        self.vals.iter().sum()
+    }
+
+    /// Iterates `(component, pJ)` in display order.
+    pub fn iter(&self) -> impl Iterator<Item = (Component, f64)> + '_ {
+        COMPONENTS.iter().copied().zip(self.vals.iter().copied())
+    }
+}
+
+/// The energy model: fixed per-event energies (pJ, 22 nm class) plus
+/// per-cycle leakage scaled by structure sizes and the DVFS level.
+#[derive(Debug, Clone)]
+pub struct EnergyModel {
+    sizes: StructureSizes,
+    level: DvfsLevel,
+}
+
+// --- Per-event dynamic energies, picojoules at L4. -----------------------
+const E_L1I_ACCESS: f64 = 28.0;
+const E_FETCH_UOP: f64 = 5.5;
+const E_DECODE_UOP: f64 = 7.5;
+const E_BP_LOOKUP: f64 = 14.0;
+const E_RAT_LOOKUP: f64 = 5.0;
+const E_RAT_WRITE: f64 = 4.5;
+const E_MDP_LOOKUP: f64 = 2.5;
+const E_MDP_UPDATE: f64 = 2.5;
+const E_ROB_WRITE: f64 = 7.0;
+const E_ROB_READ: f64 = 5.5;
+const E_CAM_ENTRY_SEARCH: f64 = 0.17;
+const E_SELECT_INPUT: f64 = 0.075;
+const E_QUEUE_WRITE: f64 = 3.6;
+const E_QUEUE_READ: f64 = 3.4;
+const E_HEAD_EXAM: f64 = 1.4;
+const E_COPY: f64 = 6.5;
+const E_STEER_OP: f64 = 3.0;
+const E_LOC_ACCESS: f64 = 1.5;
+const E_LSQ_SEARCH: f64 = 14.0;
+const E_LSQ_WRITE: f64 = 5.5;
+const E_PRF_READ: f64 = 6.5;
+const E_PRF_WRITE: f64 = 8.5;
+const E_FU_IALU: f64 = 14.0;
+const E_FU_IMUL: f64 = 34.0;
+const E_FU_IDIV: f64 = 140.0;
+const E_FU_FADD: f64 = 28.0;
+const E_FU_FMUL: f64 = 38.0;
+const E_FU_FDIV: f64 = 190.0;
+const E_FU_AGU: f64 = 11.0;
+const E_FU_BR: f64 = 7.0;
+const E_L1D_ACCESS: f64 = 30.0;
+const E_L2_ACCESS: f64 = 75.0;
+const E_L3_ACCESS: f64 = 170.0;
+const E_DRAM_ACCESS: f64 = 1900.0;
+
+// --- Leakage, picojoules per cycle at L4. --------------------------------
+const L_BASE: f64 = 95.0; // fetch/decode/caches/FUs baseline
+const L_CAM_ENTRY: f64 = 0.42; // CAM IQ entries leak hard (matchlines)
+const L_FIFO_ENTRY: f64 = 0.12;
+const L_ROB_ENTRY: f64 = 0.06;
+const L_LSQ_ENTRY: f64 = 0.10;
+const L_PRF_ENTRY: f64 = 0.05;
+const L_STEER: f64 = 3.0;
+const L_MDP: f64 = 2.0;
+
+impl EnergyModel {
+    /// Builds a model for a machine with the given structure sizes at a
+    /// DVFS level.
+    pub fn new(sizes: StructureSizes, level: DvfsLevel) -> Self {
+        EnergyModel { sizes, level }
+    }
+
+    /// The DVFS level in use.
+    pub fn level(&self) -> DvfsLevel {
+        self.level
+    }
+
+    /// Converts event counts into the Fig. 15 component breakdown (pJ).
+    pub fn breakdown(&self, ev: &EnergyEvents) -> EnergyBreakdown {
+        let mut b = EnergyBreakdown::default();
+        let f = |n: u64| n as f64;
+        let ds = self.level.dyn_scale();
+
+        b.add(Component::L1Cache, ds * (f(ev.l1i_accesses) * E_L1I_ACCESS
+            + f(ev.l1d_accesses) * E_L1D_ACCESS
+            + f(ev.l2_accesses) * E_L2_ACCESS
+            + f(ev.l3_accesses) * E_L3_ACCESS
+            + f(ev.dram_accesses) * E_DRAM_ACCESS));
+        b.add(Component::FetchDecode, ds * (f(ev.fetched_uops) * E_FETCH_UOP
+            + f(ev.decoded_uops) * E_DECODE_UOP
+            + f(ev.bp_lookups) * E_BP_LOOKUP));
+        b.add(Component::Rename, ds * (f(ev.rename_lookups) * E_RAT_LOOKUP
+            + f(ev.rename_writes) * E_RAT_WRITE));
+        b.add(Component::Steer, ds * (f(ev.sched.steer_ops) * E_STEER_OP
+            + f(ev.sched.loc_reads + ev.sched.loc_writes) * E_LOC_ACCESS));
+        b.add(Component::Mdp, ds * (f(ev.mdp_lookups) * E_MDP_LOOKUP
+            + f(ev.mdp_updates) * E_MDP_UPDATE));
+        b.add(Component::Schedule, ds * (f(ev.sched.cam_entries_searched) * E_CAM_ENTRY_SEARCH
+            + f(ev.sched.select_inputs) * E_SELECT_INPUT
+            + f(ev.sched.queue_writes) * E_QUEUE_WRITE
+            + f(ev.sched.queue_reads) * E_QUEUE_READ
+            + f(ev.sched.head_examinations) * E_HEAD_EXAM
+            + f(ev.sched.copies) * E_COPY
+            + f(ev.rob_writes) * E_ROB_WRITE
+            + f(ev.rob_reads) * E_ROB_READ));
+        b.add(Component::Lsq, ds * (f(ev.lsq_searches) * E_LSQ_SEARCH
+            + f(ev.lsq_writes) * E_LSQ_WRITE));
+        b.add(Component::Prf, ds * (f(ev.prf_reads) * E_PRF_READ
+            + f(ev.prf_writes) * E_PRF_WRITE));
+        b.add(Component::Fu, ds * (f(ev.fu.ialu) * E_FU_IALU
+            + f(ev.fu.imul) * E_FU_IMUL
+            + f(ev.fu.idiv) * E_FU_IDIV
+            + f(ev.fu.fadd) * E_FU_FADD
+            + f(ev.fu.fmul) * E_FU_FMUL
+            + f(ev.fu.fdiv) * E_FU_FDIV
+            + f(ev.fu.agu) * E_FU_AGU
+            + f(ev.fu.branch) * E_FU_BR));
+
+        // Leakage, integrated over cycles and scaled by voltage.
+        let ss = self.level.static_scale();
+        // Slower clocks hold each cycle longer: leakage per cycle grows
+        // with the period ratio.
+        let period_ratio = DvfsLevel::L4.freq_ghz / self.level.freq_ghz;
+        let cyc = f(ev.cycles) * ss * period_ratio;
+        b.add(Component::FetchDecode, cyc * L_BASE * 0.35);
+        b.add(Component::L1Cache, cyc * L_BASE * 0.40);
+        b.add(Component::Fu, cyc * L_BASE * 0.25);
+        b.add(
+            Component::Schedule,
+            cyc * (self.sizes.cam_entries as f64 * L_CAM_ENTRY
+                + self.sizes.fifo_entries as f64 * L_FIFO_ENTRY
+                + self.sizes.rob_entries as f64 * L_ROB_ENTRY),
+        );
+        b.add(Component::Lsq, cyc * self.sizes.lsq_entries as f64 * L_LSQ_ENTRY);
+        b.add(Component::Prf, cyc * self.sizes.prf_entries as f64 * L_PRF_ENTRY);
+        if self.sizes.has_steer {
+            b.add(Component::Steer, cyc * L_STEER);
+        }
+        if self.sizes.has_mdp {
+            b.add(Component::Mdp, cyc * L_MDP);
+        }
+        b
+    }
+
+    /// Energy-delay product: total energy (J) × execution time (s).
+    pub fn edp(&self, ev: &EnergyEvents) -> f64 {
+        let energy_j = self.breakdown(ev).total() * 1e-12;
+        let time_s = self.level.seconds(ev.cycles);
+        energy_j * time_s
+    }
+
+    /// Average power in watts.
+    pub fn power_w(&self, ev: &EnergyEvents) -> f64 {
+        let energy_j = self.breakdown(ev).total() * 1e-12;
+        let time_s = self.level.seconds(ev.cycles);
+        if time_s == 0.0 { 0.0 } else { energy_j / time_s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ballerino_sched::SchedEnergyEvents;
+
+    fn events() -> EnergyEvents {
+        EnergyEvents {
+            cycles: 1000,
+            fetched_uops: 4000,
+            decoded_uops: 4000,
+            l1i_accesses: 1000,
+            bp_lookups: 500,
+            rename_lookups: 8000,
+            rename_writes: 4000,
+            rob_writes: 4000,
+            rob_reads: 4000,
+            sched: SchedEnergyEvents {
+                cam_broadcasts: 4000,
+                cam_entries_searched: 4000 * 96,
+                select_inputs: 1000 * 96 * 8,
+                queue_writes: 4000,
+                queue_reads: 4000,
+                ..Default::default()
+            },
+            lsq_searches: 1200,
+            lsq_writes: 1200,
+            prf_reads: 6000,
+            prf_writes: 4000,
+            l1d_accesses: 1200,
+            l2_accesses: 100,
+            l3_accesses: 30,
+            dram_accesses: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn cam_machine_has_dominant_schedule_energy_vs_fifo_machine() {
+        let ooo = EnergyModel::new(StructureSizes::default(), DvfsLevel::L4);
+        let b_ooo = ooo.breakdown(&events());
+
+        // Same activity but FIFO-style scheduling events and no CAM.
+        let mut ev_fifo = events();
+        ev_fifo.sched.cam_broadcasts = 0;
+        ev_fifo.sched.cam_entries_searched = 0;
+        ev_fifo.sched.select_inputs = 1000 * 12;
+        ev_fifo.sched.head_examinations = 12_000;
+        let sizes_fifo = StructureSizes {
+            cam_entries: 0,
+            fifo_entries: 92,
+            has_steer: true,
+            ..StructureSizes::default()
+        };
+        let fifo = EnergyModel::new(sizes_fifo, DvfsLevel::L4);
+        let b_fifo = fifo.breakdown(&ev_fifo);
+
+        // The ROB contribution is common to both designs, so the gap is
+        // bounded; the IQ-only gap is far larger.
+        assert!(
+            b_ooo.get(Component::Schedule) > 2.0 * b_fifo.get(Component::Schedule),
+            "CAM schedule energy {} should dwarf FIFO {}",
+            b_ooo.get(Component::Schedule),
+            b_fifo.get(Component::Schedule)
+        );
+    }
+
+    #[test]
+    fn totals_are_positive_and_components_sum() {
+        let m = EnergyModel::new(StructureSizes::default(), DvfsLevel::L4);
+        let b = m.breakdown(&events());
+        assert!(b.total() > 0.0);
+        let sum: f64 = b.iter().map(|(_, v)| v).sum();
+        assert!((sum - b.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dvfs_lowers_dynamic_energy_and_power() {
+        let ev = events();
+        let hi = EnergyModel::new(StructureSizes::default(), DvfsLevel::L4);
+        let lo = EnergyModel::new(StructureSizes::default(), DvfsLevel::L1);
+        assert!(lo.breakdown(&ev).total() < hi.breakdown(&ev).total());
+        assert!(lo.power_w(&ev) < hi.power_w(&ev));
+    }
+
+    #[test]
+    fn edp_accounts_for_time() {
+        let ev = events();
+        let m = EnergyModel::new(StructureSizes::default(), DvfsLevel::L4);
+        let edp = m.edp(&ev);
+        assert!(edp > 0.0);
+        // Twice the cycles at equal energy → strictly larger EDP.
+        let mut slow = ev;
+        slow.cycles *= 2;
+        assert!(m.edp(&slow) > edp);
+    }
+
+    #[test]
+    fn steer_and_mdp_leakage_gated_by_presence() {
+        let ev = EnergyEvents { cycles: 1000, ..Default::default() };
+        let with = EnergyModel::new(
+            StructureSizes { has_steer: true, has_mdp: true, ..StructureSizes::default() },
+            DvfsLevel::L4,
+        );
+        let without = EnergyModel::new(
+            StructureSizes { has_steer: false, has_mdp: false, ..StructureSizes::default() },
+            DvfsLevel::L4,
+        );
+        assert!(with.breakdown(&ev).get(Component::Steer) > 0.0);
+        assert_eq!(without.breakdown(&ev).get(Component::Steer), 0.0);
+        assert!(with.breakdown(&ev).get(Component::Mdp) > 0.0);
+        assert_eq!(without.breakdown(&ev).get(Component::Mdp), 0.0);
+    }
+
+    #[test]
+    fn component_labels_are_stable() {
+        assert_eq!(Component::Schedule.label(), "Schedule");
+        assert_eq!(COMPONENTS.len(), 9);
+    }
+}

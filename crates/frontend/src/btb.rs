@@ -1,0 +1,119 @@
+//! Branch target buffer: 512 sets, 4-way set associative (Table I).
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BtbEntry {
+    valid: bool,
+    tag: u64,
+    target: u64,
+    lru: u64,
+}
+
+/// Set-associative BTB storing branch targets.
+#[derive(Debug, Clone)]
+pub struct Btb {
+    sets: Vec<[BtbEntry; 4]>,
+    clock: u64,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+}
+
+impl Default for Btb {
+    fn default() -> Self {
+        Self::new(512)
+    }
+}
+
+impl Btb {
+    /// Builds a BTB with `sets` sets (4-way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero.
+    pub fn new(sets: usize) -> Self {
+        assert!(sets > 0, "BTB needs at least one set");
+        Btb { sets: vec![[BtbEntry::default(); 4]; sets], clock: 0, hits: 0, misses: 0 }
+    }
+
+    fn index(&self, pc: u64) -> (usize, u64) {
+        let set = ((pc >> 2) as usize) % self.sets.len();
+        let tag = pc >> 2;
+        (set, tag)
+    }
+
+    /// Looks up the predicted target for the branch at `pc`.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        self.clock += 1;
+        let (set, tag) = self.index(pc);
+        for way in &mut self.sets[set] {
+            if way.valid && way.tag == tag {
+                way.lru = self.clock;
+                self.hits += 1;
+                return Some(way.target);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Installs or updates the target for `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        self.clock += 1;
+        let (set, tag) = self.index(pc);
+        if let Some(way) = self.sets[set].iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.target = target;
+            way.lru = self.clock;
+            return;
+        }
+        let victim = self.sets[set]
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.lru } else { 0 })
+            .expect("4 ways");
+        *victim = BtbEntry { valid: true, tag, target, lru: self.clock };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_update_then_hit() {
+        let mut b = Btb::default();
+        assert_eq!(b.lookup(0x400), None);
+        b.update(0x400, 0x800);
+        assert_eq!(b.lookup(0x400), Some(0x800));
+        assert_eq!(b.hits, 1);
+        assert_eq!(b.misses, 1);
+    }
+
+    #[test]
+    fn update_overwrites_target() {
+        let mut b = Btb::default();
+        b.update(0x400, 0x800);
+        b.update(0x400, 0x900);
+        assert_eq!(b.lookup(0x400), Some(0x900));
+    }
+
+    #[test]
+    fn lru_within_set_evicts_oldest() {
+        let mut b = Btb::new(1); // force all branches into one set
+        for i in 0..4u64 {
+            b.update(i * 4, 0x1000 + i);
+        }
+        let _ = b.lookup(0); // touch first entry
+        b.update(16, 0x2000); // must evict one of the untouched ways
+        assert_eq!(b.lookup(0), Some(0x1000));
+        assert_eq!(b.lookup(16), Some(0x2000));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut b = Btb::new(512);
+        b.update(0x400, 1);
+        b.update(0x404, 2);
+        assert_eq!(b.lookup(0x400), Some(1));
+        assert_eq!(b.lookup(0x404), Some(2));
+    }
+}

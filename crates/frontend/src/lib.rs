@@ -1,0 +1,21 @@
+//! # ballerino-frontend
+//!
+//! Front-end substrates of the simulated cores (identical across every
+//! evaluated microarchitecture, Table I):
+//!
+//! * [`tage`] — TAGE conditional branch predictor: 17-bit global history,
+//!   one bimodal base table and four tagged components (≈32 KiB),
+//! * [`btb`] — 512-set, 4-way branch target buffer,
+//! * [`rename`] — register alias table + free lists + recovery log
+//!   (two-stage pipelined renaming is a timing property applied by the
+//!   pipeline model).
+
+#![warn(missing_docs)]
+
+pub mod btb;
+pub mod rename;
+pub mod tage;
+
+pub use btb::Btb;
+pub use rename::{RenameError, RenamedOp, Renamer};
+pub use tage::Tage;

@@ -1,0 +1,256 @@
+//! Register renaming: RAT, per-class free lists, and rollback support.
+//!
+//! The paper assumes two-stage pipelined renaming \[30, 31\]; the *timing*
+//! (two pipeline stages) is applied by `ballerino-sim`, while this module
+//! provides the architectural machinery: architectural→physical mappings,
+//! free-list allocation, and the per-μop recovery log entries used to
+//! restore the RAT on squashes by walking the ROB tail-first.
+
+use ballerino_isa::{ArchReg, MicroOp, PhysReg, RegClass, NUM_ARCH_REGS};
+
+/// A renamed μop: physical sources/destination plus recovery info.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenamedOp {
+    /// Physical registers of up to two sources.
+    pub srcs: [Option<PhysReg>; 2],
+    /// Newly allocated physical destination.
+    pub dst: Option<PhysReg>,
+    /// Previous mapping of the architectural destination (recovery log).
+    pub prev_dst: Option<PhysReg>,
+}
+
+/// Why renaming could not proceed this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenameError {
+    /// The destination class's free list is empty.
+    OutOfPhysRegs(RegClass),
+}
+
+impl std::fmt::Display for RenameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RenameError::OutOfPhysRegs(c) => write!(f, "out of {c} physical registers"),
+        }
+    }
+}
+
+impl std::error::Error for RenameError {}
+
+/// The register alias table plus free lists.
+///
+/// Physical tag space: `[0, int_total)` are integer registers,
+/// `[int_total, int_total + fp_total)` are floating-point registers.
+#[derive(Debug, Clone)]
+pub struct Renamer {
+    rat: Vec<PhysReg>,
+    free_int: Vec<PhysReg>,
+    free_fp: Vec<PhysReg>,
+    int_total: usize,
+    fp_total: usize,
+}
+
+impl Renamer {
+    /// Builds a renamer with `int_regs` / `fp_regs` total physical
+    /// registers per class (Table I: 180/168 at 8-wide). The first 32 tags
+    /// of each class back the initial architectural state.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless each class has more physical than architectural
+    /// registers.
+    pub fn new(int_regs: usize, fp_regs: usize) -> Self {
+        let arch_per_class = (NUM_ARCH_REGS / 2) as usize;
+        assert!(int_regs > arch_per_class, "need > {arch_per_class} int phys regs");
+        assert!(fp_regs > arch_per_class, "need > {arch_per_class} fp phys regs");
+
+        let mut rat = Vec::with_capacity(NUM_ARCH_REGS as usize);
+        for i in 0..arch_per_class {
+            rat.push(PhysReg(i as u32));
+        }
+        for i in 0..arch_per_class {
+            rat.push(PhysReg((int_regs + i) as u32));
+        }
+        let free_int = (arch_per_class..int_regs).map(|i| PhysReg(i as u32)).collect();
+        let free_fp = ((int_regs + arch_per_class)..(int_regs + fp_regs))
+            .map(|i| PhysReg(i as u32))
+            .collect();
+        Renamer { rat, free_int, free_fp, int_total: int_regs, fp_total: fp_regs }
+    }
+
+    /// Total physical registers across both classes (scoreboard size).
+    pub fn total_phys(&self) -> usize {
+        self.int_total + self.fp_total
+    }
+
+    /// Free registers currently available for a class.
+    pub fn free_count(&self, class: RegClass) -> usize {
+        match class {
+            RegClass::Int => self.free_int.len(),
+            RegClass::Fp => self.free_fp.len(),
+        }
+    }
+
+    /// Current mapping of an architectural register.
+    pub fn mapping(&self, r: ArchReg) -> PhysReg {
+        self.rat[r.flat() as usize]
+    }
+
+    /// Class of a physical tag (derived from the tag-space split).
+    pub fn class_of(&self, p: PhysReg) -> RegClass {
+        if (p.0 as usize) < self.int_total {
+            RegClass::Int
+        } else {
+            RegClass::Fp
+        }
+    }
+
+    /// Renames one μop in program order (intra-group dependences are
+    /// honored by calling this sequentially).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenameError::OutOfPhysRegs`] when the destination's free
+    /// list is empty; the RAT is left unchanged so the caller can retry.
+    pub fn rename(&mut self, op: &MicroOp) -> Result<RenamedOp, RenameError> {
+        let srcs = [
+            op.srcs[0].map(|r| self.mapping(r)),
+            op.srcs[1].map(|r| self.mapping(r)),
+        ];
+        let (dst, prev_dst) = match op.dst {
+            Some(d) => {
+                let list = match d.class() {
+                    RegClass::Int => &mut self.free_int,
+                    RegClass::Fp => &mut self.free_fp,
+                };
+                let new = list.pop().ok_or(RenameError::OutOfPhysRegs(d.class()))?;
+                let prev = self.rat[d.flat() as usize];
+                self.rat[d.flat() as usize] = new;
+                (Some(new), Some(prev))
+            }
+            None => (None, None),
+        };
+        Ok(RenamedOp { srcs, dst, prev_dst })
+    }
+
+    /// Rolls back one renamed μop during a squash. **Must** be called in
+    /// reverse program order (ROB tail first).
+    pub fn rollback(&mut self, arch_dst: Option<ArchReg>, renamed: &RenamedOp) {
+        if let (Some(d), Some(new), Some(prev)) = (arch_dst, renamed.dst, renamed.prev_dst) {
+            debug_assert_eq!(self.rat[d.flat() as usize], new, "rollback out of order");
+            self.rat[d.flat() as usize] = prev;
+            self.release(new);
+        }
+    }
+
+    /// Returns a physical register to its free list (called at commit for
+    /// the *previous* mapping of a writer, or during rollback for the new
+    /// mapping).
+    pub fn release(&mut self, p: PhysReg) {
+        match self.class_of(p) {
+            RegClass::Int => self.free_int.push(p),
+            RegClass::Fp => self.free_fp.push(p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ballerino_isa::MicroOp;
+
+    fn renamer() -> Renamer {
+        Renamer::new(48, 40)
+    }
+
+    #[test]
+    fn initial_mappings_are_identity_like() {
+        let r = renamer();
+        assert_eq!(r.mapping(ArchReg::int(0)), PhysReg(0));
+        assert_eq!(r.mapping(ArchReg::int(31)), PhysReg(31));
+        assert_eq!(r.mapping(ArchReg::fp(0)), PhysReg(48));
+        assert_eq!(r.free_count(RegClass::Int), 16);
+        assert_eq!(r.free_count(RegClass::Fp), 8);
+    }
+
+    #[test]
+    fn rename_eliminates_waw_and_war() {
+        let mut r = renamer();
+        let w1 = r.rename(&MicroOp::alu(0, ArchReg::int(1), [None, None])).unwrap();
+        let reader = r
+            .rename(&MicroOp::alu(4, ArchReg::int(2), [Some(ArchReg::int(1)), None]))
+            .unwrap();
+        let w2 = r.rename(&MicroOp::alu(8, ArchReg::int(1), [None, None])).unwrap();
+        // The reader sees the first writer's tag, not the second's.
+        assert_eq!(reader.srcs[0], w1.dst);
+        assert_ne!(w1.dst, w2.dst);
+        // Recovery log records the shadowed mapping.
+        assert_eq!(w2.prev_dst, w1.dst);
+    }
+
+    #[test]
+    fn out_of_regs_is_reported_and_rat_unchanged() {
+        let mut r = Renamer::new(33, 33);
+        let op = MicroOp::alu(0, ArchReg::int(1), [None, None]);
+        assert!(r.rename(&op).is_ok()); // consumes the only free int reg
+        let before = r.mapping(ArchReg::int(1));
+        let err = r.rename(&op).unwrap_err();
+        assert_eq!(err, RenameError::OutOfPhysRegs(RegClass::Int));
+        assert_eq!(r.mapping(ArchReg::int(1)), before);
+    }
+
+    #[test]
+    fn rollback_restores_rat_and_free_list() {
+        let mut r = renamer();
+        let free_before = r.free_count(RegClass::Int);
+        let before = r.mapping(ArchReg::int(5));
+        let op = MicroOp::alu(0, ArchReg::int(5), [None, None]);
+        let ren = r.rename(&op).unwrap();
+        assert_ne!(r.mapping(ArchReg::int(5)), before);
+        r.rollback(Some(ArchReg::int(5)), &ren);
+        assert_eq!(r.mapping(ArchReg::int(5)), before);
+        assert_eq!(r.free_count(RegClass::Int), free_before);
+    }
+
+    #[test]
+    fn nested_rollback_in_reverse_order() {
+        let mut r = renamer();
+        let orig = r.mapping(ArchReg::int(7));
+        let op = MicroOp::alu(0, ArchReg::int(7), [None, None]);
+        let a = r.rename(&op).unwrap();
+        let b = r.rename(&op).unwrap();
+        // Reverse order: youngest first.
+        r.rollback(Some(ArchReg::int(7)), &b);
+        r.rollback(Some(ArchReg::int(7)), &a);
+        assert_eq!(r.mapping(ArchReg::int(7)), orig);
+    }
+
+    #[test]
+    fn commit_release_recycles_prev_mapping() {
+        let mut r = renamer();
+        let op = MicroOp::alu(0, ArchReg::int(3), [None, None]);
+        let ren = r.rename(&op).unwrap();
+        let free_after_rename = r.free_count(RegClass::Int);
+        // At commit, the shadowed mapping is freed.
+        r.release(ren.prev_dst.unwrap());
+        assert_eq!(r.free_count(RegClass::Int), free_after_rename + 1);
+    }
+
+    #[test]
+    fn class_of_respects_tag_split() {
+        let r = renamer();
+        assert_eq!(r.class_of(PhysReg(0)), RegClass::Int);
+        assert_eq!(r.class_of(PhysReg(47)), RegClass::Int);
+        assert_eq!(r.class_of(PhysReg(48)), RegClass::Fp);
+    }
+
+    #[test]
+    fn fp_and_int_free_lists_are_independent() {
+        let mut r = Renamer::new(33, 40);
+        // Exhaust int.
+        let _ = r.rename(&MicroOp::alu(0, ArchReg::int(0), [None, None])).unwrap();
+        assert!(r.rename(&MicroOp::alu(0, ArchReg::int(0), [None, None])).is_err());
+        // FP still renames.
+        let fp = MicroOp::compute(0, ballerino_isa::OpClass::FpAdd, ArchReg::fp(0), [None, None]);
+        assert!(r.rename(&fp).is_ok());
+    }
+}

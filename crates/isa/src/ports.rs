@@ -1,0 +1,240 @@
+//! Issue ports and functional-unit bindings (Table I).
+//!
+//! The 8-wide baseline has eight issue ports P0–P7, each with dedicated
+//! functional units:
+//!
+//! | Port | Units |
+//! |------|-------|
+//! | P0 | int ALU, int DIV, fp ADD, fp MUL, fp DIV, branch |
+//! | P1 | int ALU, int MUL, fp ADD, fp MUL |
+//! | P2 | AGU |
+//! | P3 | AGU |
+//! | P4 | AGU |
+//! | P5 | int ALU |
+//! | P6 | int ALU, branch |
+//! | P7 | AGU |
+//!
+//! Narrower configurations (4-wide, 2-wide) use prefixes of this table with
+//! the unit mix rebalanced so every opcode class remains executable.
+
+use crate::op::OpClass;
+use std::fmt;
+
+/// Maximum number of issue ports in any configuration.
+pub const MAX_PORTS: usize = 10;
+
+/// An issue-port identifier (`P0`..).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub u8);
+
+impl PortId {
+    /// Port index as usize.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Functional-unit kind attached to a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuKind {
+    /// Integer ALU.
+    IntAlu,
+    /// Integer multiplier.
+    IntMul,
+    /// Integer divider (unpipelined).
+    IntDiv,
+    /// FP adder.
+    FpAdd,
+    /// FP multiplier.
+    FpMul,
+    /// FP divider (unpipelined).
+    FpDiv,
+    /// Address-generation unit (loads and stores).
+    Agu,
+    /// Branch unit.
+    Branch,
+}
+
+impl FuKind {
+    /// The functional unit an opcode class executes on.
+    pub fn for_class(class: OpClass) -> FuKind {
+        match class {
+            OpClass::IntAlu => FuKind::IntAlu,
+            OpClass::IntMul => FuKind::IntMul,
+            OpClass::IntDiv => FuKind::IntDiv,
+            OpClass::FpAdd => FuKind::FpAdd,
+            OpClass::FpMul => FuKind::FpMul,
+            OpClass::FpDiv => FuKind::FpDiv,
+            OpClass::Load | OpClass::Store => FuKind::Agu,
+            OpClass::Branch => FuKind::Branch,
+        }
+    }
+}
+
+/// A port map: which functional units live on each port.
+///
+/// # Examples
+///
+/// ```
+/// use ballerino_isa::{PortMap, OpClass};
+/// let pm = PortMap::skylake_8wide();
+/// assert_eq!(pm.num_ports(), 8);
+/// let agu_ports = pm.ports_for(OpClass::Load);
+/// assert_eq!(agu_ports.len(), 4); // P2, P3, P4, P7
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortMap {
+    units: Vec<Vec<FuKind>>,
+}
+
+impl PortMap {
+    /// Builds a port map from explicit per-port unit lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_PORTS`] ports are given, or if some opcode
+    /// class has no port that can execute it.
+    pub fn new(units: Vec<Vec<FuKind>>) -> Self {
+        assert!(units.len() <= MAX_PORTS, "too many ports");
+        let pm = PortMap { units };
+        for class in OpClass::ALL {
+            assert!(
+                !pm.ports_for(class).is_empty(),
+                "no port can execute {class}"
+            );
+        }
+        pm
+    }
+
+    /// The 8-wide Skylake-like port map of Table I.
+    pub fn skylake_8wide() -> Self {
+        use FuKind::*;
+        PortMap::new(vec![
+            vec![IntAlu, IntDiv, FpAdd, FpMul, FpDiv, Branch], // P0
+            vec![IntAlu, IntMul, FpAdd, FpMul],                // P1
+            vec![Agu],                                         // P2
+            vec![Agu],                                         // P3
+            vec![Agu],                                         // P4
+            vec![IntAlu],                                      // P5
+            vec![IntAlu, Branch],                              // P6
+            vec![Agu],                                         // P7
+        ])
+    }
+
+    /// A 10-wide port map (state-of-the-art Ice-Lake-like design, §VI-E1).
+    pub fn wide_10() -> Self {
+        use FuKind::*;
+        PortMap::new(vec![
+            vec![IntAlu, IntDiv, FpAdd, FpMul, FpDiv, Branch], // P0
+            vec![IntAlu, IntMul, FpAdd, FpMul],                // P1
+            vec![Agu],                                         // P2
+            vec![Agu],                                         // P3
+            vec![Agu],                                         // P4
+            vec![IntAlu],                                      // P5
+            vec![IntAlu, Branch],                              // P6
+            vec![Agu],                                         // P7
+            vec![IntAlu, FpAdd],                               // P8
+            vec![Agu],                                         // P9
+        ])
+    }
+
+    /// The 4-wide port map (Table I, 4-wide column).
+    pub fn four_wide() -> Self {
+        use FuKind::*;
+        PortMap::new(vec![
+            vec![IntAlu, IntDiv, FpAdd, FpMul, FpDiv, Branch], // P0
+            vec![IntAlu, IntMul, FpAdd, FpMul],                // P1
+            vec![Agu],                                         // P2
+            vec![Agu],                                         // P3
+        ])
+    }
+
+    /// The 2-wide port map (Table I, 2-wide column).
+    pub fn two_wide() -> Self {
+        use FuKind::*;
+        PortMap::new(vec![
+            vec![IntAlu, IntMul, IntDiv, FpAdd, FpMul, FpDiv, Branch], // P0
+            vec![IntAlu, Agu],                                         // P1
+        ])
+    }
+
+    /// Number of issue ports (equals the machine's issue width).
+    pub fn num_ports(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Units on a given port.
+    pub fn units(&self, port: PortId) -> &[FuKind] {
+        &self.units[port.index()]
+    }
+
+    /// All ports able to execute a given opcode class, in port order.
+    pub fn ports_for(&self, class: OpClass) -> Vec<PortId> {
+        let fu = FuKind::for_class(class);
+        self.units
+            .iter()
+            .enumerate()
+            .filter(|(_, us)| us.contains(&fu))
+            .map(|(i, _)| PortId(i as u8))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skylake_map_matches_table_i() {
+        let pm = PortMap::skylake_8wide();
+        assert_eq!(pm.num_ports(), 8);
+        // 4 int ALUs on P0, P1, P5, P6
+        assert_eq!(
+            pm.ports_for(OpClass::IntAlu),
+            vec![PortId(0), PortId(1), PortId(5), PortId(6)]
+        );
+        // 4 AGUs on P2, P3, P4, P7
+        assert_eq!(
+            pm.ports_for(OpClass::Load),
+            vec![PortId(2), PortId(3), PortId(4), PortId(7)]
+        );
+        // 2 branch units on P0, P6
+        assert_eq!(pm.ports_for(OpClass::Branch), vec![PortId(0), PortId(6)]);
+        // 1 int DIV on P0
+        assert_eq!(pm.ports_for(OpClass::IntDiv), vec![PortId(0)]);
+        // 2 fp MULs on P0, P1
+        assert_eq!(pm.ports_for(OpClass::FpMul), vec![PortId(0), PortId(1)]);
+    }
+
+    #[test]
+    fn every_class_executable_on_all_maps() {
+        for pm in [
+            PortMap::skylake_8wide(),
+            PortMap::wide_10(),
+            PortMap::four_wide(),
+            PortMap::two_wide(),
+        ] {
+            for class in OpClass::ALL {
+                assert!(!pm.ports_for(class).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no port can execute")]
+    fn map_without_agu_panics() {
+        let _ = PortMap::new(vec![vec![FuKind::IntAlu, FuKind::IntMul, FuKind::IntDiv,
+            FuKind::FpAdd, FuKind::FpMul, FuKind::FpDiv, FuKind::Branch]]);
+    }
+
+    #[test]
+    fn port_display() {
+        assert_eq!(PortId(3).to_string(), "P3");
+    }
+}

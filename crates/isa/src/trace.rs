@@ -1,0 +1,142 @@
+//! Dynamic μop traces.
+//!
+//! A [`Trace`] is the unit of work fed to the simulator: an ordered sequence
+//! of μops with resolved memory addresses and branch outcomes (the paper
+//! runs 300M-instruction SimPoint regions; we run seeded synthetic regions
+//! with the same role).
+
+use crate::op::{MicroOp, OpClass};
+
+/// An ordered dynamic sequence of μops with a descriptive name.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Human-readable workload name (e.g. `"pointer_chase"`).
+    pub name: String,
+    /// The μop stream in program order.
+    pub ops: Vec<MicroOp>,
+}
+
+impl Trace {
+    /// Creates an empty trace with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace { name: name.into(), ops: Vec::new() }
+    }
+
+    /// Number of μops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Appends a μop.
+    pub fn push(&mut self, op: MicroOp) {
+        self.ops.push(op);
+    }
+
+    /// Computes summary statistics over the trace.
+    ///
+    /// ```
+    /// use ballerino_isa::{Trace, MicroOp, ArchReg};
+    /// let mut t = Trace::new("demo");
+    /// t.push(MicroOp::alu(0, ArchReg::int(1), [None, None]));
+    /// t.push(MicroOp::load(4, ArchReg::int(2), Some(ArchReg::int(1)), 0x80));
+    /// let s = t.stats();
+    /// assert_eq!(s.total, 2);
+    /// assert_eq!(s.loads, 1);
+    /// ```
+    pub fn stats(&self) -> TraceStats {
+        let mut s = TraceStats { total: self.ops.len(), ..TraceStats::default() };
+        for op in &self.ops {
+            match op.class {
+                OpClass::Load => s.loads += 1,
+                OpClass::Store => s.stores += 1,
+                OpClass::Branch => {
+                    s.branches += 1;
+                    if op.branch.map(|b| b.taken).unwrap_or(false) {
+                        s.taken_branches += 1;
+                    }
+                }
+                c if c.is_fp() => s.fp_ops += 1,
+                _ => s.int_ops += 1,
+            }
+        }
+        s
+    }
+}
+
+/// Summary statistics of a trace (μop class mix).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total μops.
+    pub total: usize,
+    /// Load μops.
+    pub loads: usize,
+    /// Store μops.
+    pub stores: usize,
+    /// Branch μops.
+    pub branches: usize,
+    /// Taken branches.
+    pub taken_branches: usize,
+    /// Integer compute μops.
+    pub int_ops: usize,
+    /// Floating-point compute μops.
+    pub fp_ops: usize,
+}
+
+impl TraceStats {
+    /// Fraction of μops that are loads.
+    pub fn load_frac(&self) -> f64 {
+        if self.total == 0 { 0.0 } else { self.loads as f64 / self.total as f64 }
+    }
+
+    /// Fraction of μops that are branches.
+    pub fn branch_frac(&self) -> f64 {
+        if self.total == 0 { 0.0 } else { self.branches as f64 / self.total as f64 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::ArchReg;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new("sample");
+        t.push(MicroOp::alu(0x0, ArchReg::int(1), [None, None]));
+        t.push(MicroOp::load(0x4, ArchReg::int(2), Some(ArchReg::int(1)), 0x1000));
+        t.push(MicroOp::store(0x8, Some(ArchReg::int(2)), None, 0x2000));
+        t.push(MicroOp::branch(0xc, Some(ArchReg::int(2)), true, 0x0));
+        t.push(MicroOp::compute(0x10, OpClass::FpMul, ArchReg::fp(0), [None, None]));
+        t
+    }
+
+    #[test]
+    fn stats_count_class_mix() {
+        let s = sample().stats();
+        assert_eq!(s.total, 5);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.branches, 1);
+        assert_eq!(s.taken_branches, 1);
+        assert_eq!(s.int_ops, 1);
+        assert_eq!(s.fp_ops, 1);
+    }
+
+    #[test]
+    fn fractions_handle_empty_trace() {
+        let s = Trace::new("empty").stats();
+        assert_eq!(s.load_frac(), 0.0);
+        assert_eq!(s.branch_frac(), 0.0);
+    }
+
+    #[test]
+    fn fractions_are_ratios() {
+        let s = sample().stats();
+        assert!((s.load_frac() - 0.2).abs() < 1e-12);
+        assert!((s.branch_frac() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,133 @@
+//! Memory-system configuration (Table I).
+
+/// Configuration of one cache level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Hit latency in core cycles.
+    pub latency: u64,
+    /// Number of miss-status holding registers.
+    pub mshrs: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets for 64-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    pub fn num_sets(&self) -> usize {
+        let lines = self.size_bytes / crate::LINE_BYTES;
+        let sets = lines as usize / self.ways;
+        assert!(
+            sets > 0 && sets * self.ways == lines as usize,
+            "cache geometry must divide evenly: {self:?}"
+        );
+        sets
+    }
+
+    /// Table I L1 data/instruction cache: 32 KiB, 8-way, 4-cycle, 8 MSHRs.
+    pub fn l1() -> Self {
+        CacheConfig { size_bytes: 32 * 1024, ways: 8, latency: 4, mshrs: 8 }
+    }
+
+    /// Table I L2: 256 KiB, 8-way, 12-cycle, 32 MSHRs.
+    pub fn l2() -> Self {
+        CacheConfig { size_bytes: 256 * 1024, ways: 8, latency: 12, mshrs: 32 }
+    }
+
+    /// Table I L3: 1 MiB, 4-way, 42-cycle, 64 MSHRs.
+    pub fn l3() -> Self {
+        CacheConfig { size_bytes: 1024 * 1024, ways: 4, latency: 42, mshrs: 64 }
+    }
+}
+
+/// DDR4-lite DRAM timing configuration, in core cycles.
+///
+/// Defaults approximate one channel/one rank of DDR4-2400 behind a 3.4 GHz
+/// core: a row-buffer hit costs ~`cas`, a closed-row access adds
+/// activate, and a row conflict adds precharge + activate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of banks (single channel, single rank; Table I).
+    pub banks: usize,
+    /// Row size in bytes (determines row-buffer locality).
+    pub row_bytes: u64,
+    /// Column access latency (row-buffer hit), core cycles.
+    pub cas: u64,
+    /// Row activate latency, core cycles.
+    pub rcd: u64,
+    /// Precharge latency, core cycles.
+    pub rp: u64,
+    /// Data-bus occupancy per 64-byte transfer, core cycles.
+    pub burst: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        // DDR4-2400 behind a 3.4GHz core: tCAS ≈ tRCD ≈ tRP ≈ 13.75ns ≈ 47
+        // core cycles; burst of 8 @ 1200MHz ≈ 3.3ns ≈ 11 core cycles.
+        DramConfig { banks: 16, row_bytes: 8192, cas: 47, rcd: 47, rp: 47, burst: 11 }
+    }
+}
+
+/// Full memory-system configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemConfig {
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// L2 unified cache.
+    pub l2: CacheConfig,
+    /// L3 last-level cache.
+    pub l3: CacheConfig,
+    /// DRAM timing.
+    pub dram: DramConfig,
+    /// Whether the stride prefetcher is enabled (Table I: yes).
+    pub prefetch: bool,
+    /// Prefetch degree (lines fetched ahead on a confident stride).
+    pub prefetch_degree: usize,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            l1d: CacheConfig::l1(),
+            l2: CacheConfig::l2(),
+            l3: CacheConfig::l3(),
+            dram: DramConfig::default(),
+            prefetch: true,
+            prefetch_degree: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_geometries_divide_evenly() {
+        assert_eq!(CacheConfig::l1().num_sets(), 64);
+        assert_eq!(CacheConfig::l2().num_sets(), 512);
+        assert_eq!(CacheConfig::l3().num_sets(), 4096);
+    }
+
+    #[test]
+    fn default_memconfig_uses_table_i() {
+        let m = MemConfig::default();
+        assert_eq!(m.l1d.latency, 4);
+        assert_eq!(m.l2.latency, 12);
+        assert_eq!(m.l3.latency, 42);
+        assert!(m.prefetch);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn bad_geometry_panics() {
+        let c = CacheConfig { size_bytes: 1024, ways: 3, latency: 1, mshrs: 1 };
+        let _ = c.num_sets();
+    }
+}

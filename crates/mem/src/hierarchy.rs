@@ -1,0 +1,331 @@
+//! The composed cache/DRAM hierarchy walk.
+//!
+//! [`Hierarchy::access`] resolves a demand load/store through
+//! L1D → L2 → L3 → DRAM, honoring per-level MSHR limits, filling lines on
+//! the way back up, and (for loads) training the stride prefetcher.
+
+use crate::cache::{Cache, Lookup};
+use crate::config::MemConfig;
+use crate::dram::Dram;
+use crate::mshr::MshrClaim;
+use crate::prefetch::StridePrefetcher;
+use crate::{line_of, LINE_BYTES};
+
+/// Kind of hierarchy access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Demand load (trains the prefetcher).
+    Load,
+    /// Store performed at commit (write-allocate).
+    Store,
+    /// Prefetch fill (does not recurse into further prefetches).
+    Prefetch,
+}
+
+/// Deepest level that had to service an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HitLevel {
+    /// Serviced by the L1 data cache.
+    L1,
+    /// Serviced by the L2.
+    L2,
+    /// Serviced by the L3.
+    L3,
+    /// Went to DRAM.
+    Memory,
+}
+
+/// Aggregate memory statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemStats {
+    /// Demand accesses serviced per level.
+    pub hits_l1: u64,
+    /// Demand accesses serviced by L2.
+    pub hits_l2: u64,
+    /// Demand accesses serviced by L3.
+    pub hits_l3: u64,
+    /// Demand accesses serviced by DRAM.
+    pub hits_mem: u64,
+    /// Prefetches sent.
+    pub prefetches: u64,
+}
+
+impl MemStats {
+    /// Demand accesses observed in total.
+    pub fn total(&self) -> u64 {
+        self.hits_l1 + self.hits_l2 + self.hits_l3 + self.hits_mem
+    }
+
+    /// Fraction of demand accesses that left the L1.
+    pub fn l1_miss_ratio(&self) -> f64 {
+        let t = self.total();
+        if t == 0 { 0.0 } else { (t - self.hits_l1) as f64 / t as f64 }
+    }
+}
+
+/// L1D → L2 → L3 → DRAM hierarchy with stride prefetching, plus a
+/// parallel L1I front-end path that shares the unified L2.
+#[derive(Debug)]
+pub struct Hierarchy {
+    /// L1 data cache.
+    pub l1d: Cache,
+    /// L1 instruction cache (Table I: same geometry as the L1D).
+    pub l1i: Cache,
+    /// L2 unified cache.
+    pub l2: Cache,
+    /// L3 last-level cache.
+    pub l3: Cache,
+    /// DRAM behind the LLC.
+    pub dram: Dram,
+    prefetcher: Option<StridePrefetcher>,
+    /// Aggregate statistics.
+    pub stats: MemStats,
+}
+
+impl Hierarchy {
+    /// Builds an empty hierarchy from a configuration.
+    pub fn new(cfg: &MemConfig) -> Self {
+        let prefetcher = if cfg.prefetch {
+            Some(StridePrefetcher::new(256, cfg.prefetch_degree))
+        } else {
+            None
+        };
+        Hierarchy {
+            l1d: Cache::new(cfg.l1d.clone()),
+            l1i: Cache::new(cfg.l1d.clone()),
+            l2: Cache::new(cfg.l2.clone()),
+            l3: Cache::new(cfg.l3.clone()),
+            dram: Dram::new(cfg.dram.clone()),
+            prefetcher,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// Instruction fetch of the line holding `pc` at `cycle`: L1I →
+    /// unified L2 → L3 → DRAM. Returns the cycle the line is available
+    /// to the fetch unit. A next-line prefetch fills the following line
+    /// on a miss (simple sequential instruction prefetch).
+    pub fn ifetch(&mut self, pc: u64, cycle: u64) -> u64 {
+        let line = line_of(pc);
+        if let Lookup::Hit { ready } = self.l1i.lookup(line, cycle) {
+            return ready;
+        }
+        let (fill, _) = self.below_l1(line, cycle + self.l1i.latency());
+        self.l1i.fill(line, fill);
+        // Sequential next-line prefetch into the L1I.
+        if !self.l1i.probe(line + 1) {
+            let (nfill, _) = self.below_l1(line + 1, cycle + self.l1i.latency());
+            self.l1i.fill(line + 1, nfill);
+        }
+        fill
+    }
+
+    /// Performs an access to byte address `addr` from instruction `pc` at
+    /// `cycle`. Returns `(completion_cycle, deepest_level)`.
+    ///
+    /// Demand loads hold an L1 MSHR for the full miss; stores (performed
+    /// at commit from the store buffer) and prefetches go straight to the
+    /// L2 path and fill the L1 without occupying its scarce MSHRs — as
+    /// fill buffers drained by the L2 superqueue would.
+    pub fn access(&mut self, addr: u64, pc: u64, cycle: u64, kind: AccessKind) -> (u64, HitLevel) {
+        let line = line_of(addr);
+        let (done, level) = self.access_line(line, cycle, kind == AccessKind::Load);
+        match level {
+            HitLevel::L1 => self.stats.hits_l1 += 1,
+            HitLevel::L2 => self.stats.hits_l2 += 1,
+            HitLevel::L3 => self.stats.hits_l3 += 1,
+            HitLevel::Memory => self.stats.hits_mem += 1,
+        }
+        if kind == AccessKind::Load {
+            if let Some(pf) = self.prefetcher.as_mut() {
+                let candidates = pf.observe(pc, addr);
+                for target in candidates {
+                    let tline = line_of(target);
+                    if !self.l1d.probe(tline) {
+                        self.stats.prefetches += 1;
+                        let _ = self.access_line(tline, cycle, false);
+                    }
+                }
+            }
+        }
+        (done, level)
+    }
+
+    /// Walks the hierarchy for one line; fills caches on the way up.
+    /// `hold_l1_mshr` gates whether the L1's miss registers bound the
+    /// request (true for demand loads only).
+    fn access_line(&mut self, line: u64, cycle: u64, hold_l1_mshr: bool) -> (u64, HitLevel) {
+        // L1 lookup.
+        if let Lookup::Hit { ready } = self.l1d.lookup(line, cycle) {
+            return (ready, HitLevel::L1);
+        }
+        if !hold_l1_mshr {
+            let (fill, level) = self.below_l1(line, cycle + self.l1d.latency());
+            self.l1d.fill(line, fill);
+            return (fill, level);
+        }
+        let l1_start = match self.l1d.mshrs.claim(line, cycle) {
+            MshrClaim::Merged { fill } => return (fill, HitLevel::L2),
+            MshrClaim::Allocated { start } => start + self.l1d.latency(),
+        };
+
+        let (fill_from_below, level) = self.below_l1(line, l1_start);
+        self.l1d.mshrs.record_fill(line, fill_from_below);
+        self.l1d.fill(line, fill_from_below);
+        (fill_from_below, level)
+    }
+
+    fn below_l1(&mut self, line: u64, cycle: u64) -> (u64, HitLevel) {
+        if let Lookup::Hit { ready } = self.l2.lookup(line, cycle) {
+            return (ready, HitLevel::L2);
+        }
+        let l2_start = match self.l2.mshrs.claim(line, cycle) {
+            MshrClaim::Merged { fill } => return (fill, HitLevel::L3),
+            MshrClaim::Allocated { start } => start + self.l2.latency(),
+        };
+
+        let (fill, level) = self.below_l2(line, l2_start);
+        self.l2.mshrs.record_fill(line, fill);
+        self.l2.fill(line, fill);
+        (fill, level)
+    }
+
+    fn below_l2(&mut self, line: u64, cycle: u64) -> (u64, HitLevel) {
+        if let Lookup::Hit { ready } = self.l3.lookup(line, cycle) {
+            return (ready, HitLevel::L3);
+        }
+        let l3_start = match self.l3.mshrs.claim(line, cycle) {
+            MshrClaim::Merged { fill } => return (fill, HitLevel::Memory),
+            MshrClaim::Allocated { start } => start + self.l3.latency(),
+        };
+
+        let fill = self.dram.access(line, l3_start);
+        self.l3.mshrs.record_fill(line, fill);
+        self.l3.fill(line, fill);
+        (fill, HitLevel::Memory)
+    }
+
+    /// Approximate footprint helper: touches a line so that it is resident
+    /// (used to warm caches in tests).
+    pub fn warm(&mut self, addr: u64) {
+        let line = line_of(addr);
+        self.l1d.fill(line, 0);
+        self.l2.fill(line, 0);
+        self.l3.fill(line, 0);
+    }
+
+    /// Line size in bytes (fixed).
+    pub fn line_bytes(&self) -> u64 {
+        LINE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> MemConfig {
+        MemConfig { prefetch: false, ..MemConfig::default() }
+    }
+
+    #[test]
+    fn cold_miss_goes_to_memory_then_hits_l1() {
+        let mut h = Hierarchy::new(&small_cfg());
+        let (done, level) = h.access(0x10000, 0x400, 100, AccessKind::Load);
+        assert_eq!(level, HitLevel::Memory);
+        // at least L1+L2+L3 lookups plus DRAM activate+cas+burst
+        assert!(done > 100 + 4 + 12 + 42);
+        let (done2, level2) = h.access(0x10000, 0x400, done + 1, AccessKind::Load);
+        assert_eq!(level2, HitLevel::L1);
+        assert_eq!(done2, done + 1 + 4);
+    }
+
+    #[test]
+    fn warm_line_hits_l1_immediately() {
+        let mut h = Hierarchy::new(&small_cfg());
+        h.warm(0x2000);
+        let (done, level) = h.access(0x2000, 0, 10, AccessKind::Load);
+        assert_eq!(level, HitLevel::L1);
+        assert_eq!(done, 14);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction_pattern() {
+        let mut h = Hierarchy::new(&small_cfg());
+        // Fill L2+L3 but not L1.
+        h.l2.fill(crate::line_of(0x3000), 0);
+        let (done, level) = h.access(0x3000, 0, 100, AccessKind::Load);
+        assert_eq!(level, HitLevel::L2);
+        // L1 latency (4) to detect miss, then L2 hit latency (12).
+        assert_eq!(done, 100 + 4 + 12);
+    }
+
+    #[test]
+    fn same_line_concurrent_misses_merge() {
+        let mut h = Hierarchy::new(&small_cfg());
+        let (d1, l1) = h.access(0x40000, 0, 100, AccessKind::Load);
+        assert_eq!(l1, HitLevel::Memory);
+        // Second access to the same line while the first is still in flight:
+        // the L1 lookup hits the in-flight fill (valid_at in future).
+        let (d2, _) = h.access(0x40000, 0, 101, AccessKind::Load);
+        assert_eq!(d2, d1);
+    }
+
+    #[test]
+    fn prefetcher_hides_latency_for_streaming() {
+        let mut cfg = MemConfig::default();
+        cfg.prefetch = true;
+        cfg.prefetch_degree = 4;
+        let mut h = Hierarchy::new(&cfg);
+        let mut t = 0;
+        let mut total_lat = 0u64;
+        // Sequential 64-byte stream; after warm-up, prefetches should
+        // convert DRAM misses into L1/inflight hits.
+        let mut late = 0;
+        for i in 0..64u64 {
+            let addr = 0x100000 + i * 64;
+            let (done, level) = h.access(addr, 0x88, t, AccessKind::Load);
+            total_lat += done - t;
+            if i > 8 && level == HitLevel::Memory {
+                late += 1;
+            }
+            t += 50;
+        }
+        assert!(h.stats.prefetches > 0, "prefetcher never fired");
+        assert!(late < 16, "prefetcher failed to cover the stream: {late} memory-level misses");
+        let avg = total_lat / 64;
+        assert!(avg < 120, "average latency too high: {avg}");
+    }
+
+    #[test]
+    fn ifetch_misses_then_hits_and_prefetches_next_line() {
+        let mut h = Hierarchy::new(&small_cfg());
+        let t1 = h.ifetch(0x40_0000, 100);
+        assert!(t1 > 104, "cold instruction miss must walk the hierarchy");
+        // Same line now hits at the L1I latency.
+        let t2 = h.ifetch(0x40_0010, t1);
+        assert_eq!(t2, t1 + 4);
+        // The sequential prefetch covered the next line.
+        assert!(h.l1i.probe(crate::line_of(0x40_0040)));
+    }
+
+    #[test]
+    fn ifetch_and_data_paths_share_the_l2() {
+        let mut h = Hierarchy::new(&small_cfg());
+        let t1 = h.ifetch(0x50_0000, 0);
+        // A *data* access to the same line hits the L2 (unified), not DRAM.
+        let (_, level) = h.access(0x50_0000, 0, t1 + 1, AccessKind::Load);
+        assert_eq!(level, HitLevel::L2);
+    }
+
+    #[test]
+    fn stats_accumulate_per_level() {
+        let mut h = Hierarchy::new(&small_cfg());
+        let (done, _) = h.access(0x5000, 0, 0, AccessKind::Load);
+        let _ = h.access(0x5000, 0, done, AccessKind::Load);
+        assert_eq!(h.stats.hits_mem, 1);
+        assert_eq!(h.stats.hits_l1, 1);
+        assert_eq!(h.stats.total(), 2);
+        assert!((h.stats.l1_miss_ratio() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,362 @@
+//! Load and store queues: store-to-load forwarding and memory-order
+//! violation detection.
+//!
+//! μops are identified by their global **sequence number** (`seq`), a
+//! monotonically increasing dynamic age assigned at rename; all ordering
+//! queries compare sequence numbers.
+
+use std::collections::VecDeque;
+
+/// Byte range of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRange {
+    /// Start byte address.
+    pub addr: u64,
+    /// Size in bytes.
+    pub size: u8,
+}
+
+impl MemRange {
+    /// Whether two ranges overlap.
+    pub fn overlaps(&self, other: &MemRange) -> bool {
+        self.addr < other.addr + other.size as u64 && other.addr < self.addr + self.size as u64
+    }
+}
+
+/// A store-queue entry.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreEntry {
+    /// Global age.
+    pub seq: u64,
+    /// Program counter (for MDP training on violations).
+    pub pc: u64,
+    /// Address once the AGU has executed.
+    pub range: Option<MemRange>,
+    /// Whether the store has issued (address computed).
+    pub issued: bool,
+}
+
+/// A load-queue entry.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadEntry {
+    /// Global age.
+    pub seq: u64,
+    /// Program counter.
+    pub pc: u64,
+    /// Address once executed.
+    pub range: Option<MemRange>,
+    /// Sequence of the store that forwarded the value, if any.
+    pub forwarded_from: Option<u64>,
+    /// Whether the load has obtained its value.
+    pub done: bool,
+}
+
+/// Store-to-load forwarding outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Forward {
+    /// No older overlapping store in the queue: read from the cache.
+    FromCache,
+    /// Value forwarded from the given store's queue entry.
+    FromStore {
+        /// Sequence number of the forwarding store.
+        store_seq: u64,
+    },
+}
+
+/// Bounded in-order store queue (Table I: 56 entries at 8-wide).
+#[derive(Debug, Clone)]
+pub struct StoreQueue {
+    cap: usize,
+    entries: VecDeque<StoreEntry>,
+    /// Forwarding hits served.
+    pub forwards: u64,
+}
+
+impl StoreQueue {
+    /// Creates a store queue with `cap` entries.
+    pub fn new(cap: usize) -> Self {
+        StoreQueue { cap, entries: VecDeque::new(), forwards: 0 }
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether an allocation would succeed.
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.cap
+    }
+
+    /// Allocates an entry at dispatch.
+    ///
+    /// Returns `false` (and does nothing) when the queue is full.
+    pub fn allocate(&mut self, seq: u64, pc: u64) -> bool {
+        if !self.has_space() {
+            return false;
+        }
+        debug_assert!(self.entries.back().map(|e| e.seq < seq).unwrap_or(true));
+        self.entries.push_back(StoreEntry { seq, pc, range: None, issued: false });
+        true
+    }
+
+    /// Records the address of `seq` when its AGU executes, marking it issued.
+    pub fn set_addr(&mut self, seq: u64, range: MemRange) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.seq == seq) {
+            e.range = Some(range);
+            e.issued = true;
+        }
+    }
+
+    /// Finds the youngest store older than `load_seq` with a known
+    /// overlapping address (forwarding source).
+    pub fn forward_source(&mut self, load_seq: u64, range: MemRange) -> Forward {
+        let hit = self
+            .entries
+            .iter()
+            .rev()
+            .filter(|e| e.seq < load_seq)
+            .find(|e| e.range.map(|r| r.overlaps(&range)).unwrap_or(false));
+        match hit {
+            Some(e) => {
+                self.forwards += 1;
+                Forward::FromStore { store_seq: e.seq }
+            }
+            None => Forward::FromCache,
+        }
+    }
+
+    /// Releases the entry for `seq` at commit.
+    pub fn release(&mut self, seq: u64) {
+        if let Some(pos) = self.entries.iter().position(|e| e.seq == seq) {
+            self.entries.remove(pos);
+        }
+    }
+
+    /// Drops all entries younger than `seq` (squash).
+    pub fn flush_after(&mut self, seq: u64) {
+        while let Some(back) = self.entries.back() {
+            if back.seq > seq {
+                self.entries.pop_back();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Returns the entry for `seq`, if present.
+    pub fn get(&self, seq: u64) -> Option<&StoreEntry> {
+        self.entries.iter().find(|e| e.seq == seq)
+    }
+}
+
+/// Bounded in-order load queue (Table I: 72 entries at 8-wide).
+#[derive(Debug, Clone)]
+pub struct LoadQueue {
+    cap: usize,
+    entries: VecDeque<LoadEntry>,
+    /// Memory-order violations detected.
+    pub violations: u64,
+}
+
+impl LoadQueue {
+    /// Creates a load queue with `cap` entries.
+    pub fn new(cap: usize) -> Self {
+        LoadQueue { cap, entries: VecDeque::new(), violations: 0 }
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether an allocation would succeed.
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.cap
+    }
+
+    /// Allocates an entry at dispatch; `false` when full.
+    pub fn allocate(&mut self, seq: u64, pc: u64) -> bool {
+        if !self.has_space() {
+            return false;
+        }
+        debug_assert!(self.entries.back().map(|e| e.seq < seq).unwrap_or(true));
+        self.entries.push_back(LoadEntry {
+            seq,
+            pc,
+            range: None,
+            forwarded_from: None,
+            done: false,
+        });
+        true
+    }
+
+    /// Records a load's address, value provenance and completion.
+    pub fn set_executed(&mut self, seq: u64, range: MemRange, forwarded_from: Option<u64>) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.seq == seq) {
+            e.range = Some(range);
+            e.forwarded_from = forwarded_from;
+            e.done = true;
+        }
+    }
+
+    /// Checks for a memory-order violation when a store resolves its
+    /// address: the oldest *executed* load younger than the store whose
+    /// range overlaps and whose value did not come from this store or a
+    /// younger one. Returns that load's `(seq, pc)`.
+    pub fn violation_on_store(&mut self, store_seq: u64, range: MemRange) -> Option<(u64, u64)> {
+        let hit = self
+            .entries
+            .iter()
+            .filter(|e| e.seq > store_seq && e.done)
+            .filter(|e| e.range.map(|r| r.overlaps(&range)).unwrap_or(false))
+            .find(|e| e.forwarded_from.map(|f| f < store_seq).unwrap_or(true));
+        if let Some(e) = hit {
+            self.violations += 1;
+            Some((e.seq, e.pc))
+        } else {
+            None
+        }
+    }
+
+    /// Releases the entry for `seq` at commit.
+    pub fn release(&mut self, seq: u64) {
+        if let Some(pos) = self.entries.iter().position(|e| e.seq == seq) {
+            self.entries.remove(pos);
+        }
+    }
+
+    /// Drops all entries with `seq` strictly greater than the argument.
+    pub fn flush_after(&mut self, seq: u64) {
+        while let Some(back) = self.entries.back() {
+            if back.seq > seq {
+                self.entries.pop_back();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Returns the entry for `seq`, if present.
+    pub fn get(&self, seq: u64) -> Option<&LoadEntry> {
+        self.entries.iter().find(|e| e.seq == seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(addr: u64) -> MemRange {
+        MemRange { addr, size: 8 }
+    }
+
+    #[test]
+    fn forwarding_picks_youngest_older_store() {
+        let mut sq = StoreQueue::new(8);
+        sq.allocate(1, 0x10);
+        sq.allocate(3, 0x14);
+        sq.allocate(5, 0x18);
+        sq.set_addr(1, r(100));
+        sq.set_addr(3, r(100));
+        sq.set_addr(5, r(200));
+        assert_eq!(sq.forward_source(4, r(100)), Forward::FromStore { store_seq: 3 });
+        assert_eq!(sq.forward_source(2, r(100)), Forward::FromStore { store_seq: 1 });
+        assert_eq!(sq.forward_source(6, r(300)), Forward::FromCache);
+        assert_eq!(sq.forwards, 2);
+    }
+
+    #[test]
+    fn unknown_store_addresses_do_not_forward() {
+        let mut sq = StoreQueue::new(8);
+        sq.allocate(1, 0x10);
+        assert_eq!(sq.forward_source(2, r(100)), Forward::FromCache);
+    }
+
+    #[test]
+    fn violation_detected_for_early_load() {
+        let mut lq = LoadQueue::new(8);
+        lq.allocate(4, 0x20);
+        lq.set_executed(4, r(100), None); // read from cache
+        // Store seq 2 later resolves to the same address → violation.
+        assert_eq!(lq.violation_on_store(2, r(100)), Some((4, 0x20)));
+        assert_eq!(lq.violations, 1);
+    }
+
+    #[test]
+    fn no_violation_when_load_forwarded_from_younger_store() {
+        let mut lq = LoadQueue::new(8);
+        lq.allocate(4, 0x20);
+        // Load got its value from store seq 3 (younger than the resolving
+        // store seq 2), so the value is correct.
+        lq.set_executed(4, r(100), Some(3));
+        assert_eq!(lq.violation_on_store(2, r(100)), None);
+    }
+
+    #[test]
+    fn violation_when_load_forwarded_from_older_store() {
+        let mut lq = LoadQueue::new(8);
+        lq.allocate(4, 0x20);
+        // Load forwarded from store 1, but store 2 (between 1 and 4) now
+        // resolves to the same address: the load read a stale value.
+        lq.set_executed(4, r(100), Some(1));
+        assert_eq!(lq.violation_on_store(2, r(100)), Some((4, 0x20)));
+    }
+
+    #[test]
+    fn violation_picks_oldest_offending_load() {
+        let mut lq = LoadQueue::new(8);
+        lq.allocate(4, 0x20);
+        lq.allocate(6, 0x24);
+        lq.set_executed(4, r(100), None);
+        lq.set_executed(6, r(100), None);
+        assert_eq!(lq.violation_on_store(2, r(100)).unwrap().0, 4);
+    }
+
+    #[test]
+    fn flush_after_removes_younger_entries() {
+        let mut sq = StoreQueue::new(8);
+        sq.allocate(1, 0);
+        sq.allocate(3, 0);
+        sq.allocate(5, 0);
+        sq.flush_after(3);
+        assert_eq!(sq.len(), 2);
+        assert!(sq.get(5).is_none());
+
+        let mut lq = LoadQueue::new(8);
+        lq.allocate(2, 0);
+        lq.allocate(4, 0);
+        lq.flush_after(2);
+        assert_eq!(lq.len(), 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut sq = StoreQueue::new(2);
+        assert!(sq.allocate(1, 0));
+        assert!(sq.allocate(2, 0));
+        assert!(!sq.allocate(3, 0));
+        sq.release(1);
+        assert!(sq.allocate(3, 0));
+    }
+
+    #[test]
+    fn release_is_order_independent() {
+        let mut lq = LoadQueue::new(4);
+        lq.allocate(1, 0);
+        lq.allocate(2, 0);
+        lq.release(1);
+        assert!(lq.get(1).is_none());
+        assert!(lq.get(2).is_some());
+    }
+}

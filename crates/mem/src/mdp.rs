@@ -1,0 +1,248 @@
+//! Store-set memory dependence prediction (Chrysos & Emer \[11\]).
+//!
+//! Two structures, exactly as in the paper (Table I: 1024-entry SSIT,
+//! 7-bit SSID):
+//!
+//! * **SSIT** (store-set identifier table): indexed by instruction PC,
+//!   holds the SSID of the store set the instruction belongs to. Trained
+//!   on memory-order violations.
+//! * **LFST** (last fetched store table): indexed by SSID, holds the
+//!   sequence number of the most recently fetched, still-in-flight store
+//!   of the set. Consumer loads/stores of the set serialize behind it.
+//!
+//! Ballerino extends each LFST entry with *steering information* (P-IQ
+//! index + Reserved flag, §IV-C); that extension lives in
+//! `ballerino-core`, keyed by the [`SsId`] values this module hands out.
+
+/// A store-set identifier (7 bits in Table I → 128 sets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SsId(pub u8);
+
+/// MDP configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MdpConfig {
+    /// Number of SSIT entries (PC-indexed).
+    pub ssit_entries: usize,
+    /// Number of distinct SSIDs (LFST entries).
+    pub num_ssids: usize,
+}
+
+impl Default for MdpConfig {
+    fn default() -> Self {
+        MdpConfig { ssit_entries: 1024, num_ssids: 128 }
+    }
+}
+
+/// What the MDP tells rename about a load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MdpAdvice {
+    /// The store set the μop belongs to, if any.
+    pub ssid: Option<SsId>,
+    /// The in-flight store (by sequence number) the μop must wait for
+    /// (issue-after), if any.
+    pub wait_for: Option<u64>,
+}
+
+/// The store-set predictor.
+#[derive(Debug, Clone)]
+pub struct Mdp {
+    cfg: MdpConfig,
+    ssit: Vec<Option<SsId>>,
+    lfst: Vec<Option<u64>>,
+    next_ssid: usize,
+    /// Violations used for training.
+    pub trainings: u64,
+    /// Loads/stores serialized by a prediction.
+    pub serializations: u64,
+}
+
+impl Mdp {
+    /// Builds an empty predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero entries.
+    pub fn new(cfg: MdpConfig) -> Self {
+        assert!(cfg.ssit_entries > 0 && cfg.num_ssids > 0, "MDP tables must be non-empty");
+        let ssit = vec![None; cfg.ssit_entries];
+        let lfst = vec![None; cfg.num_ssids];
+        Mdp { cfg, ssit, lfst, next_ssid: 0, trainings: 0, serializations: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MdpConfig {
+        &self.cfg
+    }
+
+    fn ssit_index(&self, pc: u64) -> usize {
+        (pc as usize / 4) % self.cfg.ssit_entries
+    }
+
+    /// Called when a **load** is renamed. Returns the load's store set and
+    /// the store it should wait for.
+    pub fn on_rename_load(&mut self, pc: u64) -> MdpAdvice {
+        let idx = self.ssit_index(pc);
+        match self.ssit[idx] {
+            Some(ssid) => {
+                let wait_for = self.lfst[ssid.0 as usize];
+                if wait_for.is_some() {
+                    self.serializations += 1;
+                }
+                MdpAdvice { ssid: Some(ssid), wait_for }
+            }
+            None => MdpAdvice::default(),
+        }
+    }
+
+    /// Called when a **store** is renamed. Returns the store's set and the
+    /// previous in-flight store of the set (store-store serialization),
+    /// then records this store as the set's last fetched store.
+    pub fn on_rename_store(&mut self, pc: u64, seq: u64) -> MdpAdvice {
+        let idx = self.ssit_index(pc);
+        match self.ssit[idx] {
+            Some(ssid) => {
+                let prev = self.lfst[ssid.0 as usize];
+                if prev.is_some() {
+                    self.serializations += 1;
+                }
+                self.lfst[ssid.0 as usize] = Some(seq);
+                MdpAdvice { ssid: Some(ssid), wait_for: prev }
+            }
+            None => MdpAdvice::default(),
+        }
+    }
+
+    /// Called when the store `seq` of set `ssid` issues: releases the LFST
+    /// entry if this store performed its most recent update.
+    pub fn on_store_issued(&mut self, ssid: SsId, seq: u64) {
+        let e = &mut self.lfst[ssid.0 as usize];
+        if *e == Some(seq) {
+            *e = None;
+        }
+    }
+
+    /// Trains the predictor on a memory-order violation between
+    /// `load_pc` and `store_pc` (Chrysos-Emer assignment rules).
+    pub fn on_violation(&mut self, load_pc: u64, store_pc: u64) {
+        self.trainings += 1;
+        let li = self.ssit_index(load_pc);
+        let si = self.ssit_index(store_pc);
+        match (self.ssit[li], self.ssit[si]) {
+            (None, None) => {
+                let ssid = self.alloc_ssid();
+                self.ssit[li] = Some(ssid);
+                self.ssit[si] = Some(ssid);
+            }
+            (Some(l), None) => self.ssit[si] = Some(l),
+            (None, Some(s)) => self.ssit[li] = Some(s),
+            (Some(l), Some(s)) => {
+                // Merge: both adopt the smaller SSID.
+                let m = SsId(l.0.min(s.0));
+                self.ssit[li] = Some(m);
+                self.ssit[si] = Some(m);
+            }
+        }
+    }
+
+    /// Invalidates LFST entries pointing at squashed stores (younger than
+    /// `seq`).
+    pub fn flush_after(&mut self, seq: u64) {
+        for e in &mut self.lfst {
+            if let Some(s) = *e {
+                if s > seq {
+                    *e = None;
+                }
+            }
+        }
+    }
+
+    fn alloc_ssid(&mut self) -> SsId {
+        let id = SsId((self.next_ssid % self.cfg.num_ssids) as u8);
+        self.next_ssid += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_pcs_get_no_advice() {
+        let mut m = Mdp::new(MdpConfig::default());
+        assert_eq!(m.on_rename_load(0x100), MdpAdvice::default());
+        assert_eq!(m.on_rename_store(0x200, 5), MdpAdvice::default());
+    }
+
+    #[test]
+    fn violation_creates_store_set_and_serializes_future_pair() {
+        let mut m = Mdp::new(MdpConfig::default());
+        m.on_violation(0x100, 0x200);
+        // Next iteration: store fetched first, then load.
+        let s = m.on_rename_store(0x200, 10);
+        assert!(s.ssid.is_some());
+        assert_eq!(s.wait_for, None);
+        let l = m.on_rename_load(0x100);
+        assert_eq!(l.ssid, s.ssid);
+        assert_eq!(l.wait_for, Some(10));
+        assert_eq!(m.serializations, 1);
+    }
+
+    #[test]
+    fn store_issue_releases_lfst() {
+        let mut m = Mdp::new(MdpConfig::default());
+        m.on_violation(0x100, 0x200);
+        let s = m.on_rename_store(0x200, 10);
+        m.on_store_issued(s.ssid.unwrap(), 10);
+        let l = m.on_rename_load(0x100);
+        assert_eq!(l.wait_for, None);
+    }
+
+    #[test]
+    fn newer_store_update_wins_lfst() {
+        let mut m = Mdp::new(MdpConfig::default());
+        m.on_violation(0x100, 0x200);
+        let s1 = m.on_rename_store(0x200, 10);
+        let s2 = m.on_rename_store(0x200, 20);
+        assert_eq!(s2.wait_for, Some(10)); // store-store serialization
+        // Old store issuing must NOT release the entry (20 owns it now).
+        m.on_store_issued(s1.ssid.unwrap(), 10);
+        let l = m.on_rename_load(0x100);
+        assert_eq!(l.wait_for, Some(20));
+    }
+
+    #[test]
+    fn merge_assigns_common_ssid() {
+        let mut m = Mdp::new(MdpConfig::default());
+        m.on_violation(0x100, 0x200); // set A
+        m.on_violation(0x300, 0x400); // set B
+        m.on_violation(0x100, 0x400); // merge A and B pcs
+        let a = m.on_rename_store(0x400, 1).ssid.unwrap();
+        let b = m.on_rename_load(0x100).ssid.unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flush_clears_squashed_store_pointers() {
+        let mut m = Mdp::new(MdpConfig::default());
+        m.on_violation(0x100, 0x200);
+        m.on_rename_store(0x200, 50);
+        m.flush_after(40); // store 50 squashed
+        assert_eq!(m.on_rename_load(0x100).wait_for, None);
+    }
+
+    #[test]
+    fn ssid_allocation_wraps_within_capacity() {
+        let mut m = Mdp::new(MdpConfig { ssit_entries: 1024, num_ssids: 4 });
+        for i in 0..10u64 {
+            m.on_violation(0x1000 + i * 8, 0x8000 + i * 8);
+        }
+        // All handed-out SSIDs are within range.
+        for i in 0..10u64 {
+            let a = m.on_rename_load(0x1000 + i * 8);
+            if let Some(ssid) = a.ssid {
+                assert!((ssid.0 as usize) < 4);
+            }
+        }
+    }
+}

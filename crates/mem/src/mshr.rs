@@ -1,0 +1,147 @@
+//! Miss-status holding registers (MSHRs).
+//!
+//! Each cache level owns an [`MshrFile`] bounding the number of outstanding
+//! misses. A new miss to a line already being fetched *merges* into the
+//! existing entry (completing when it fills); when all MSHRs are busy the
+//! requester waits until the earliest fill frees one.
+
+/// A bounded file of outstanding-miss registers.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    /// (line address, fill completion cycle)
+    entries: Vec<(u64, u64)>,
+    /// Statistics: merged (secondary) misses.
+    pub merges: u64,
+    /// Statistics: cycles spent waiting for a free MSHR (sum over requests).
+    pub stall_cycles: u64,
+}
+
+/// Result of claiming an MSHR for a missing line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrClaim {
+    /// The line is already in flight; it fills at the given cycle.
+    Merged {
+        /// Absolute cycle at which the in-flight fill completes.
+        fill: u64,
+    },
+    /// A new MSHR was reserved; the miss may start at the given cycle
+    /// (later than the request when the file was full).
+    Allocated {
+        /// Earliest cycle the miss request can be sent downstream.
+        start: u64,
+    },
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be positive");
+        MshrFile { capacity, entries: Vec::new(), merges: 0, stall_cycles: 0 }
+    }
+
+    /// Number of live entries at `cycle` (after retiring filled ones).
+    pub fn occupancy(&mut self, cycle: u64) -> usize {
+        self.retire(cycle);
+        self.entries.len()
+    }
+
+    fn retire(&mut self, cycle: u64) {
+        self.entries.retain(|&(_, fill)| fill > cycle);
+    }
+
+    /// Claims an MSHR for `line` at `cycle`.
+    ///
+    /// Returns [`MshrClaim::Merged`] if the line is already outstanding
+    /// (the secondary miss completes at the primary's fill time), otherwise
+    /// [`MshrClaim::Allocated`] with the possibly-delayed start cycle. After
+    /// an allocation the caller **must** call [`MshrFile::record_fill`] to
+    /// set the entry's fill time.
+    pub fn claim(&mut self, line: u64, cycle: u64) -> MshrClaim {
+        self.retire(cycle);
+        if let Some(&(_, fill)) = self.entries.iter().find(|&&(l, _)| l == line) {
+            self.merges += 1;
+            return MshrClaim::Merged { fill };
+        }
+        let start = if self.entries.len() < self.capacity {
+            cycle
+        } else {
+            // Wait for the earliest outstanding fill to free a register.
+            let earliest = self.entries.iter().map(|&(_, f)| f).min().unwrap_or(cycle);
+            self.stall_cycles += earliest.saturating_sub(cycle);
+            self.retire(earliest);
+            earliest
+        };
+        // Reserve a slot with a placeholder fill; record_fill overwrites it.
+        self.entries.push((line, u64::MAX));
+        MshrClaim::Allocated { start }
+    }
+
+    /// Records the fill completion time of the most recent allocation for
+    /// `line`.
+    pub fn record_fill(&mut self, line: u64, fill: u64) {
+        if let Some(e) = self.entries.iter_mut().rev().find(|e| e.0 == line) {
+            e.1 = fill;
+        }
+    }
+
+    /// Drops all entries (used on machine reset).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_miss_allocates_immediately() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.claim(10, 100), MshrClaim::Allocated { start: 100 });
+        m.record_fill(10, 200);
+        assert_eq!(m.occupancy(100), 1);
+    }
+
+    #[test]
+    fn same_line_merges_into_primary_miss() {
+        let mut m = MshrFile::new(2);
+        m.claim(10, 100);
+        m.record_fill(10, 200);
+        assert_eq!(m.claim(10, 150), MshrClaim::Merged { fill: 200 });
+        assert_eq!(m.merges, 1);
+        assert_eq!(m.occupancy(150), 1);
+    }
+
+    #[test]
+    fn full_file_delays_start_until_earliest_fill() {
+        let mut m = MshrFile::new(1);
+        m.claim(10, 100);
+        m.record_fill(10, 180);
+        match m.claim(11, 120) {
+            MshrClaim::Allocated { start } => assert_eq!(start, 180),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(m.stall_cycles, 60);
+    }
+
+    #[test]
+    fn entries_retire_after_fill() {
+        let mut m = MshrFile::new(1);
+        m.claim(10, 100);
+        m.record_fill(10, 150);
+        assert_eq!(m.occupancy(151), 0);
+        // New miss allocates immediately now.
+        assert_eq!(m.claim(11, 160), MshrClaim::Allocated { start: 160 });
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = MshrFile::new(0);
+    }
+}

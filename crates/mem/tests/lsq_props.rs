@@ -1,0 +1,94 @@
+//! Property tests for the LSQ and MSHR file.
+
+use ballerino_mem::lsq::{Forward, MemRange, StoreQueue};
+use ballerino_mem::mshr::{MshrClaim, MshrFile};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Forwarding always returns the *youngest older* store with a known
+    /// overlapping address — checked against a brute-force model.
+    #[test]
+    fn forwarding_matches_bruteforce(
+        stores in proptest::collection::vec((0u64..64, any::<bool>()), 1..20),
+        load_pos in 0usize..20,
+        load_addr in 0u64..64,
+    ) {
+        let mut sq = StoreQueue::new(64);
+        let mut model: Vec<(u64, u64, bool)> = Vec::new(); // (seq, addr, known)
+        for (i, (addr, known)) in stores.iter().enumerate() {
+            let seq = (i as u64 + 1) * 2;
+            sq.allocate(seq, seq * 4);
+            if *known {
+                sq.set_addr(seq, MemRange { addr: *addr * 8, size: 8 });
+            }
+            model.push((seq, *addr * 8, *known));
+        }
+        let load_seq = (load_pos as u64) * 2 + 1; // odd: between stores
+        let range = MemRange { addr: load_addr * 8, size: 8 };
+        let got = sq.forward_source(load_seq, range);
+        let want = model
+            .iter()
+            .rev()
+            .find(|(s, a, k)| *s < load_seq && *k && *a == load_addr * 8)
+            .map(|(s, _, _)| *s);
+        match (got, want) {
+            (Forward::FromStore { store_seq }, Some(w)) => prop_assert_eq!(store_seq, w),
+            (Forward::FromCache, None) => {}
+            other => prop_assert!(false, "mismatch: {:?}", other),
+        }
+    }
+
+    /// The MSHR file never tracks more than its capacity of live lines,
+    /// and merged claims always return the primary's fill time.
+    #[test]
+    fn mshr_capacity_and_merging(
+        reqs in proptest::collection::vec((0u64..8, 1u64..50), 1..40),
+    ) {
+        let cap = 4usize;
+        let mut m = MshrFile::new(cap);
+        let mut t = 0u64;
+        let mut outstanding: Vec<(u64, u64)> = Vec::new();
+        for (line, dur) in reqs {
+            t += 1;
+            outstanding.retain(|&(_, f)| f > t);
+            match m.claim(line, t) {
+                MshrClaim::Merged { fill } => {
+                    let primary = outstanding.iter().find(|&&(l, _)| l == line);
+                    prop_assert!(primary.is_some(), "merged without a primary");
+                    prop_assert_eq!(fill, primary.unwrap().1);
+                }
+                MshrClaim::Allocated { start } => {
+                    prop_assert!(start >= t);
+                    let fill = start + dur;
+                    m.record_fill(line, fill);
+                    outstanding.retain(|&(_, f)| f > start);
+                    outstanding.push((line, fill));
+                    prop_assert!(outstanding.len() <= cap, "capacity exceeded");
+                }
+            }
+            prop_assert!(m.occupancy(t) <= cap);
+        }
+    }
+
+    /// Store queue flush+release keeps entries consistent: entries never
+    /// resurface after removal.
+    #[test]
+    fn store_queue_flush_is_final(
+        seqs in proptest::collection::vec(1u64..100, 1..20),
+        flush_at in 1u64..100,
+    ) {
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut sq = StoreQueue::new(64);
+        for &s in &sorted {
+            sq.allocate(s, s * 4);
+        }
+        sq.flush_after(flush_at);
+        for &s in &sorted {
+            prop_assert_eq!(sq.get(s).is_some(), s <= flush_at);
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! The unified out-of-order issue queue (`OoO` baseline, Fig. 2).
+//!
+//! CAM-style wakeup without compaction (a "random queue": freed slots are
+//! reused in place, so entry position does not encode age) and per-port
+//! prefix-sum select giving priority to the lowest-numbered slot. The
+//! optional *oldest-first* policy (age matrices / compaction, §II-A and
+//! Fig. 11's rightmost bars) grants the oldest ready requester instead.
+
+use crate::ports::PortAlloc;
+use crate::stats::{IssueBreakdown, SchedEnergyEvents};
+use crate::traits::{DispatchOutcome, ReadyCtx, Scheduler, StallReason};
+use crate::uop::SchedUop;
+use ballerino_isa::PhysReg;
+
+/// Configuration of the out-of-order IQ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OooIqConfig {
+    /// IQ entries (Table II: 96/64/32 by width; 48 in FXA's backend).
+    pub entries: usize,
+    /// Grant the oldest ready requester per port instead of the
+    /// lowest-numbered slot.
+    pub oldest_first: bool,
+}
+
+impl Default for OooIqConfig {
+    fn default() -> Self {
+        OooIqConfig { entries: 96, oldest_first: false }
+    }
+}
+
+/// The unified out-of-order issue queue.
+#[derive(Debug)]
+pub struct OooIq {
+    cfg: OooIqConfig,
+    slots: Vec<Option<SchedUop>>,
+    occupancy: usize,
+    energy: SchedEnergyEvents,
+    breakdown: IssueBreakdown,
+}
+
+impl OooIq {
+    /// Builds an empty IQ.
+    pub fn new(cfg: OooIqConfig) -> Self {
+        let slots = vec![None; cfg.entries];
+        OooIq {
+            cfg,
+            slots,
+            occupancy: 0,
+            energy: SchedEnergyEvents::default(),
+            breakdown: IssueBreakdown::default(),
+        }
+    }
+}
+
+impl Scheduler for OooIq {
+    fn name(&self) -> String {
+        if self.cfg.oldest_first { "ooo-oldest".to_string() } else { "ooo".to_string() }
+    }
+
+    fn try_dispatch(&mut self, uop: SchedUop, _ctx: &ReadyCtx<'_>) -> DispatchOutcome {
+        match self.slots.iter_mut().find(|s| s.is_none()) {
+            Some(slot) => {
+                *slot = Some(uop);
+                self.occupancy += 1;
+                self.energy.queue_writes += 1;
+                DispatchOutcome::Accepted
+            }
+            None => DispatchOutcome::Stall(StallReason::Full),
+        }
+    }
+
+    fn issue(&mut self, ctx: &ReadyCtx<'_>, ports: &mut PortAlloc<'_>, out: &mut Vec<u64>) {
+        if self.occupancy == 0 {
+            return;
+        }
+        // The wakeup logic evaluates readiness for every occupied entry
+        // every cycle (here: scoreboard reads).
+        self.energy.head_examinations += self.occupancy as u64;
+
+        // Gather per-slot ready requests.
+        let mut any_request = false;
+        let mut grants: Vec<usize> = Vec::new();
+        // Per port, grant one request: lowest slot (prefix-sum) or oldest.
+        let mut claimed_ports = [false; ballerino_isa::MAX_PORTS];
+        loop {
+            let mut best: Option<usize> = None;
+            for (i, s) in self.slots.iter().enumerate() {
+                let Some(u) = s else { continue };
+                if claimed_ports[u.port.index()] {
+                    continue;
+                }
+                if !ctx.is_ready(u) {
+                    continue;
+                }
+                any_request = true;
+                if !ports.can_claim(u.port, u.class) {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let bu = self.slots[b].as_ref().expect("occupied");
+                        if self.cfg.oldest_first {
+                            u.seq < bu.seq
+                        } else {
+                            i < b
+                        }
+                    }
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+            let Some(i) = best else { break };
+            let u = self.slots[i].as_ref().expect("occupied");
+            let claimed = ports.try_claim(u.port, u.class);
+            debug_assert!(claimed);
+            claimed_ports[u.port.index()] = true;
+            grants.push(i);
+            if ports.remaining() == 0 {
+                break;
+            }
+        }
+
+        if any_request {
+            // Every port's prefix-sum circuit spans all IQ entries (Fig. 2).
+            self.energy.select_inputs +=
+                (self.cfg.entries * claimed_ports.len().min(8)) as u64;
+        }
+
+        for i in grants {
+            let u = self.slots[i].take().expect("granted slot");
+            self.occupancy -= 1;
+            self.energy.queue_reads += 1;
+            self.breakdown.from_ooo += 1;
+            out.push(u.seq);
+        }
+    }
+
+    fn on_complete(&mut self, _dst: PhysReg) {
+        // Destination tag broadcast across the CAM wakeup array.
+        self.energy.cam_broadcasts += 1;
+        self.energy.cam_entries_searched += self.cfg.entries as u64;
+    }
+
+    fn flush_after(&mut self, seq: u64, _flushed_dests: &[PhysReg]) {
+        for s in &mut self.slots {
+            if s.as_ref().map(|u| u.seq > seq).unwrap_or(false) {
+                *s = None;
+                self.occupancy -= 1;
+            }
+        }
+    }
+
+    fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    fn capacity(&self) -> usize {
+        self.cfg.entries
+    }
+
+    fn energy_events(&self) -> SchedEnergyEvents {
+        self.energy
+    }
+
+    fn issue_breakdown(&self) -> IssueBreakdown {
+        self.breakdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ports::FuBusy;
+    use crate::scoreboard::Scoreboard;
+    use ballerino_isa::{OpClass, PortId};
+    use std::collections::HashSet;
+
+    fn op(seq: u64, port: u8, src: Option<PhysReg>) -> SchedUop {
+        SchedUop { port: PortId(port), srcs: [src, None], ..SchedUop::test_op(seq) }
+    }
+
+    fn issue_once(iq: &mut OooIq, scb: &Scoreboard, cycle: u64) -> Vec<u64> {
+        let held = HashSet::new();
+        let ctx = ReadyCtx { cycle, scb, held: &held };
+        let busy = FuBusy::new();
+        let mut pa = PortAlloc::new(8, 8, &busy, cycle);
+        let mut out = Vec::new();
+        iq.issue(&ctx, &mut pa, &mut out);
+        out
+    }
+
+    #[test]
+    fn issues_ready_ops_out_of_order() {
+        let mut iq = OooIq::new(OooIqConfig::default());
+        let mut scb = Scoreboard::new(8);
+        scb.allocate(PhysReg(1)); // op 0's source never ready
+        let held = HashSet::new();
+        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        iq.try_dispatch(op(0, 0, Some(PhysReg(1))), &ctx);
+        iq.try_dispatch(op(1, 1, None), &ctx);
+        iq.try_dispatch(op(2, 2, None), &ctx);
+        let out = issue_once(&mut iq, &scb, 0);
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(iq.occupancy(), 1);
+    }
+
+    #[test]
+    fn one_grant_per_port_per_cycle() {
+        let mut iq = OooIq::new(OooIqConfig::default());
+        let scb = Scoreboard::new(8);
+        let held = HashSet::new();
+        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        iq.try_dispatch(op(0, 3, None), &ctx);
+        iq.try_dispatch(op(1, 3, None), &ctx);
+        let out = issue_once(&mut iq, &scb, 0);
+        assert_eq!(out, vec![0]);
+        let out2 = issue_once(&mut iq, &scb, 1);
+        assert_eq!(out2, vec![1]);
+    }
+
+    #[test]
+    fn slot_priority_without_oldest_first() {
+        let mut iq = OooIq::new(OooIqConfig { entries: 4, oldest_first: false });
+        let scb = Scoreboard::new(8);
+        let held = HashSet::new();
+        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        // Fill slots 0..3 with seqs 0..3, issue all, then refill slot 0
+        // with a *younger* op: slot order, not age, decides priority.
+        for i in 0..4 {
+            iq.try_dispatch(op(i, i as u8, None), &ctx);
+        }
+        let _ = issue_once(&mut iq, &scb, 0);
+        iq.try_dispatch(op(10, 0, None), &ctx); // goes to slot 0
+        iq.try_dispatch(op(4, 0, None), &ctx); // older... wait, 4 < 10
+        // Same port: slot 0 (seq 10) wins over slot 1 (seq 4).
+        let out = issue_once(&mut iq, &scb, 1);
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn oldest_first_grants_by_age() {
+        let mut iq = OooIq::new(OooIqConfig { entries: 4, oldest_first: true });
+        let scb = Scoreboard::new(8);
+        let held = HashSet::new();
+        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        for i in 0..4 {
+            iq.try_dispatch(op(i, i as u8, None), &ctx);
+        }
+        let _ = issue_once(&mut iq, &scb, 0);
+        iq.try_dispatch(op(10, 0, None), &ctx);
+        iq.try_dispatch(op(4, 0, None), &ctx);
+        let out = issue_once(&mut iq, &scb, 1);
+        assert_eq!(out, vec![4]);
+    }
+
+    #[test]
+    fn full_queue_stalls() {
+        let mut iq = OooIq::new(OooIqConfig { entries: 1, oldest_first: false });
+        let scb = Scoreboard::new(8);
+        let held = HashSet::new();
+        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let mut blocked = op(0, 0, Some(PhysReg(1)));
+        blocked.srcs = [Some(PhysReg(1)), None];
+        let mut scb2 = Scoreboard::new(8);
+        scb2.allocate(PhysReg(1));
+        let ctx2 = ReadyCtx { cycle: 0, scb: &scb2, held: &held };
+        assert_eq!(iq.try_dispatch(blocked, &ctx2), DispatchOutcome::Accepted);
+        assert_eq!(iq.try_dispatch(op(1, 1, None), &ctx), DispatchOutcome::Stall(StallReason::Full));
+    }
+
+    #[test]
+    fn wakeup_charges_cam_energy() {
+        let mut iq = OooIq::new(OooIqConfig::default());
+        iq.on_complete(PhysReg(0));
+        iq.on_complete(PhysReg(1));
+        let e = iq.energy_events();
+        assert_eq!(e.cam_broadcasts, 2);
+        assert_eq!(e.cam_entries_searched, 2 * 96);
+    }
+
+    #[test]
+    fn flush_clears_younger_slots() {
+        let mut iq = OooIq::new(OooIqConfig::default());
+        let mut scb = Scoreboard::new(8);
+        scb.allocate(PhysReg(1));
+        let held = HashSet::new();
+        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        for i in 0..5 {
+            iq.try_dispatch(op(i, i as u8, Some(PhysReg(1))), &ctx);
+        }
+        iq.flush_after(1, &[]);
+        assert_eq!(iq.occupancy(), 2);
+    }
+
+    #[test]
+    fn width_budget_bounds_total_issue() {
+        let mut iq = OooIq::new(OooIqConfig::default());
+        let scb = Scoreboard::new(8);
+        let held = HashSet::new();
+        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        for i in 0..8 {
+            iq.try_dispatch(op(i, i as u8, None), &ctx);
+        }
+        let busy = FuBusy::new();
+        let mut pa = PortAlloc::new(8, 4, &busy, 0); // budget 4 < ports 8
+        let mut out = Vec::new();
+        iq.issue(&ctx, &mut pa, &mut out);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn div_contention_defers_issue() {
+        let mut iq = OooIq::new(OooIqConfig::default());
+        let scb = Scoreboard::new(8);
+        let held = HashSet::new();
+        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let div = SchedUop { class: OpClass::IntDiv, ..op(0, 0, None) };
+        iq.try_dispatch(div, &ctx);
+        let mut busy = FuBusy::new();
+        busy.reserve(PortId(0), OpClass::IntDiv, 100);
+        let mut pa = PortAlloc::new(8, 8, &busy, 0);
+        let mut out = Vec::new();
+        iq.issue(&ctx, &mut pa, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(iq.occupancy(), 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Physical-register readiness scoreboard.
+//!
+//! One entry per physical register holding the absolute cycle at which its
+//! value is available through the bypass network. Producers set it at
+//! issue (`issue_cycle + latency`), enabling back-to-back issue of
+//! single-cycle dependents; registers holding architectural state are
+//! ready from cycle zero.
+
+use ballerino_isa::PhysReg;
+
+/// Sentinel for "no producer scheduled yet".
+const NOT_SCHEDULED: u64 = u64::MAX;
+
+/// Readiness scoreboard over the physical register file.
+#[derive(Debug, Clone)]
+pub struct Scoreboard {
+    ready_at: Vec<u64>,
+}
+
+impl Scoreboard {
+    /// Creates a scoreboard for `n` physical registers, all ready
+    /// (architectural state).
+    pub fn new(n: usize) -> Self {
+        Scoreboard { ready_at: vec![0; n] }
+    }
+
+    /// Number of tracked registers.
+    pub fn len(&self) -> usize {
+        self.ready_at.len()
+    }
+
+    /// Whether the scoreboard tracks zero registers.
+    pub fn is_empty(&self) -> bool {
+        self.ready_at.is_empty()
+    }
+
+    /// Marks `p` as allocated to a new producer that has not issued.
+    pub fn allocate(&mut self, p: PhysReg) {
+        self.ready_at[p.index()] = NOT_SCHEDULED;
+    }
+
+    /// Sets the absolute cycle at which `p`'s value becomes available.
+    pub fn set_ready_at(&mut self, p: PhysReg, cycle: u64) {
+        self.ready_at[p.index()] = cycle;
+    }
+
+    /// Marks `p` ready immediately (rollback: freed registers go back to
+    /// holding stale-but-ready architectural values).
+    pub fn force_ready(&mut self, p: PhysReg) {
+        self.ready_at[p.index()] = 0;
+    }
+
+    /// Whether `p` is ready at `cycle`.
+    pub fn is_ready(&self, p: PhysReg, cycle: u64) -> bool {
+        self.ready_at[p.index()] <= cycle
+    }
+
+    /// The cycle `p` becomes ready (`u64::MAX` when unscheduled).
+    pub fn ready_cycle(&self, p: PhysReg) -> u64 {
+        self.ready_at[p.index()]
+    }
+
+    /// Whether all present sources are ready at `cycle`.
+    pub fn srcs_ready(&self, srcs: &[Option<PhysReg>; 2], cycle: u64) -> bool {
+        srcs.iter().flatten().all(|p| self.is_ready(*p, cycle))
+    }
+
+    /// Latest ready cycle across present sources (0 when sourceless,
+    /// `u64::MAX` if any is unscheduled).
+    pub fn srcs_ready_cycle(&self, srcs: &[Option<PhysReg>; 2]) -> u64 {
+        srcs.iter().flatten().map(|p| self.ready_cycle(*p)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_scoreboard_is_all_ready() {
+        let s = Scoreboard::new(8);
+        for i in 0..8 {
+            assert!(s.is_ready(PhysReg(i), 0));
+        }
+    }
+
+    #[test]
+    fn allocate_then_schedule_then_ready() {
+        let mut s = Scoreboard::new(8);
+        let p = PhysReg(3);
+        s.allocate(p);
+        assert!(!s.is_ready(p, 1_000_000));
+        s.set_ready_at(p, 50);
+        assert!(!s.is_ready(p, 49));
+        assert!(s.is_ready(p, 50));
+    }
+
+    #[test]
+    fn srcs_ready_combines_operands() {
+        let mut s = Scoreboard::new(8);
+        let a = PhysReg(1);
+        let b = PhysReg(2);
+        s.allocate(a);
+        s.allocate(b);
+        s.set_ready_at(a, 10);
+        s.set_ready_at(b, 20);
+        let srcs = [Some(a), Some(b)];
+        assert!(!s.srcs_ready(&srcs, 15));
+        assert!(s.srcs_ready(&srcs, 20));
+        assert_eq!(s.srcs_ready_cycle(&srcs), 20);
+    }
+
+    #[test]
+    fn sourceless_op_is_always_ready() {
+        let s = Scoreboard::new(4);
+        assert!(s.srcs_ready(&[None, None], 0));
+        assert_eq!(s.srcs_ready_cycle(&[None, None]), 0);
+    }
+
+    #[test]
+    fn force_ready_resets_after_rollback() {
+        let mut s = Scoreboard::new(4);
+        let p = PhysReg(0);
+        s.allocate(p);
+        s.force_ready(p);
+        assert!(s.is_ready(p, 0));
+    }
+}

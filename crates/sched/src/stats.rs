@@ -1,0 +1,224 @@
+//! Scheduler statistics: energy-relevant event counts, steering outcomes
+//! (Fig. 4), P-IQ head states (Fig. 6a), and per-IQ issue counts (Fig. 14).
+
+/// Energy-relevant micro-events accumulated by a scheduler.
+///
+/// The energy model (`ballerino-energy`) converts these into joules; the
+/// schedulers only count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedEnergyEvents {
+    /// Destination-tag broadcasts into CAM wakeup logic (OoO IQ).
+    pub cam_broadcasts: u64,
+    /// Total CAM entries searched (sum of occupancy over broadcasts).
+    pub cam_entries_searched: u64,
+    /// Total prefix-sum inputs evaluated (sum over active select cycles).
+    pub select_inputs: u64,
+    /// Queue/payload-RAM writes (dispatch/enqueue).
+    pub queue_writes: u64,
+    /// Queue/payload-RAM reads (issue/dequeue).
+    pub queue_reads: u64,
+    /// FIFO-head readiness examinations (scoreboard reads by S/P-IQs).
+    pub head_examinations: u64,
+    /// Inter-queue copy operations (CASINO passes).
+    pub copies: u64,
+    /// Steering decisions taken (CES / Ballerino steer logic activations).
+    pub steer_ops: u64,
+    /// Producer-location (P-SCB / LFST-steer) table reads.
+    pub loc_reads: u64,
+    /// Producer-location table writes.
+    pub loc_writes: u64,
+}
+
+impl SchedEnergyEvents {
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &SchedEnergyEvents) {
+        self.cam_broadcasts += other.cam_broadcasts;
+        self.cam_entries_searched += other.cam_entries_searched;
+        self.select_inputs += other.select_inputs;
+        self.queue_writes += other.queue_writes;
+        self.queue_reads += other.queue_reads;
+        self.head_examinations += other.head_examinations;
+        self.copies += other.copies;
+        self.steer_ops += other.steer_ops;
+        self.loc_reads += other.loc_reads;
+        self.loc_writes += other.loc_writes;
+    }
+}
+
+/// Outcome of one steering decision (Fig. 4 taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SteerEvent {
+    /// Steered into an existing P-IQ along its dependence chain.
+    SteerDc,
+    /// Allocated a new P-IQ for a ready-at-dispatch μop.
+    AllocReady,
+    /// Allocated a new P-IQ for a non-ready μop (chain head / split / full).
+    AllocNonReady,
+    /// Stalled (no free P-IQ) while the μop was ready at dispatch.
+    StallReady,
+    /// Stalled (no free P-IQ) while the μop was not ready.
+    StallNonReady,
+    /// Issued speculatively from the S-IQ without touching a P-IQ
+    /// (Ballerino/CASINO filtering; not present in pure CES).
+    SpeculativeIssue,
+    /// Steered into a shared P-IQ partition (Ballerino Step 3).
+    SteerShared,
+}
+
+/// Histogram of steering outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SteerStats {
+    /// `[Steer] DC` events.
+    pub steer_dc: u64,
+    /// `[Allocate] Ready` events.
+    pub alloc_ready: u64,
+    /// `[Allocate] Non-ready` events.
+    pub alloc_nonready: u64,
+    /// `[Stall] Ready` cycles.
+    pub stall_ready: u64,
+    /// `[Stall] Non-ready` cycles.
+    pub stall_nonready: u64,
+    /// Speculative issues from the S-IQ.
+    pub spec_issue: u64,
+    /// Steers into a shared partition.
+    pub steer_shared: u64,
+}
+
+impl SteerStats {
+    /// Records one event.
+    pub fn record(&mut self, e: SteerEvent) {
+        match e {
+            SteerEvent::SteerDc => self.steer_dc += 1,
+            SteerEvent::AllocReady => self.alloc_ready += 1,
+            SteerEvent::AllocNonReady => self.alloc_nonready += 1,
+            SteerEvent::StallReady => self.stall_ready += 1,
+            SteerEvent::StallNonReady => self.stall_nonready += 1,
+            SteerEvent::SpeculativeIssue => self.spec_issue += 1,
+            SteerEvent::SteerShared => self.steer_shared += 1,
+        }
+    }
+
+    /// Total recorded events.
+    pub fn total(&self) -> u64 {
+        self.steer_dc
+            + self.alloc_ready
+            + self.alloc_nonready
+            + self.stall_ready
+            + self.stall_nonready
+            + self.spec_issue
+            + self.steer_shared
+    }
+}
+
+/// Per-cycle state of a P-IQ head (Fig. 6a taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HeadState {
+    /// The head issued this cycle.
+    Issuing,
+    /// Head is an M-dependent load waiting for its producer store's issue.
+    StallMdepLoad,
+    /// Head waits for register operands (usually a long-latency load).
+    StallNonReady,
+    /// Head was ready but lost port arbitration.
+    StallPortConflict,
+    /// The queue is empty.
+    Empty,
+}
+
+/// Histogram of P-IQ head states, accumulated per queue per cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeadStateStats {
+    /// Cycles a head issued.
+    pub issuing: u64,
+    /// Cycles a head was an MDP-held load.
+    pub stall_mdep_load: u64,
+    /// Cycles a head waited on register operands.
+    pub stall_nonready: u64,
+    /// Cycles a ready head lost port arbitration.
+    pub stall_port_conflict: u64,
+    /// Cycles the queue was empty.
+    pub empty: u64,
+}
+
+impl HeadStateStats {
+    /// Records one observation.
+    pub fn record(&mut self, s: HeadState) {
+        match s {
+            HeadState::Issuing => self.issuing += 1,
+            HeadState::StallMdepLoad => self.stall_mdep_load += 1,
+            HeadState::StallNonReady => self.stall_nonready += 1,
+            HeadState::StallPortConflict => self.stall_port_conflict += 1,
+            HeadState::Empty => self.empty += 1,
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.issuing + self.stall_mdep_load + self.stall_nonready + self.stall_port_conflict
+            + self.empty
+    }
+}
+
+/// Which structure issued each μop (Fig. 14).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IssueBreakdown {
+    /// Issued speculatively from an S-IQ.
+    pub from_siq: u64,
+    /// Issued from a P-IQ head.
+    pub from_piq: u64,
+    /// Issued from a conventional in-order IQ.
+    pub from_inorder: u64,
+    /// Issued from an out-of-order IQ.
+    pub from_ooo: u64,
+    /// Executed in FXA's IXU.
+    pub from_ixu: u64,
+}
+
+impl IssueBreakdown {
+    /// Total issues recorded.
+    pub fn total(&self) -> u64 {
+        self.from_siq + self.from_piq + self.from_inorder + self.from_ooo + self.from_ixu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steer_stats_record_and_total() {
+        let mut s = SteerStats::default();
+        s.record(SteerEvent::SteerDc);
+        s.record(SteerEvent::AllocReady);
+        s.record(SteerEvent::AllocReady);
+        s.record(SteerEvent::StallReady);
+        assert_eq!(s.steer_dc, 1);
+        assert_eq!(s.alloc_ready, 2);
+        assert_eq!(s.total(), 4);
+    }
+
+    #[test]
+    fn head_state_stats_record_and_total() {
+        let mut h = HeadStateStats::default();
+        h.record(HeadState::Issuing);
+        h.record(HeadState::Empty);
+        h.record(HeadState::StallMdepLoad);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.issuing, 1);
+    }
+
+    #[test]
+    fn energy_events_accumulate() {
+        let mut a = SchedEnergyEvents { cam_broadcasts: 1, ..Default::default() };
+        let b = SchedEnergyEvents { cam_broadcasts: 2, queue_writes: 5, ..Default::default() };
+        a.add(&b);
+        assert_eq!(a.cam_broadcasts, 3);
+        assert_eq!(a.queue_writes, 5);
+    }
+
+    #[test]
+    fn issue_breakdown_total() {
+        let ib = IssueBreakdown { from_siq: 2, from_piq: 3, ..Default::default() };
+        assert_eq!(ib.total(), 5);
+    }
+}

@@ -1,0 +1,61 @@
+//! The scheduler-facing view of an in-flight μop.
+
+use ballerino_isa::{OpClass, PhysReg, PortId};
+use ballerino_mem::SsId;
+
+/// Everything a scheduler needs to know about a dispatched μop.
+///
+/// Identity is the global **sequence number** (`seq`), the dynamic age
+/// assigned at rename; the pipeline keeps the full state and maps `seq`
+/// back to it when the scheduler reports an issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedUop {
+    /// Global dynamic age (monotonically increasing).
+    pub seq: u64,
+    /// Program counter (used for steering hints and stats).
+    pub pc: u64,
+    /// Opcode class.
+    pub class: OpClass,
+    /// Issue port assigned at dispatch (opcode + load balancing).
+    pub port: PortId,
+    /// Renamed sources.
+    pub srcs: [Option<PhysReg>; 2],
+    /// Renamed destination.
+    pub dst: Option<PhysReg>,
+    /// Store-set of this load/store, if the MDP predicted one.
+    pub ssid: Option<SsId>,
+    /// For loads/stores serialized by the MDP: the store (by seq) whose
+    /// issue this μop must wait for. The pipeline tracks the hold; this
+    /// field lets schedulers classify stalls and steer along M-dependences.
+    pub mdp_wait: Option<u64>,
+    /// Whether the μop directly or transitively depends on an older
+    /// incomplete load at dispatch (the `LdC` class of Fig. 3c).
+    pub load_dep: bool,
+}
+
+impl SchedUop {
+    /// A minimal μop for tests: an ALU op with no sources.
+    pub fn test_op(seq: u64) -> Self {
+        SchedUop {
+            seq,
+            pc: seq * 4,
+            class: OpClass::IntAlu,
+            port: PortId(0),
+            srcs: [None, None],
+            dst: None,
+            ssid: None,
+            mdp_wait: None,
+            load_dep: false,
+        }
+    }
+
+    /// Whether this μop is a load.
+    pub fn is_load(&self) -> bool {
+        self.class == OpClass::Load
+    }
+
+    /// Whether this μop is a store.
+    pub fn is_store(&self) -> bool {
+        self.class == OpClass::Store
+    }
+}

@@ -1,0 +1,358 @@
+//! Machine factory: Table II scheduling-window configurations per design
+//! and width, plus the one-call [`run_machine`] helper the benches use.
+
+use crate::config::{CoreConfig, Width};
+use crate::core::Core;
+use crate::stats::SimResult;
+use ballerino_core::{Ballerino, BallerinoConfig};
+use ballerino_energy::StructureSizes;
+use ballerino_isa::Trace;
+use ballerino_sched::{
+    Casino, CasinoConfig, Ces, CesConfig, Dnb, DnbConfig, Fxa, FxaConfig, InOrderIq,
+    InOrderIqConfig, Lsc, LscConfig, OooIq, OooIqConfig, Scheduler,
+};
+
+/// Which microarchitecture to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MachineKind {
+    /// Stall-on-use in-order core (`InO`).
+    InOrder,
+    /// Baseline out-of-order core (`OoO`).
+    OutOfOrder,
+    /// OoO with oldest-first select (Fig. 11 rightmost bars).
+    OutOfOrderOldestFirst,
+    /// OoO without memory dependence prediction (§III-B's 1.5× claim).
+    OutOfOrderNoMdp,
+    /// Complexity-effective superscalar \[3\].
+    Ces,
+    /// CES + M-dependence-aware steering (Fig. 13).
+    CesMda,
+    /// CASINO cascaded in-order windows \[2\].
+    Casino,
+    /// Front-end execution architecture \[1\].
+    Fxa,
+    /// Fig. 13 Step 1: S-IQ + P-IQs, no MDA, no sharing.
+    BallerinoStep1,
+    /// Fig. 13 Step 2: Step 1 + MDA steering.
+    BallerinoStep2,
+    /// Ballerino (Step 3): 1 S-IQ + 7 P-IQs at 8-wide.
+    Ballerino,
+    /// Step 3 without implementation constraints (ideal).
+    BallerinoIdeal,
+    /// Ballerino-12: 1 S-IQ + 11 P-IQs.
+    Ballerino12,
+    /// Ballerino with a custom P-IQ count (Figs. 6b, 17c).
+    BallerinoN(usize),
+    /// Load Slice Core (extension baseline from §VII related work).
+    LoadSliceCore,
+    /// Delay-and-Bypass (extension baseline from §VII related work).
+    DelayAndBypass,
+}
+
+impl MachineKind {
+    /// All headline designs of Fig. 11, in display order.
+    pub const FIG11: [MachineKind; 7] = [
+        MachineKind::Ces,
+        MachineKind::Casino,
+        MachineKind::Fxa,
+        MachineKind::Ballerino,
+        MachineKind::Ballerino12,
+        MachineKind::OutOfOrder,
+        MachineKind::OutOfOrderOldestFirst,
+    ];
+
+    /// Short display label.
+    pub fn label(self) -> String {
+        match self {
+            MachineKind::InOrder => "InO".into(),
+            MachineKind::OutOfOrder => "OoO".into(),
+            MachineKind::OutOfOrderOldestFirst => "OoO+of".into(),
+            MachineKind::OutOfOrderNoMdp => "OoO-noMDP".into(),
+            MachineKind::Ces => "CES".into(),
+            MachineKind::CesMda => "CES+MDA".into(),
+            MachineKind::Casino => "CASINO".into(),
+            MachineKind::Fxa => "FXA".into(),
+            MachineKind::BallerinoStep1 => "Step1".into(),
+            MachineKind::BallerinoStep2 => "Step2".into(),
+            MachineKind::Ballerino => "Ballerino".into(),
+            MachineKind::BallerinoIdeal => "Ballerino-ideal".into(),
+            MachineKind::Ballerino12 => "Ballerino-12".into(),
+            MachineKind::BallerinoN(n) => format!("Ballerino-{}", n + 1),
+            MachineKind::LoadSliceCore => "LSC".into(),
+            MachineKind::DelayAndBypass => "DNB".into(),
+        }
+    }
+}
+
+fn iq_entries(width: Width) -> usize {
+    match width {
+        Width::Two => 32,
+        Width::Four => 64,
+        Width::Eight | Width::Ten => 96,
+    }
+}
+
+fn ces_piqs(width: Width) -> (usize, usize) {
+    match width {
+        Width::Two => (2, 16),
+        Width::Four => (4, 16),
+        Width::Eight => (8, 12),
+        Width::Ten => (10, 12),
+    }
+}
+
+fn ballerino_cfg(width: Width, total_phys: usize) -> BallerinoConfig {
+    let mut c = match width {
+        Width::Two => BallerinoConfig::two_wide(),
+        Width::Four => BallerinoConfig::four_wide(),
+        Width::Eight => BallerinoConfig::eight_wide(),
+        Width::Ten => BallerinoConfig { num_piqs: 9, ..BallerinoConfig::eight_wide() },
+    };
+    c.num_phys_regs = total_phys;
+    c
+}
+
+/// Builds the core configuration, scheduler and energy structure sizes
+/// for a machine kind at a width.
+pub fn build_scheduler(
+    kind: MachineKind,
+    width: Width,
+) -> (CoreConfig, Box<dyn Scheduler>, StructureSizes) {
+    let mut cfg = match kind {
+        MachineKind::InOrder => CoreConfig::preset_inorder(width),
+        _ => CoreConfig::preset(width),
+    };
+    if kind == MachineKind::OutOfOrderNoMdp {
+        cfg.use_mdp = false;
+    }
+    let phys = cfg.total_phys();
+    let entries = iq_entries(width);
+    let common_sizes = StructureSizes {
+        rob_entries: cfg.rob_entries,
+        lsq_entries: cfg.lq_entries + cfg.sq_entries,
+        prf_entries: phys,
+        has_mdp: cfg.use_mdp,
+        ..StructureSizes::default()
+    };
+
+    let (sched, sizes): (Box<dyn Scheduler>, StructureSizes) = match kind {
+        MachineKind::InOrder => (
+            Box::new(InOrderIq::new(InOrderIqConfig {
+                entries,
+                read_ports: cfg.issue_width,
+            })),
+            StructureSizes {
+                cam_entries: 0,
+                fifo_entries: entries,
+                has_steer: false,
+                ..common_sizes
+            },
+        ),
+        MachineKind::OutOfOrder | MachineKind::OutOfOrderNoMdp => (
+            Box::new(OooIq::new(OooIqConfig { entries, oldest_first: false })),
+            StructureSizes { cam_entries: entries, fifo_entries: 0, ..common_sizes },
+        ),
+        MachineKind::OutOfOrderOldestFirst => (
+            Box::new(OooIq::new(OooIqConfig { entries, oldest_first: true })),
+            StructureSizes { cam_entries: entries, fifo_entries: 0, ..common_sizes },
+        ),
+        MachineKind::Ces | MachineKind::CesMda => {
+            let (n, e) = ces_piqs(width);
+            (
+                Box::new(Ces::new(CesConfig {
+                    num_piqs: n,
+                    piq_entries: e,
+                    num_phys_regs: phys,
+                    mda_steering: kind == MachineKind::CesMda,
+                    num_ssids: 128,
+                })),
+                StructureSizes {
+                    cam_entries: 0,
+                    fifo_entries: n * e,
+                    has_steer: true,
+                    ..common_sizes
+                },
+            )
+        }
+        MachineKind::Casino => {
+            let c = match width {
+                Width::Two => CasinoConfig::two_wide(),
+                Width::Four => CasinoConfig::four_wide(),
+                Width::Eight | Width::Ten => CasinoConfig::eight_wide(),
+            };
+            let fifo = c.total_entries();
+            (
+                Box::new(Casino::new(c)),
+                StructureSizes {
+                    cam_entries: 0,
+                    fifo_entries: fifo,
+                    has_steer: false,
+                    ..common_sizes
+                },
+            )
+        }
+        MachineKind::Fxa => {
+            let c = match width {
+                Width::Two => FxaConfig {
+                    ixu_width: 2,
+                    backend_entries: 16,
+                    backend_width: 2,
+                    ..FxaConfig::default()
+                },
+                Width::Four => FxaConfig {
+                    backend_entries: 32,
+                    backend_width: 4,
+                    ..FxaConfig::default()
+                },
+                Width::Eight => FxaConfig::default(),
+                Width::Ten => FxaConfig { backend_width: 5, ..FxaConfig::default() },
+            };
+            let cam = c.backend_entries;
+            (
+                Box::new(Fxa::new(c)),
+                StructureSizes {
+                    cam_entries: cam,
+                    fifo_entries: 12, // IXU pipeline latches
+                    ..common_sizes
+                },
+            )
+        }
+        MachineKind::LoadSliceCore => {
+            let c = match width {
+                Width::Two => LscConfig { bypass_entries: 12, main_entries: 20, ports_per_queue: 2, ..LscConfig::default() },
+                Width::Four => LscConfig { bypass_entries: 24, main_entries: 40, ports_per_queue: 3, ..LscConfig::default() },
+                _ => LscConfig::default(),
+            };
+            let fifo = c.bypass_entries + c.main_entries;
+            (
+                Box::new(Lsc::new(c)),
+                StructureSizes {
+                    cam_entries: 0,
+                    fifo_entries: fifo,
+                    has_steer: true, // the IST plays the steering role
+                    ..common_sizes
+                },
+            )
+        }
+        MachineKind::DelayAndBypass => {
+            let c = match width {
+                Width::Two => DnbConfig { ooo_entries: 12, bypass_entries: 10, delay_entries: 10, inorder_ports: 2, ..DnbConfig::default() },
+                Width::Four => DnbConfig { ooo_entries: 24, bypass_entries: 20, delay_entries: 20, inorder_ports: 3, ..DnbConfig::default() },
+                _ => DnbConfig::default(),
+            };
+            let (cam, fifo) = (c.ooo_entries, c.bypass_entries + c.delay_entries);
+            (
+                Box::new(Dnb::new(c)),
+                StructureSizes {
+                    cam_entries: cam,
+                    fifo_entries: fifo,
+                    ..common_sizes
+                },
+            )
+        }
+        MachineKind::BallerinoStep1
+        | MachineKind::BallerinoStep2
+        | MachineKind::Ballerino
+        | MachineKind::BallerinoIdeal
+        | MachineKind::Ballerino12
+        | MachineKind::BallerinoN(_) => {
+            let mut c = ballerino_cfg(width, phys);
+            match kind {
+                MachineKind::BallerinoStep1 => {
+                    c.mda_steering = false;
+                    c.piq_sharing = false;
+                }
+                MachineKind::BallerinoStep2 => c.piq_sharing = false,
+                MachineKind::BallerinoIdeal => c.ideal_sharing = true,
+                MachineKind::Ballerino12 => c.num_piqs = 11,
+                MachineKind::BallerinoN(n) => c.num_piqs = n,
+                _ => {}
+            }
+            let fifo = c.siq_entries + c.num_piqs * c.piq_entries;
+            (
+                Box::new(Ballerino::new(c)),
+                StructureSizes {
+                    cam_entries: 0,
+                    fifo_entries: fifo,
+                    has_steer: true,
+                    ..common_sizes
+                },
+            )
+        }
+    };
+    (cfg, sched, sizes)
+}
+
+/// Builds and runs one machine over a trace.
+pub fn run_machine(kind: MachineKind, width: Width, trace: &Trace) -> SimResult {
+    let (cfg, sched, sizes) = build_scheduler(kind, width);
+    Core::new(cfg, sched, sizes).run(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds_at_every_width() {
+        let kinds = [
+            MachineKind::InOrder,
+            MachineKind::OutOfOrder,
+            MachineKind::OutOfOrderOldestFirst,
+            MachineKind::OutOfOrderNoMdp,
+            MachineKind::Ces,
+            MachineKind::CesMda,
+            MachineKind::Casino,
+            MachineKind::Fxa,
+            MachineKind::BallerinoStep1,
+            MachineKind::BallerinoStep2,
+            MachineKind::Ballerino,
+            MachineKind::BallerinoIdeal,
+            MachineKind::Ballerino12,
+            MachineKind::BallerinoN(5),
+            MachineKind::LoadSliceCore,
+            MachineKind::DelayAndBypass,
+        ];
+        for kind in kinds {
+            for width in [Width::Two, Width::Four, Width::Eight, Width::Ten] {
+                let (cfg, sched, sizes) = build_scheduler(kind, width);
+                assert!(sched.capacity() > 0, "{kind:?} {width:?}");
+                assert!(cfg.issue_width >= 2);
+                assert!(sizes.prf_entries > 64);
+            }
+        }
+    }
+
+    #[test]
+    fn window_sizes_match_table_ii_at_8_wide() {
+        let (_, ooo, _) = build_scheduler(MachineKind::OutOfOrder, Width::Eight);
+        assert_eq!(ooo.capacity(), 96);
+        let (_, ces, _) = build_scheduler(MachineKind::Ces, Width::Eight);
+        assert_eq!(ces.capacity(), 8 * 12);
+        let (_, casino, _) = build_scheduler(MachineKind::Casino, Width::Eight);
+        assert_eq!(casino.capacity(), 8 + 40 + 40 + 8);
+        let (_, b, _) = build_scheduler(MachineKind::Ballerino, Width::Eight);
+        assert_eq!(b.capacity(), 8 + 7 * 12);
+        let (_, b12, _) = build_scheduler(MachineKind::Ballerino12, Width::Eight);
+        assert_eq!(b12.capacity(), 8 + 11 * 12);
+        let (_, fxa, _) = build_scheduler(MachineKind::Fxa, Width::Eight);
+        assert_eq!(fxa.capacity(), 48);
+    }
+
+    #[test]
+    fn ino_preset_is_used_for_inorder() {
+        let (cfg, _, sizes) = build_scheduler(MachineKind::InOrder, Width::Eight);
+        assert!(!cfg.use_mdp);
+        assert_eq!(cfg.recovery_penalty, 8);
+        assert!(!sizes.has_mdp);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> =
+            MachineKind::FIG11.iter().map(|k| k.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+    }
+}

@@ -1,0 +1,190 @@
+//! Hand-built-trace unit tests of specific pipeline mechanisms: exact
+//! store-to-load forwarding, violation squash and re-execution, MDP
+//! hold timing, branch-mispredict fetch stalls, and resource
+//! backpressure. Each trace isolates one mechanism.
+
+use ballerino_isa::{ArchReg, MicroOp, OpClass, Trace};
+use ballerino_sim::{run_machine, MachineKind, Width};
+
+fn run(t: &Trace, kind: MachineKind) -> ballerino_sim::SimResult {
+    run_machine(kind, Width::Eight, t)
+}
+
+/// Repeated store→load to one address with the store's data ready:
+/// forwarding should make the loads fast (no cache latency stacking) and
+/// produce zero violations once the MDP has trained.
+#[test]
+fn store_load_forwarding_is_fast_and_clean() {
+    let mut t = Trace::new("fwd");
+    for i in 0..2_000u64 {
+        let base = 0x400 + (i % 50) * 12;
+        t.push(MicroOp::alu(base, ArchReg::int(1), [None, None]));
+        t.push(MicroOp::store(base + 4, Some(ArchReg::int(1)), None, 0x9000));
+        t.push(MicroOp::load(base + 8, ArchReg::int(2), None, 0x9000));
+    }
+    let r = run(&t, MachineKind::OutOfOrder);
+    assert_eq!(r.committed, t.len() as u64);
+    // After warmup the loads forward from the SQ; IPC should be solid.
+    assert!(r.ipc() > 1.0, "forwarding path too slow: {}", r.ipc());
+}
+
+/// A load that races an older store to the same address violates exactly
+/// once per (untrained) static pair, then the store set serializes it.
+#[test]
+fn violations_are_learned_away() {
+    let mut t = Trace::new("viol");
+    for i in 0..1_500u64 {
+        // Store data depends on a load (slow); the reload is ready.
+        t.push(MicroOp::load(0x400, ArchReg::int(1), None, 0x1_0000 + (i % 512) * 64));
+        t.push(MicroOp::store(0x404, Some(ArchReg::int(1)), None, 0xA000));
+        t.push(MicroOp::load(0x408, ArchReg::int(2), None, 0xA000));
+        t.push(MicroOp::alu(0x40c, ArchReg::int(3), [Some(ArchReg::int(2)), None]));
+    }
+    let with = run(&t, MachineKind::OutOfOrder);
+    let without = run(&t, MachineKind::OutOfOrderNoMdp);
+    assert!(with.violations <= 5, "MDP should learn the pair: {}", with.violations);
+    assert!(
+        without.violations > 50,
+        "without MDP the pair should keep violating: {}",
+        without.violations
+    );
+    assert_eq!(with.committed, t.len() as u64);
+    assert_eq!(without.committed, t.len() as u64);
+}
+
+/// A perfectly-predictable loop has near-zero mispredicts; flipping to
+/// random outcomes produces fetch stalls visible as cycle inflation.
+#[test]
+fn mispredicts_inflate_cycles() {
+    let mk = |random: bool| {
+        let mut t = Trace::new("br");
+        let mut x = 999u64;
+        for i in 0..3_000u64 {
+            t.push(MicroOp::alu(0x400, ArchReg::int(1), [None, None]));
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let taken = if random { x & 1 == 1 } else { i % 8 != 7 };
+            t.push(MicroOp::branch(0x404, Some(ArchReg::int(1)), taken, 0x400));
+        }
+        t
+    };
+    let easy = run(&mk(false), MachineKind::OutOfOrder);
+    let hard = run(&mk(true), MachineKind::OutOfOrder);
+    assert!(easy.mispredicts * 5 < hard.mispredicts);
+    assert!(hard.cycles > 2 * easy.cycles, "{} vs {}", hard.cycles, easy.cycles);
+}
+
+/// Back-to-back dependent ALU ops must sustain exactly IPC 1 on every
+/// out-of-order-capable design (the wakeup-select loop supports it).
+#[test]
+fn dependent_chain_sustains_ipc_one() {
+    let mut t = Trace::new("chain");
+    for _ in 0..4_000u64 {
+        t.push(MicroOp::alu(0x400, ArchReg::int(1), [Some(ArchReg::int(1)), None]));
+    }
+    for kind in [MachineKind::OutOfOrder, MachineKind::Ballerino, MachineKind::Ces] {
+        let r = run(&t, kind);
+        assert!(
+            (r.ipc() - 1.0).abs() < 0.05,
+            "{kind:?} chain IPC {} should be ~1.0",
+            r.ipc()
+        );
+    }
+}
+
+/// Unpipelined divides on the single divider port serialize: a stream of
+/// dependent-free divides is limited by the divider occupancy.
+#[test]
+fn divider_occupancy_limits_throughput() {
+    let mut t = Trace::new("div");
+    for i in 0..600u64 {
+        t.push(MicroOp::compute(
+            0x400,
+            OpClass::IntDiv,
+            ArchReg::int((i % 8) as u16),
+            [None, None],
+        ));
+    }
+    let r = run(&t, MachineKind::OutOfOrder);
+    // 600 divides × 20-cycle unpipelined divider ≈ 12 000 cycles minimum.
+    assert!(r.cycles >= 600 * 20, "divider not serialized: {} cycles", r.cycles);
+}
+
+/// FP multiplies only exist on two ports: throughput caps at 2/cycle even
+/// with unlimited parallelism.
+#[test]
+fn fp_port_pressure_caps_throughput() {
+    let mut t = Trace::new("fp");
+    for i in 0..4_000u64 {
+        t.push(MicroOp::compute(
+            0x400 + (i % 16) * 4,
+            OpClass::FpMul,
+            ArchReg::fp((i % 16) as u16),
+            [None, None],
+        ));
+    }
+    let r = run(&t, MachineKind::OutOfOrder);
+    assert!(r.ipc() <= 2.05, "only 2 FP-mul ports exist: {}", r.ipc());
+    assert!(r.ipc() > 1.7, "FP ports underutilized: {}", r.ipc());
+}
+
+/// An instruction working set far larger than the L1I produces
+/// instruction-fetch stalls (cold front end), visible against a tiny
+/// loop with the same instruction mix.
+#[test]
+fn icache_pressure_slows_fetch() {
+    let mk = |static_ops: u64| {
+        let mut t = Trace::new("icache");
+        for i in 0..6_000u64 {
+            let pc = 0x40_0000 + (i % static_ops) * 4;
+            t.push(MicroOp::alu(pc, ArchReg::int((i % 24) as u16), [None, None]));
+        }
+        t
+    };
+    let small = run(&mk(64), MachineKind::OutOfOrder); // fits L1I easily
+    let huge = run(&mk(400_000), MachineKind::OutOfOrder); // 1.6 MB of code
+    assert!(
+        huge.cycles > small.cycles * 2,
+        "instruction misses must hurt: {} vs {}",
+        huge.cycles,
+        small.cycles
+    );
+}
+
+/// The load queue bounds outstanding loads: a machine with LQ 72 cannot
+/// have more than 72 loads in flight, which caps IPC for pure-load
+/// streams that miss to DRAM.
+#[test]
+fn load_queue_bounds_mlp() {
+    let mut t = Trace::new("lq");
+    let mut x = 7u64;
+    for i in 0..3_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        t.push(MicroOp::load(
+            0x400 + (i % 8) * 4,
+            ArchReg::int((i % 8) as u16),
+            None,
+            0x1000_0000 + (x % (64 << 20)) / 64 * 64,
+        ));
+    }
+    let r = run(&t, MachineKind::OutOfOrder);
+    assert_eq!(r.committed, t.len() as u64);
+    // Random DRAM loads under an 8-MSHR L1: deep sub-1 IPC.
+    assert!(r.ipc() < 0.5, "DRAM-bound loads cannot be fast: {}", r.ipc());
+}
+
+/// In-order commit: a store only becomes visible (and releases its SQ
+/// entry) at commit, so SQ capacity backpressures store bursts.
+#[test]
+fn store_bursts_respect_sq_capacity() {
+    let mut t = Trace::new("st");
+    for i in 0..3_000u64 {
+        t.push(MicroOp::store(0x400 + (i % 8) * 4, None, None, 0x2_0000 + (i % 1024) * 8));
+    }
+    let r = run(&t, MachineKind::OutOfOrder);
+    assert_eq!(r.committed, t.len() as u64);
+    assert!(r.ipc() <= 4.0, "stores bounded by dispatch width: {}", r.ipc());
+}

@@ -1,0 +1,443 @@
+//! The static-kernel trace generator.
+//!
+//! A [`Kernel`] is a loop body of [`StaticOp`]s. [`Kernel::generate`]
+//! unrolls it into a dynamic [`Trace`], maintaining per-chain register
+//! state, per-stream address cursors, loop counters and a seeded RNG so
+//! the same parameters always produce the same trace.
+
+use ballerino_isa::{ArchReg, MicroOp, OpClass, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Memory access pattern of a load/store stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Access {
+    /// Sequential with a byte stride (prefetch-friendly).
+    Seq {
+        /// Stride in bytes between consecutive accesses.
+        stride: i64,
+    },
+    /// Uniformly random within the working set (prefetch-hostile).
+    Rand,
+    /// Random, and the load's base register is the *previous load's
+    /// destination* — a pointer chase: the next access cannot begin until
+    /// the previous one completes.
+    Chase,
+}
+
+/// Branch outcome behaviour of one static branch site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BranchBehavior {
+    /// Loop-closing branch: taken `period-1` times, then not taken.
+    Loop {
+        /// Loop trip count.
+        period: u32,
+    },
+    /// Taken with the given probability, i.i.d. per execution.
+    Biased {
+        /// Probability of being taken.
+        taken_prob: f64,
+    },
+    /// 50/50 random (hard for any predictor).
+    Random,
+}
+
+/// One static μop in the kernel body.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StaticOp {
+    /// A compute μop extending `chain`'s dependence chain.
+    Compute {
+        /// Opcode class ([`OpClass::IntAlu`], [`OpClass::FpMul`], ...).
+        class: OpClass,
+        /// Which chain it belongs to.
+        chain: usize,
+    },
+    /// A compute μop joining two chains (reads both, extends `chain`).
+    Merge {
+        /// Opcode class.
+        class: OpClass,
+        /// Destination chain (also first source).
+        chain: usize,
+        /// Second source chain.
+        other: usize,
+    },
+    /// A load feeding `chain` from the stream with pattern `access`.
+    Load {
+        /// Destination chain.
+        chain: usize,
+        /// Address stream pattern.
+        access: Access,
+    },
+    /// A store of `chain`'s current value into its stream.
+    Store {
+        /// Source chain.
+        chain: usize,
+        /// Address stream pattern (Chase is not meaningful here).
+        access: Access,
+    },
+    /// A store of `chain`'s value into spill slot `slot` (fixed address).
+    SpillStore {
+        /// Source chain.
+        chain: usize,
+        /// Spill slot index.
+        slot: usize,
+    },
+    /// A load from spill slot `slot` into `chain` — together with the
+    /// matching [`StaticOp::SpillStore`] this creates a recurring memory
+    /// dependence that the store-set MDP learns.
+    SpillLoad {
+        /// Destination chain.
+        chain: usize,
+        /// Spill slot index.
+        slot: usize,
+    },
+    /// A conditional branch testing `chain`'s value.
+    Branch {
+        /// Source chain.
+        chain: usize,
+        /// Outcome behaviour.
+        behavior: BranchBehavior,
+    },
+    /// An independent constant-producing μop (breaks `chain`'s chain,
+    /// starting a fresh one — chain *width* control).
+    Reset {
+        /// Chain to restart.
+        chain: usize,
+    },
+}
+
+/// Kernel parameters shared by all static ops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelParams {
+    /// Workload name.
+    pub name: String,
+    /// Working set in bytes (address streams wrap within it).
+    pub ws_bytes: u64,
+    /// Number of parallel dependence chains (register pressure is capped
+    /// at 24 int + 24 fp chains).
+    pub chains: usize,
+    /// RNG seed; same seed → identical trace.
+    pub seed: u64,
+}
+
+/// A static kernel: parameters plus the loop body.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Shared parameters.
+    pub params: KernelParams,
+    /// The loop body, in program order.
+    pub body: Vec<StaticOp>,
+}
+
+const CODE_BASE: u64 = 0x40_0000;
+const DATA_BASE: u64 = 0x1000_0000;
+const SPILL_BASE: u64 = 0x7f00_0000;
+
+impl Kernel {
+    /// Creates a kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body is empty, a chain index exceeds
+    /// `params.chains`, or `params.chains` exceeds 24.
+    pub fn new(params: KernelParams, body: Vec<StaticOp>) -> Self {
+        assert!(!body.is_empty(), "kernel body must not be empty");
+        assert!(params.chains <= 24, "at most 24 chains supported");
+        for op in &body {
+            let c = match op {
+                StaticOp::Compute { chain, .. }
+                | StaticOp::Load { chain, .. }
+                | StaticOp::Store { chain, .. }
+                | StaticOp::SpillStore { chain, .. }
+                | StaticOp::SpillLoad { chain, .. }
+                | StaticOp::Branch { chain, .. }
+                | StaticOp::Reset { chain } => *chain,
+                StaticOp::Merge { chain, other, .. } => (*chain).max(*other),
+            };
+            assert!(c < params.chains, "chain index {c} out of range");
+        }
+        Kernel { params, body }
+    }
+
+    fn int_reg(chain: usize) -> ArchReg {
+        ArchReg::int((chain + 1) as u16)
+    }
+
+    fn fp_reg(chain: usize) -> ArchReg {
+        ArchReg::fp((chain + 1) as u16)
+    }
+
+    fn chain_reg(chain: usize, class: OpClass) -> ArchReg {
+        if class.is_fp() {
+            Self::fp_reg(chain)
+        } else {
+            Self::int_reg(chain)
+        }
+    }
+
+    /// Unrolls the kernel into `n` dynamic μops.
+    pub fn generate(&self, n: usize) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut trace = Trace::new(self.params.name.clone());
+        let chains = self.params.chains;
+        let ws = self.params.ws_bytes.max(64);
+
+        // Per-(static-op) sequential cursors and per-chain last-load class
+        // tracking for chase dependences.
+        let mut seq_cursor: Vec<u64> = (0..self.body.len())
+            .map(|i| (i as u64 * 8_191) % ws)
+            .collect();
+        let mut loop_count: Vec<u32> = vec![0; self.body.len()];
+        // Whether each chain currently flows through fp registers.
+        let mut chain_is_fp: Vec<bool> = vec![false; chains];
+
+        while trace.len() < n {
+            for (si, op) in self.body.iter().enumerate() {
+                if trace.len() >= n {
+                    break;
+                }
+                let pc = CODE_BASE + (si as u64) * 4;
+                match *op {
+                    StaticOp::Compute { class, chain } => {
+                        let src = Self::chain_reg(chain, if chain_is_fp[chain] {
+                            OpClass::FpAdd
+                        } else {
+                            OpClass::IntAlu
+                        });
+                        let dst = Self::chain_reg(chain, class);
+                        chain_is_fp[chain] = class.is_fp();
+                        trace.push(MicroOp::compute(pc, class, dst, [Some(src), None]));
+                    }
+                    StaticOp::Merge { class, chain, other } => {
+                        let a = Self::chain_reg(chain, if chain_is_fp[chain] {
+                            OpClass::FpAdd
+                        } else {
+                            OpClass::IntAlu
+                        });
+                        let b = Self::chain_reg(other, if chain_is_fp[other] {
+                            OpClass::FpAdd
+                        } else {
+                            OpClass::IntAlu
+                        });
+                        let dst = Self::chain_reg(chain, class);
+                        chain_is_fp[chain] = class.is_fp();
+                        trace.push(MicroOp::compute(pc, class, dst, [Some(a), Some(b)]));
+                    }
+                    StaticOp::Load { chain, access } => {
+                        let region = (ws / chains as u64).max(64);
+                        let base = DATA_BASE + chain as u64 * region;
+                        let addr = match access {
+                            Access::Seq { stride } => {
+                                let cur = seq_cursor[si];
+                                seq_cursor[si] =
+                                    (cur as i64 + stride).rem_euclid(region as i64) as u64;
+                                base + cur
+                            }
+                            Access::Rand | Access::Chase => {
+                                base + (rng.gen_range(0..region / 8)) * 8
+                            }
+                        };
+                        let dst = Self::int_reg(chain);
+                        let base_reg = match access {
+                            // The chase load's address comes from the
+                            // chain's own register (the previous load).
+                            Access::Chase => Some(Self::int_reg(chain)),
+                            _ => Some(ArchReg::int(0)),
+                        };
+                        chain_is_fp[chain] = false;
+                        trace.push(MicroOp::load(pc, dst, base_reg, addr));
+                    }
+                    StaticOp::Store { chain, access } => {
+                        let region = (ws / chains as u64).max(64);
+                        let base = DATA_BASE + chain as u64 * region;
+                        let addr = match access {
+                            Access::Seq { stride } => {
+                                let cur = seq_cursor[si];
+                                seq_cursor[si] =
+                                    (cur as i64 + stride).rem_euclid(region as i64) as u64;
+                                base + cur
+                            }
+                            _ => base + (rng.gen_range(0..region / 8)) * 8,
+                        };
+                        let data = Self::chain_reg(chain, if chain_is_fp[chain] {
+                            OpClass::FpAdd
+                        } else {
+                            OpClass::IntAlu
+                        });
+                        trace.push(MicroOp::store(pc, Some(data), Some(ArchReg::int(0)), addr));
+                    }
+                    StaticOp::SpillStore { chain, slot } => {
+                        let addr = SPILL_BASE + (slot as u64) * 8;
+                        let data = Self::int_reg(chain);
+                        trace.push(MicroOp::store(pc, Some(data), Some(ArchReg::int(0)), addr));
+                    }
+                    StaticOp::SpillLoad { chain, slot } => {
+                        let addr = SPILL_BASE + (slot as u64) * 8;
+                        let dst = Self::int_reg(chain);
+                        chain_is_fp[chain] = false;
+                        trace.push(MicroOp::load(pc, dst, Some(ArchReg::int(0)), addr));
+                    }
+                    StaticOp::Branch { chain, behavior } => {
+                        let taken = match behavior {
+                            BranchBehavior::Loop { period } => {
+                                let c = loop_count[si];
+                                loop_count[si] = (c + 1) % period.max(1);
+                                c + 1 != period.max(1)
+                            }
+                            BranchBehavior::Biased { taken_prob } => {
+                                rng.gen_bool(taken_prob.clamp(0.0, 1.0))
+                            }
+                            BranchBehavior::Random => rng.gen_bool(0.5),
+                        };
+                        let src = Self::chain_reg(chain, if chain_is_fp[chain] {
+                            OpClass::FpAdd
+                        } else {
+                            OpClass::IntAlu
+                        });
+                        trace.push(MicroOp::branch(pc, Some(src), taken, CODE_BASE));
+                    }
+                    StaticOp::Reset { chain } => {
+                        let dst = Self::int_reg(chain);
+                        chain_is_fp[chain] = false;
+                        trace.push(MicroOp::alu(pc, dst, [None, None]));
+                    }
+                }
+            }
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(chains: usize) -> KernelParams {
+        KernelParams { name: "k".into(), ws_bytes: 1 << 20, chains, seed: 7 }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let k = Kernel::new(
+            params(2),
+            vec![
+                StaticOp::Load { chain: 0, access: Access::Rand },
+                StaticOp::Compute { class: OpClass::IntAlu, chain: 0 },
+                StaticOp::Branch { chain: 0, behavior: BranchBehavior::Biased { taken_prob: 0.9 } },
+            ],
+        );
+        let a = k.generate(1000);
+        let b = k.generate(1000);
+        assert_eq!(a.ops, b.ops);
+    }
+
+    #[test]
+    fn pcs_recur_across_iterations() {
+        let k = Kernel::new(
+            params(1),
+            vec![
+                StaticOp::Load { chain: 0, access: Access::Seq { stride: 64 } },
+                StaticOp::Compute { class: OpClass::IntAlu, chain: 0 },
+            ],
+        );
+        let t = k.generate(10);
+        assert_eq!(t.ops[0].pc, t.ops[2].pc);
+        assert_eq!(t.ops[1].pc, t.ops[3].pc);
+    }
+
+    #[test]
+    fn seq_loads_have_constant_stride() {
+        let k = Kernel::new(
+            params(1),
+            vec![StaticOp::Load { chain: 0, access: Access::Seq { stride: 64 } }],
+        );
+        let t = k.generate(5);
+        let addrs: Vec<u64> = t.ops.iter().map(|o| o.mem.unwrap().addr).collect();
+        assert_eq!(addrs[1] - addrs[0], 64);
+        assert_eq!(addrs[2] - addrs[1], 64);
+    }
+
+    #[test]
+    fn chase_load_reads_own_chain_register() {
+        let k = Kernel::new(
+            params(1),
+            vec![StaticOp::Load { chain: 0, access: Access::Chase }],
+        );
+        let t = k.generate(2);
+        let op = &t.ops[1];
+        assert_eq!(op.srcs[0], op.dst, "chase load's base must be the prior load's dest");
+    }
+
+    #[test]
+    fn spill_pair_shares_address() {
+        let k = Kernel::new(
+            params(2),
+            vec![
+                StaticOp::SpillStore { chain: 0, slot: 3 },
+                StaticOp::Compute { class: OpClass::IntAlu, chain: 1 },
+                StaticOp::SpillLoad { chain: 0, slot: 3 },
+            ],
+        );
+        let t = k.generate(3);
+        assert_eq!(t.ops[0].mem.unwrap().addr, t.ops[2].mem.unwrap().addr);
+        assert!(t.ops[0].is_store());
+        assert!(t.ops[2].is_load());
+    }
+
+    #[test]
+    fn loop_branch_is_periodic() {
+        let k = Kernel::new(
+            params(1),
+            vec![StaticOp::Branch { chain: 0, behavior: BranchBehavior::Loop { period: 4 } }],
+        );
+        let t = k.generate(8);
+        let outcomes: Vec<bool> = t.ops.iter().map(|o| o.branch.unwrap().taken).collect();
+        assert_eq!(outcomes, vec![true, true, true, false, true, true, true, false]);
+    }
+
+    #[test]
+    fn chains_use_disjoint_registers() {
+        let k = Kernel::new(
+            params(3),
+            vec![
+                StaticOp::Compute { class: OpClass::IntAlu, chain: 0 },
+                StaticOp::Compute { class: OpClass::IntAlu, chain: 1 },
+                StaticOp::Compute { class: OpClass::IntAlu, chain: 2 },
+            ],
+        );
+        let t = k.generate(3);
+        let dsts: Vec<_> = t.ops.iter().map(|o| o.dst.unwrap()).collect();
+        assert_ne!(dsts[0], dsts[1]);
+        assert_ne!(dsts[1], dsts[2]);
+    }
+
+    #[test]
+    fn working_set_bounds_addresses() {
+        let p = KernelParams { ws_bytes: 4096, ..params(1) };
+        let k = Kernel::new(p, vec![StaticOp::Load { chain: 0, access: Access::Rand }]);
+        let t = k.generate(500);
+        for op in &t.ops {
+            let a = op.mem.unwrap().addr;
+            assert!((DATA_BASE..DATA_BASE + 4096).contains(&a), "addr {a:#x} outside WS");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chain index")]
+    fn out_of_range_chain_panics() {
+        let _ = Kernel::new(params(1), vec![StaticOp::Compute { class: OpClass::IntAlu, chain: 3 }]);
+    }
+
+    #[test]
+    fn fp_compute_switches_chain_to_fp_registers() {
+        let k = Kernel::new(
+            params(1),
+            vec![
+                StaticOp::Compute { class: OpClass::FpMul, chain: 0 },
+                StaticOp::Compute { class: OpClass::FpAdd, chain: 0 },
+            ],
+        );
+        let t = k.generate(2);
+        assert!(t.ops[1].srcs[0].unwrap().class() == ballerino_isa::RegClass::Fp);
+    }
+}

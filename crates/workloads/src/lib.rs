@@ -1,0 +1,32 @@
+//! # ballerino-workloads
+//!
+//! Deterministic synthetic workload generators standing in for the
+//! paper's SPEC CPU2006/2017 SimPoint regions.
+//!
+//! Each workload is a **static kernel** — a loop body of static μops with
+//! fixed PCs — unrolled dynamically with per-iteration memory addresses
+//! and branch outcomes. Static PCs recur across iterations exactly as in
+//! real loops, so the TAGE predictor, the stride prefetcher and the
+//! store-set MDP all train the way they would on real code.
+//!
+//! The suite spans the behaviour space that differentiates the paper's
+//! schedulers: dependence-chain width and depth (ILP), load-miss level
+//! (MLP and cache-miss tolerance), branch predictability, memory
+//! dependences through spill slots, and FU mix.
+//!
+//! # Examples
+//!
+//! ```
+//! use ballerino_workloads::suite;
+//! let traces = suite(10_000, 42);
+//! assert_eq!(traces.len(), 15);
+//! assert!(traces.iter().all(|t| t.len() >= 10_000));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod suite;
+
+pub use kernel::{Access, BranchBehavior, Kernel, KernelParams, StaticOp};
+pub use suite::{suite, workload, workload_names};

@@ -1,0 +1,429 @@
+//! The 15-workload suite.
+//!
+//! Each workload targets a distinct region of the behaviour space that
+//! separates the paper's schedulers (see DESIGN.md §1 for the
+//! substitution rationale):
+//!
+//! | Workload | Flavor | Stresses |
+//! |---|---|---|
+//! | `stream_triad` | lbm/libquantum | MLP, prefetching, wide chains |
+//! | `pointer_chase` | mcf | serialized misses, cache-miss tolerance |
+//! | `gemm_blocked` | cactus/dealII | FP ILP, L1-resident |
+//! | `int_crunch` | perlbench | int ILP, moderate chains |
+//! | `branchy_sort` | leela | mispredictions, spill M-deps |
+//! | `hash_join` | omnetpp-ish | random L3 hits, mixed chains |
+//! | `stencil3d` | bwaves | strided FP streams, stores |
+//! | `linked_list_sum` | xalancbmk-ish | chase + side compute |
+//! | `sparse_spmv` | spmv kernels | indirect gathers, FP reduction |
+//! | `compress_lz` | xz | dependent int ops, spills, branches |
+//! | `fft_butterfly` | fft kernels | FP, power-of-two strides |
+//! | `mixed_media` | x264 | mixed FU, divides |
+//! | `graph_bfs` | bfs kernels | random DRAM, branches |
+//! | `matrix_transpose` | transpose | conflict-prone strided stores |
+//! | `object_update` | xalancbmk-ish | late producer stores, M-dep pressure |
+
+use crate::kernel::{Access, BranchBehavior, Kernel, KernelParams, StaticOp};
+use ballerino_isa::{OpClass, Trace};
+
+use Access::{Chase, Rand, Seq};
+use BranchBehavior::{Biased, Loop};
+use OpClass::{FpAdd, FpMul, IntAlu, IntDiv, IntMul};
+
+fn k(name: &str, ws: u64, chains: usize, seed: u64, body: Vec<StaticOp>) -> Kernel {
+    Kernel::new(
+        KernelParams { name: name.to_string(), ws_bytes: ws, chains, seed },
+        body,
+    )
+}
+
+fn compute(chain: usize, class: OpClass) -> StaticOp {
+    StaticOp::Compute { class, chain }
+}
+
+fn load(chain: usize, access: Access) -> StaticOp {
+    StaticOp::Load { chain, access }
+}
+
+fn store(chain: usize, access: Access) -> StaticOp {
+    StaticOp::Store { chain, access }
+}
+
+fn branch(chain: usize, behavior: BranchBehavior) -> StaticOp {
+    StaticOp::Branch { chain, behavior }
+}
+
+/// A block of short, ready-at-dispatch chains (loop-induction and address
+/// computation work): each restarts from an immediate and runs two ALU
+/// ops. Real code is full of these — they are exactly the μops that make
+/// CES allocate (and stall on) P-IQs uselessly (Fig. 4) and that the
+/// S-IQ filters out.
+fn induction_block(body: &mut Vec<StaticOp>, chains: std::ops::Range<usize>) {
+    for c in chains {
+        body.push(StaticOp::Reset { chain: c });
+        body.push(compute(c, IntAlu));
+        body.push(compute(c, IntAlu));
+    }
+}
+
+/// Names of the suite's workloads, in canonical order.
+pub fn workload_names() -> Vec<&'static str> {
+    vec![
+        "stream_triad",
+        "pointer_chase",
+        "gemm_blocked",
+        "int_crunch",
+        "branchy_sort",
+        "hash_join",
+        "stencil3d",
+        "linked_list_sum",
+        "sparse_spmv",
+        "compress_lz",
+        "fft_butterfly",
+        "mixed_media",
+        "graph_bfs",
+        "matrix_transpose",
+        "object_update",
+    ]
+}
+
+/// Builds one named workload trace of `n` μops.
+///
+/// # Panics
+///
+/// Panics on an unknown workload name (see [`workload_names`]).
+pub fn workload(name: &str, n: usize, seed: u64) -> Trace {
+    let kernel = match name {
+        // Streaming FP triad over a DRAM-sized set: wide independent
+        // chains, sequential loads (prefetchable), regular loop branches.
+        "stream_triad" => {
+            let mut body = Vec::new();
+            for c in 0..6 {
+                body.push(load(c, Seq { stride: 64 }));
+                body.push(compute(c, FpMul));
+                body.push(compute(c, FpAdd));
+                if c % 2 == 0 {
+                    body.push(store(c, Seq { stride: 64 }));
+                }
+            }
+            body.push(branch(0, Loop { period: 64 }));
+            k("stream_triad", 24 << 20, 6, seed, body)
+        }
+        // Dependent loads over a DRAM-sized set: almost no ILP, MLP only
+        // from two interleaved chase chains; classic mcf behaviour.
+        "pointer_chase" => {
+            let mut body = Vec::new();
+            for c in 0..2 {
+                body.push(load(c, Chase));
+                body.push(compute(c, IntAlu));
+                body.push(load(c, Chase));
+                body.push(compute(c, IntAlu));
+            }
+            body.push(branch(0, Biased { taken_prob: 0.92 }));
+            k("pointer_chase", 48 << 20, 2, seed, body)
+        }
+        // L1-resident blocked GEMM: abundant FP ILP, perfect branches.
+        "gemm_blocked" => {
+            let mut body = Vec::new();
+            for c in 0..12 {
+                body.push(load(c, Seq { stride: 8 }));
+                body.push(compute(c, FpMul));
+                body.push(compute(c, FpAdd));
+                body.push(compute(c, FpAdd));
+            }
+            induction_block(&mut body, 0..3);
+            body.push(branch(0, Loop { period: 32 }));
+            k("gemm_blocked", 24 << 10, 12, seed, body)
+        }
+        // Integer-heavy, built from *short* dependence chains that
+        // restart every iteration (the paper's "wide and shallow" DC
+        // shape, §III-C): half start at a ready immediate, half at a
+        // ready-address load.
+        "int_crunch" => {
+            let mut body = Vec::new();
+            for c in 0..10 {
+                if c % 2 == 0 {
+                    body.push(load(c, Rand));
+                } else {
+                    body.push(StaticOp::Reset { chain: c });
+                }
+                body.push(compute(c, IntAlu));
+                body.push(compute(c, IntAlu));
+                if c % 3 == 0 {
+                    body.push(compute(c, IntMul));
+                }
+                body.push(compute(c, IntAlu));
+            }
+            // Register-pressure spills: store a live value, reload it a
+            // few ops later — a recurring M-dependence for the MDP/MDA.
+            body.push(StaticOp::SpillStore { chain: 0, slot: 16 });
+            body.push(compute(1, IntAlu));
+            body.push(compute(2, IntAlu));
+            body.push(StaticOp::SpillLoad { chain: 0, slot: 16 });
+            body.push(StaticOp::SpillStore { chain: 3, slot: 17 });
+            body.push(compute(4, IntAlu));
+            body.push(StaticOp::SpillLoad { chain: 3, slot: 17 });
+            induction_block(&mut body, 5..9);
+            body.push(branch(1, Biased { taken_prob: 0.9 }));
+            body.push(branch(2, Loop { period: 16 }));
+            k("int_crunch", 16 << 10, 10, seed, body)
+        }
+        // Sorting-like: hard (but not random) branches, L2-resident
+        // random access, spill pairs (swap) creating recurring memory
+        // dependences that train the MDP.
+        "branchy_sort" => {
+            let mut body = Vec::new();
+            for c in 0..3 {
+                body.push(load(c, Chase));
+                body.push(compute(c, IntAlu));
+                body.push(compute(c, IntAlu));
+                body.push(branch(c, Biased { taken_prob: 0.82 }));
+                body.push(compute(c, IntAlu));
+                body.push(branch(c, Loop { period: 12 }));
+            }
+            // Swap through memory: the spilled values come from short
+            // ready chains (as register-pressure spills do), so the store
+            // issues promptly; the reload is the recurring M-dependence.
+            for (j, c) in [(0usize, 3usize), (1, 4)] {
+                body.push(StaticOp::Reset { chain: c });
+                body.push(compute(c, IntAlu));
+                body.push(StaticOp::SpillStore { chain: c, slot: j });
+                body.push(compute(c, IntAlu));
+                body.push(StaticOp::SpillLoad { chain: c, slot: j });
+                body.push(compute(c, IntAlu));
+            }
+            induction_block(&mut body, 0..2);
+            k("branchy_sort", 96 << 10, 5, seed, body)
+        }
+        // Hash join probes: random accesses spanning L2/L3, with real
+        // hashing work per probe — latency-bound, not bandwidth-bound.
+        "hash_join" => {
+            let mut body = Vec::new();
+            for c in 0..6 {
+                body.push(compute(c, IntAlu));
+                body.push(compute(c, IntMul));
+                body.push(compute(c, IntAlu));
+                // The probe's address is the computed hash: an
+                // AGI-dependent (indirect) load.
+                body.push(load(c, Chase));
+                body.push(compute(c, IntAlu));
+                body.push(compute(c, IntAlu));
+                body.push(branch(c, Biased { taken_prob: 0.9 }));
+            }
+            body.push(StaticOp::SpillStore { chain: 0, slot: 24 });
+            body.push(compute(1, IntAlu));
+            body.push(StaticOp::SpillLoad { chain: 0, slot: 24 });
+            induction_block(&mut body, 2..5);
+            k("hash_join", 640 << 10, 6, seed, body)
+        }
+        // 3D stencil: several strided FP streams, stores every iteration.
+        "stencil3d" => {
+            let mut body = Vec::new();
+            let strides = [64i64, 512, 4096];
+            for c in 0..6 {
+                body.push(load(c, Seq { stride: strides[c % 3] }));
+                body.push(compute(c, FpAdd));
+                body.push(compute(c, FpMul));
+            }
+            body.push(StaticOp::Merge { class: FpAdd, chain: 0, other: 1 });
+            body.push(StaticOp::Merge { class: FpAdd, chain: 2, other: 3 });
+            body.push(store(0, Seq { stride: 64 }));
+            body.push(branch(0, Loop { period: 48 }));
+            k("stencil3d", 1 << 20, 6, seed, body)
+        }
+        // One pointer chase in the L2 plus abundant independent ALU side
+        // work: in-order cores block on the chase; dynamic schedulers run
+        // the side chains underneath it.
+        "linked_list_sum" => {
+            let mut body = Vec::new();
+            body.push(load(0, Chase));
+            body.push(compute(0, IntAlu));
+            for c in 1..6 {
+                body.push(StaticOp::Reset { chain: c });
+                body.push(compute(c, IntAlu));
+                body.push(compute(c, IntAlu));
+                body.push(compute(c, IntMul));
+                body.push(compute(c, IntAlu));
+            }
+            body.push(StaticOp::Merge { class: IntAlu, chain: 1, other: 2 });
+            body.push(StaticOp::Merge { class: IntAlu, chain: 3, other: 4 });
+            body.push(branch(0, Loop { period: 128 }));
+            k("linked_list_sum", 96 << 10, 6, seed, body)
+        }
+        // SpMV: sequential index loads + random value gathers + FP sum.
+        "sparse_spmv" => {
+            let mut body = Vec::new();
+            for c in 0..6 {
+                body.push(load(c, Seq { stride: 8 })); // column index
+                body.push(load(c, Chase)); // value gathered at the index
+                body.push(compute(c, FpMul));
+                body.push(compute(c, FpAdd));
+            }
+            body.push(branch(0, Loop { period: 24 }));
+            k("sparse_spmv", 1536 << 10, 6, seed, body)
+        }
+        // LZ-style compression: tightly dependent ints, frequent spills,
+        // mispredicted match branches, small working set.
+        "compress_lz" => {
+            let mut body = Vec::new();
+            for c in 0..2 {
+                body.push(load(c, Rand));
+                body.push(compute(c, IntAlu));
+                body.push(compute(c, IntAlu));
+                body.push(branch(c, Biased { taken_prob: 0.8 }));
+                body.push(compute(c, IntAlu));
+                body.push(branch(c, Biased { taken_prob: 0.85 }));
+            }
+            // Dictionary updates through memory from short ready chains.
+            for (j, c) in [(8usize, 2usize), (9, 3)] {
+                body.push(StaticOp::Reset { chain: c });
+                body.push(compute(c, IntAlu));
+                body.push(StaticOp::SpillStore { chain: c, slot: j });
+                body.push(compute(c, IntAlu));
+                body.push(StaticOp::SpillLoad { chain: c, slot: j });
+                body.push(compute(c, IntAlu));
+            }
+            induction_block(&mut body, 0..2);
+            k("compress_lz", 56 << 10, 4, seed, body)
+        }
+        // FFT butterflies: FP mul/add pairs over power-of-two strides.
+        "fft_butterfly" => {
+            let mut body = Vec::new();
+            let strides = [64i64, 128, 256, 512];
+            for c in 0..4 {
+                body.push(load(c, Seq { stride: strides[c] }));
+                body.push(compute(c, FpMul));
+                body.push(compute(c, FpAdd));
+                body.push(store(c, Seq { stride: strides[c] }));
+            }
+            body.push(branch(0, Loop { period: 16 }));
+            k("fft_butterfly", 224 << 10, 4, seed, body)
+        }
+        // Media-ish mix: int and fp, occasional divides, biased branches.
+        "mixed_media" => {
+            let mut body = Vec::new();
+            for c in 0..6 {
+                body.push(load(c, Seq { stride: 16 }));
+                body.push(compute(c, IntAlu));
+                body.push(compute(c, if c == 0 { IntDiv } else { IntMul }));
+                body.push(compute(c, FpAdd));
+                body.push(branch(c, Biased { taken_prob: 0.88 }));
+            }
+            body.push(store(1, Seq { stride: 16 }));
+            body.push(StaticOp::SpillStore { chain: 2, slot: 20 });
+            body.push(compute(3, IntAlu));
+            body.push(StaticOp::SpillLoad { chain: 2, slot: 20 });
+            induction_block(&mut body, 4..6);
+            k("mixed_media", 640 << 10, 6, seed, body)
+        }
+        // BFS frontier expansion: random DRAM loads with independent
+        // per-vertex work — pure MLP differentiation.
+        "graph_bfs" => {
+            let mut body = Vec::new();
+            for c in 0..10 {
+                if c % 2 == 0 {
+                    body.push(load(c, Rand)); // frontier array (index-ready)
+                } else {
+                    body.push(load(c, Chase)); // neighbor list (indirect)
+                }
+                body.push(compute(c, IntAlu));
+                body.push(compute(c, IntAlu));
+                body.push(branch(c, Biased { taken_prob: 0.92 }));
+            }
+            k("graph_bfs", 24 << 20, 10, seed, body)
+        }
+        // Transpose: unit-stride loads, large-stride stores.
+        "matrix_transpose" => {
+            let mut body = Vec::new();
+            for c in 0..4 {
+                body.push(load(c, Seq { stride: 64 }));
+                body.push(compute(c, IntAlu));
+                body.push(store(c, Seq { stride: 8192 }));
+            }
+            body.push(branch(0, Loop { period: 64 }));
+            k("matrix_transpose", 768 << 10, 4, seed, body)
+        }
+        // Pointer-heavy object mutation (xalancbmk-flavored): each chain
+        // follows a pointer, computes a field, and *stores it through the
+        // pointer chain* — a late-issuing producer store — while an
+        // independent reader reloads the field immediately. Exercises the
+        // paper's M-dependence machinery hardest: without MDP the reload
+        // violates expensively (late detection ⇒ deep flush); with MDP it
+        // is held for a long time, and MDA steering keeps the held load
+        // from wasting a P-IQ (§III-B).
+        "object_update" => {
+            let mut body = Vec::new();
+            for c in 0..4 {
+                body.push(load(c, Chase));
+                body.push(compute(c, IntAlu));
+                body.push(compute(c, IntAlu));
+                body.push(StaticOp::SpillStore { chain: c, slot: 30 + c });
+                // Independent reader chain picks the field right back up.
+                let rc = 4 + c;
+                body.push(StaticOp::Reset { chain: rc });
+                body.push(StaticOp::SpillLoad { chain: rc, slot: 30 + c });
+                body.push(compute(rc, IntAlu));
+                body.push(compute(rc, IntAlu));
+            }
+            body.push(branch(0, Loop { period: 32 }));
+            k("object_update", 384 << 10, 8, seed, body)
+        }
+        other => panic!("unknown workload {other:?}; see workload_names()"),
+    };
+    kernel.generate(n)
+}
+
+/// Builds the full suite, `n` μops per workload.
+pub fn suite(n: usize, seed: u64) -> Vec<Trace> {
+    workload_names().into_iter().map(|w| workload(w, n, seed)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_generate() {
+        for name in workload_names() {
+            let t = workload(name, 2000, 1);
+            assert!(t.len() >= 2000, "{name} too short");
+            assert_eq!(t.name, name);
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = suite(500, 3);
+        let b = suite(500, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.ops, y.ops);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_for_random_workloads() {
+        let a = workload("graph_bfs", 1000, 1);
+        let b = workload("graph_bfs", 1000, 2);
+        assert_ne!(a.ops, b.ops);
+    }
+
+    #[test]
+    fn class_mixes_are_distinct() {
+        let chase = workload("pointer_chase", 5000, 1).stats();
+        let gemm = workload("gemm_blocked", 5000, 1).stats();
+        assert!(chase.load_frac() > 0.35, "pointer_chase load-heavy");
+        assert!(gemm.fp_ops > gemm.int_ops, "gemm fp-heavy");
+    }
+
+    #[test]
+    fn branchy_workloads_have_more_branches() {
+        let sortish = workload("branchy_sort", 5000, 1).stats();
+        let stream = workload("stream_triad", 5000, 1).stats();
+        assert!(sortish.branch_frac() > 2.0 * stream.branch_frac());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_name_panics() {
+        let _ = workload("nope", 100, 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Memory-level-parallelism case study: why cache-miss tolerance needs
+//! *clustered* (not cascaded) in-order queues.
+//!
+//! The workload interleaves two independent pointer chases over a
+//! DRAM-sized working set (the paper's §II-C motivation). A stall-on-use
+//! in-order core and CASINO serialize the two chains — the second chain's
+//! load sits behind the first's in the final in-order IQ — while CES and
+//! Ballerino keep each chain in its own P-IQ, overlapping the misses.
+//!
+//! ```sh
+//! cargo run --release --example pointer_chase_mlp
+//! ```
+
+use ballerino::sim::{run_machine, MachineKind, Width};
+use ballerino::workloads::workload;
+
+fn main() {
+    let trace = workload("pointer_chase", 15_000, 7);
+    println!("two interleaved pointer chases over 48 MiB ({} μops)\n", trace.len());
+
+    let ino = run_machine(MachineKind::InOrder, Width::Eight, &trace);
+    println!(
+        "{:<14} {:>8} {:>10} {:>10}",
+        "design", "IPC", "cycles", "vs InO"
+    );
+    for kind in [
+        MachineKind::InOrder,
+        MachineKind::Casino,
+        MachineKind::Ces,
+        MachineKind::Ballerino,
+        MachineKind::OutOfOrder,
+    ] {
+        let r = run_machine(kind, Width::Eight, &trace);
+        println!(
+            "{:<14} {:>8.3} {:>10} {:>9.2}x",
+            kind.label(),
+            r.ipc(),
+            r.cycles,
+            r.speedup_over(&ino)
+        );
+    }
+
+    println!(
+        "\nCASINO ≈ InO here (its last IQ issues in program order, so one \
+         missing load blocks the other chain), while the dependence-based \
+         designs overlap both misses — the paper's cache-miss-tolerance \
+         argument in §II-C and §III-C."
+    );
+}

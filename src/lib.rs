@@ -1,0 +1,22 @@
+//! # ballerino
+//!
+//! Facade crate for the Ballerino issue-queue reproduction (MICRO 2022,
+//! "Reconstructing Out-of-Order Issue Queue"). Re-exports the workspace
+//! crates under one roof so examples and downstream users can write
+//! `use ballerino::prelude::*;`.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use ballerino_core as core;
+pub use ballerino_energy as energy;
+pub use ballerino_frontend as frontend;
+pub use ballerino_isa as isa;
+pub use ballerino_mem as mem;
+pub use ballerino_sched as sched;
+pub use ballerino_sim as sim;
+pub use ballerino_workloads as workloads;
+
+/// Convenient glob-import surface for examples and tests.
+pub mod prelude {
+    pub use ballerino_isa::{ArchReg, MicroOp, OpClass, PortMap, Trace};
+}

@@ -1,0 +1,32 @@
+//! Bit-exact determinism: the whole stack (workload generation →
+//! simulation → statistics) must reproduce identically run-to-run, since
+//! every figure in EXPERIMENTS.md depends on it.
+
+use ballerino::sim::{run_machine, MachineKind, Width};
+use ballerino::workloads::workload;
+
+#[test]
+fn simulation_is_deterministic() {
+    for kind in [MachineKind::OutOfOrder, MachineKind::Ballerino, MachineKind::Casino] {
+        let t1 = workload("branchy_sort", 3_000, 17);
+        let t2 = workload("branchy_sort", 3_000, 17);
+        assert_eq!(t1.ops, t2.ops);
+        let a = run_machine(kind, Width::Eight, &t1);
+        let b = run_machine(kind, Width::Eight, &t2);
+        assert_eq!(a.cycles, b.cycles, "{kind:?}");
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.mispredicts, b.mispredicts);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.energy.prf_reads, b.energy.prf_reads);
+        assert_eq!(a.energy.sched.queue_writes, b.energy.sched.queue_writes);
+    }
+}
+
+#[test]
+fn different_seeds_change_dynamic_behavior_but_not_correctness() {
+    for seed in [1u64, 2, 3] {
+        let t = workload("hash_join", 2_000, seed);
+        let r = run_machine(MachineKind::Ballerino, Width::Eight, &t);
+        assert_eq!(r.committed, t.len() as u64);
+    }
+}

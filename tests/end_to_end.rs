@@ -1,0 +1,86 @@
+//! Cross-crate integration tests through the facade: every machine runs
+//! every workload class; accounting invariants hold everywhere.
+
+use ballerino::sim::{run_machine, MachineKind, Width};
+use ballerino::workloads::{workload, workload_names};
+
+const KINDS: [MachineKind; 9] = [
+    MachineKind::InOrder,
+    MachineKind::OutOfOrder,
+    MachineKind::OutOfOrderOldestFirst,
+    MachineKind::Ces,
+    MachineKind::CesMda,
+    MachineKind::Casino,
+    MachineKind::Fxa,
+    MachineKind::Ballerino,
+    MachineKind::Ballerino12,
+];
+
+#[test]
+fn every_machine_commits_every_workload() {
+    for wl in workload_names() {
+        let t = workload(wl, 1_500, 3);
+        for kind in KINDS {
+            let r = run_machine(kind, Width::Eight, &t);
+            assert_eq!(r.committed, t.len() as u64, "{kind:?} on {wl}");
+            assert!(r.ipc() > 0.0 && r.ipc() <= 8.0, "{kind:?} on {wl}: {}", r.ipc());
+        }
+    }
+}
+
+#[test]
+fn committed_equals_timing_records_everywhere() {
+    use ballerino_sim::stats::TIMING_CLASSES;
+    for wl in ["hash_join", "gemm_blocked", "branchy_sort"] {
+        let t = workload(wl, 3_000, 5);
+        for kind in KINDS {
+            let r = run_machine(kind, Width::Eight, &t);
+            let recs: u64 = TIMING_CLASSES.iter().map(|&c| r.timing.count(c)).sum();
+            assert_eq!(recs, r.committed, "{kind:?} on {wl}");
+        }
+    }
+}
+
+#[test]
+fn issue_counts_match_commits_plus_squashed_work() {
+    // Total issues >= commits (squashed μops may issue more than once
+    // after refetch; every commit requires an issue).
+    for wl in ["branchy_sort", "int_crunch"] {
+        let t = workload(wl, 3_000, 5);
+        for kind in [MachineKind::OutOfOrder, MachineKind::Ballerino, MachineKind::Ces] {
+            let r = run_machine(kind, Width::Eight, &t);
+            assert!(
+                r.issue_breakdown.total() >= r.committed,
+                "{kind:?} on {wl}: issued {} < committed {}",
+                r.issue_breakdown.total(),
+                r.committed
+            );
+        }
+    }
+}
+
+#[test]
+fn narrower_machines_are_never_faster_in_time() {
+    let t = workload("mixed_media", 3_000, 9);
+    for kind in [MachineKind::OutOfOrder, MachineKind::Ballerino, MachineKind::InOrder] {
+        let w8 = run_machine(kind, Width::Eight, &t);
+        let w2 = run_machine(kind, Width::Two, &t);
+        assert!(
+            w8.seconds() < w2.seconds(),
+            "{kind:?}: 8-wide {}s vs 2-wide {}s",
+            w8.seconds(),
+            w2.seconds()
+        );
+    }
+}
+
+#[test]
+fn energy_events_scale_with_work() {
+    let small = workload("int_crunch", 1_000, 1);
+    let large = workload("int_crunch", 4_000, 1);
+    let rs = run_machine(MachineKind::Ballerino, Width::Eight, &small);
+    let rl = run_machine(MachineKind::Ballerino, Width::Eight, &large);
+    assert!(rl.energy.fetched_uops > 3 * rs.energy.fetched_uops);
+    assert!(rl.energy.prf_writes > 2 * rs.energy.prf_writes);
+    assert!(rl.energy.sched.queue_writes > 2 * rs.energy.sched.queue_writes);
+}

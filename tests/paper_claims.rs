@@ -1,0 +1,94 @@
+//! The paper's headline claims, asserted as *shape* properties on a
+//! reduced suite (the full reproduction lives in the `fig*` binaries and
+//! EXPERIMENTS.md).
+
+use ballerino::energy::{DvfsLevel, EnergyModel};
+use ballerino::sim::{run_machine, MachineKind, Width};
+use ballerino::workloads::workload;
+use ballerino_sim::stats::geomean;
+
+const N: usize = 5_000;
+/// A representative sub-suite: ILP-rich, latency-bound, MLP-bound,
+/// branchy, and indirect-access behaviour.
+const WLS: [&str; 6] =
+    ["gemm_blocked", "int_crunch", "hash_join", "branchy_sort", "pointer_chase", "mixed_media"];
+
+fn geomean_speedup(kind: MachineKind) -> f64 {
+    let mut v = Vec::new();
+    for wl in WLS {
+        let t = workload(wl, N, 42);
+        let ino = run_machine(MachineKind::InOrder, Width::Eight, &t);
+        let r = run_machine(kind, Width::Eight, &t);
+        v.push(r.speedup_over(&ino));
+    }
+    geomean(&v)
+}
+
+#[test]
+fn fig11_ordering_holds() {
+    let casino = geomean_speedup(MachineKind::Casino);
+    let ces = geomean_speedup(MachineKind::Ces);
+    let ballerino = geomean_speedup(MachineKind::Ballerino);
+    let b12 = geomean_speedup(MachineKind::Ballerino12);
+    let ooo = geomean_speedup(MachineKind::OutOfOrder);
+
+    assert!(ooo > 2.0, "OoO must be ≳2x InO, got {ooo:.2}");
+    assert!(casino < ces, "CASINO {casino:.2} must trail CES {ces:.2} at 8-wide");
+    assert!(ces < ballerino, "CES {ces:.2} must trail Ballerino {ballerino:.2}");
+    assert!(ballerino <= b12 * 1.02, "Ballerino {ballerino:.2} ≤ Ballerino-12 {b12:.2}");
+    assert!(
+        b12 > 0.95 * ooo,
+        "Ballerino-12 {b12:.2} must be within ~5% of OoO {ooo:.2} (paper: 2%)"
+    );
+}
+
+#[test]
+fn fig13_steps_are_monotone() {
+    let ces = geomean_speedup(MachineKind::Ces);
+    let step2 = geomean_speedup(MachineKind::BallerinoStep2);
+    let step3 = geomean_speedup(MachineKind::Ballerino);
+    let ideal = geomean_speedup(MachineKind::BallerinoIdeal);
+    assert!(step2 > 0.98 * ces, "Step2 {step2:.2} vs CES {ces:.2}");
+    assert!(step3 > step2, "sharing must help: {step3:.2} vs {step2:.2}");
+    assert!(ideal >= step3 * 0.995, "ideal can only help: {ideal:.2} vs {step3:.2}");
+}
+
+#[test]
+fn fig16_ballerino_is_more_efficient_than_ooo() {
+    let mut effs = Vec::new();
+    for wl in WLS {
+        let t = workload(wl, N, 42);
+        let ooo = run_machine(MachineKind::OutOfOrder, Width::Eight, &t);
+        let bal = run_machine(MachineKind::Ballerino12, Width::Eight, &t);
+        let edp_ooo = EnergyModel::new(ooo.sizes, DvfsLevel::L4).edp(&ooo.energy);
+        let edp_bal = EnergyModel::new(bal.sizes, DvfsLevel::L4).edp(&bal.energy);
+        effs.push(edp_ooo / edp_bal);
+    }
+    let g = geomean(&effs);
+    assert!(g > 1.10, "Ballerino-12 efficiency must beat OoO by >10% (paper 20%), got {g:.2}");
+}
+
+#[test]
+fn casino_collapses_on_serialized_misses() {
+    // §II-C: CASINO is not cache-miss tolerant; CES-style clustering is.
+    let t = workload("pointer_chase", N, 42);
+    let ino = run_machine(MachineKind::InOrder, Width::Eight, &t);
+    let casino = run_machine(MachineKind::Casino, Width::Eight, &t);
+    let ces = run_machine(MachineKind::Ces, Width::Eight, &t);
+    assert!(
+        casino.speedup_over(&ino) < 1.3,
+        "CASINO must degenerate to ~InO on dependent misses"
+    );
+    assert!(
+        ces.speedup_over(&ino) > 1.5,
+        "CES must overlap the independent chase chains"
+    );
+}
+
+#[test]
+fn oldest_first_is_a_small_gain_on_ooo() {
+    let ooo = geomean_speedup(MachineKind::OutOfOrder);
+    let of = geomean_speedup(MachineKind::OutOfOrderOldestFirst);
+    assert!(of >= 0.99 * ooo, "oldest-first should not hurt: {of:.2} vs {ooo:.2}");
+    assert!(of <= 1.10 * ooo, "oldest-first gain should be small (paper ~2%)");
+}

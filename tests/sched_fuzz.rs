@@ -1,0 +1,90 @@
+//! Property-based fuzzing of *every* scheduler — including Ballerino and
+//! FXA — through the real pipeline: random kernels must always commit
+//! fully, deterministically, and within the machine's IPC bounds.
+
+use ballerino::isa::OpClass;
+use ballerino::sim::{run_machine, MachineKind, Width};
+use ballerino::workloads::{Access, BranchBehavior, Kernel, KernelParams, StaticOp};
+use proptest::prelude::*;
+
+const KINDS: [MachineKind; 7] = [
+    MachineKind::InOrder,
+    MachineKind::OutOfOrder,
+    MachineKind::Ces,
+    MachineKind::Casino,
+    MachineKind::Fxa,
+    MachineKind::Ballerino,
+    MachineKind::BallerinoIdeal,
+];
+
+/// A random but well-formed static kernel over up to 6 chains.
+fn kernel_strategy() -> impl Strategy<Value = Kernel> {
+    let op = (0usize..6, 0u8..8).prop_map(|(chain, what)| match what {
+        0 => StaticOp::Compute { class: OpClass::IntAlu, chain },
+        1 => StaticOp::Compute { class: OpClass::FpAdd, chain },
+        2 => StaticOp::Compute { class: OpClass::IntMul, chain },
+        3 => StaticOp::Load { chain, access: Access::Rand },
+        4 => StaticOp::Load { chain, access: Access::Chase },
+        5 => StaticOp::Store { chain, access: Access::Rand },
+        6 => StaticOp::Branch { chain, behavior: BranchBehavior::Biased { taken_prob: 0.8 } },
+        _ => StaticOp::Reset { chain },
+    });
+    (proptest::collection::vec(op, 1..24), 1u64..1000).prop_map(|(body, seed)| {
+        Kernel::new(
+            KernelParams {
+                name: format!("fuzz-{seed}"),
+                ws_bytes: 256 << 10,
+                chains: 6,
+                seed,
+            },
+            body,
+        )
+    })
+}
+
+proptest! {
+    // Each case runs 7 machines; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_scheduler_commits_every_random_kernel(kernel in kernel_strategy()) {
+        let t = kernel.generate(1200);
+        for kind in KINDS {
+            let r = run_machine(kind, Width::Eight, &t);
+            prop_assert_eq!(r.committed, t.len() as u64, "{:?} on {}", kind, t.name);
+            prop_assert!(r.ipc() > 0.0 && r.ipc() <= 8.0);
+            // Conservation: every commit was issued at least once.
+            prop_assert!(r.issue_breakdown.total() >= r.committed);
+        }
+    }
+
+    #[test]
+    fn random_kernels_are_deterministic_across_reruns(kernel in kernel_strategy()) {
+        let t = kernel.generate(800);
+        let a = run_machine(MachineKind::Ballerino, Width::Eight, &t);
+        let b = run_machine(MachineKind::Ballerino, Width::Eight, &t);
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.violations, b.violations);
+    }
+
+    #[test]
+    fn spill_heavy_kernels_never_wedge_the_mdp(seed in 1u64..500) {
+        // Store→load pairs on every chain: maximal M-dependence pressure.
+        let mut body = Vec::new();
+        for c in 0..4usize {
+            body.push(StaticOp::Reset { chain: c });
+            body.push(StaticOp::SpillStore { chain: c, slot: c });
+            body.push(StaticOp::Compute { class: OpClass::IntAlu, chain: c });
+            body.push(StaticOp::SpillLoad { chain: c, slot: c });
+        }
+        let k = Kernel::new(
+            KernelParams { name: "spill-fuzz".into(), ws_bytes: 4096, chains: 4, seed },
+            body,
+        );
+        let t = k.generate(1000);
+        for kind in [MachineKind::OutOfOrder, MachineKind::Ballerino, MachineKind::CesMda] {
+            let r = run_machine(kind, Width::Eight, &t);
+            prop_assert_eq!(r.committed, t.len() as u64);
+        }
+    }
+}
