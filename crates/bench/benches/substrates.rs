@@ -1,93 +1,90 @@
-//! Criterion micro-benchmarks of the substrate structures: cache
+//! Std-only micro-benchmarks of the substrate structures: cache
 //! hierarchy walks, DRAM accesses, TAGE prediction, renaming, and the
 //! workload generator.
+//!
+//! Run with `cargo bench --bench substrates`.
 
 use ballerino_frontend::{Renamer, Tage};
 use ballerino_isa::{ArchReg, MicroOp};
 use ballerino_mem::{AccessKind, Hierarchy, MemConfig};
 use ballerino_workloads::workload;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Instant;
 
-fn bench_hierarchy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hierarchy");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("sequential_loads", |b| {
-        b.iter(|| {
-            let mut h = Hierarchy::new(&MemConfig::default());
-            let mut t = 0u64;
-            for i in 0..10_000u64 {
-                let (done, _) = h.access(0x1000_0000 + i * 64, 0x400, t, AccessKind::Load);
-                t = done;
-            }
-            t
-        })
-    });
-    g.bench_function("random_loads", |b| {
-        b.iter(|| {
-            let mut h = Hierarchy::new(&MemConfig::default());
-            let mut x = 88172645463325252u64;
-            let mut t = 0u64;
-            for _ in 0..10_000 {
-                x ^= x << 13;
-                x ^= x >> 7;
-                x ^= x << 17;
-                let (done, _) =
-                    h.access(0x1000_0000 + x % (8 << 20), 0x400, t, AccessKind::Load);
-                t = done.min(t + 4);
-            }
-            t
-        })
-    });
-    g.finish();
+const REPS: usize = 5;
+
+/// Times `f` (best of [`REPS`] after one warmup) and prints a row with
+/// throughput normalized to `elems` operations per run.
+fn bench<F: FnMut() -> u64>(name: &str, elems: u64, mut f: F) {
+    let _ = f();
+    let mut best = f64::INFINITY;
+    let mut sink = 0u64;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        sink = sink.wrapping_add(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    println!(
+        "{:<24}{:>12.3}{:>14.2}   (sink {sink:#x})",
+        name,
+        best * 1e3,
+        elems as f64 / best / 1e6,
+    );
 }
 
-fn bench_tage(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tage");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("predict_update", |b| {
-        b.iter(|| {
-            let mut t = Tage::new();
-            let mut wrong = 0u64;
-            for i in 0..10_000u64 {
-                let pc = 0x400 + (i % 32) * 4;
-                let p = t.predict(pc);
-                if !t.update(pc, p, i % 7 != 0) {
-                    wrong += 1;
-                }
-            }
-            wrong
-        })
+fn main() {
+    println!("{:<24}{:>12}{:>14}", "benchmark", "ms/run", "Mops/s");
+
+    bench("seq_loads", 10_000, || {
+        let mut h = Hierarchy::new(&MemConfig::default());
+        let mut t = 0u64;
+        for i in 0..10_000u64 {
+            let (done, _) = h.access(0x1000_0000 + i * 64, 0x400, t, AccessKind::Load);
+            t = done;
+        }
+        t
     });
-    g.finish();
-}
 
-fn bench_rename(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rename");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("rename_release", |b| {
-        b.iter(|| {
-            let mut r = Renamer::new(180, 168);
-            for i in 0..10_000u64 {
-                let op = MicroOp::alu(
-                    i * 4,
-                    ArchReg::int((i % 24) as u16),
-                    [Some(ArchReg::int(((i + 1) % 24) as u16)), None],
-                );
-                let ren = r.rename(&op).expect("regs available");
-                r.release(ren.prev_dst.expect("alu has dst"));
-            }
-        })
+    bench("random_loads", 10_000, || {
+        let mut h = Hierarchy::new(&MemConfig::default());
+        let mut x = 88172645463325252u64;
+        let mut t = 0u64;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let (done, _) = h.access(0x1000_0000 + x % (8 << 20), 0x400, t, AccessKind::Load);
+            t = done.min(t + 4);
+        }
+        t
     });
-    g.finish();
-}
 
-fn bench_workloads(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workload_gen");
-    g.throughput(Throughput::Elements(20_000));
-    g.bench_function("pointer_chase", |b| b.iter(|| workload("pointer_chase", 20_000, 42)));
-    g.bench_function("gemm_blocked", |b| b.iter(|| workload("gemm_blocked", 20_000, 42)));
-    g.finish();
-}
+    bench("tage_predict_update", 10_000, || {
+        let mut t = Tage::new();
+        let mut wrong = 0u64;
+        for i in 0..10_000u64 {
+            let pc = 0x400 + (i % 32) * 4;
+            let p = t.predict(pc);
+            if !t.update(pc, p, i % 7 != 0) {
+                wrong += 1;
+            }
+        }
+        wrong
+    });
 
-criterion_group!(benches, bench_hierarchy, bench_tage, bench_rename, bench_workloads);
-criterion_main!(benches);
+    bench("rename_release", 10_000, || {
+        let mut r = Renamer::new(180, 168);
+        for i in 0..10_000u64 {
+            let op = MicroOp::alu(
+                i * 4,
+                ArchReg::int((i % 24) as u16),
+                [Some(ArchReg::int(((i + 1) % 24) as u16)), None],
+            );
+            let ren = r.rename(&op).expect("regs available");
+            r.release(ren.prev_dst.expect("alu has dst"));
+        }
+        0
+    });
+
+    bench("gen_pointer_chase", 20_000, || workload("pointer_chase", 20_000, 42).len() as u64);
+    bench("gen_gemm_blocked", 20_000, || workload("gemm_blocked", 20_000, 42).len() as u64);
+}

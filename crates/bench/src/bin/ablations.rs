@@ -15,12 +15,12 @@ use ballerino_core::{Ballerino, BallerinoConfig};
 use ballerino_energy::StructureSizes;
 use ballerino_sim::stats::geomean;
 use ballerino_sim::{run_machine, Core, CoreConfig, MachineKind, Width};
-use ballerino_workloads::{workload, workload_names};
+use ballerino_workloads::{cached_workload, workload_names};
 
 fn run_cfg(bcfg: BallerinoConfig, mem_prefetch: bool) -> f64 {
     let mut ipcs = Vec::new();
     for wl in workload_names() {
-        let t = workload(wl, suite_len(), seed());
+        let t = cached_workload(wl, suite_len(), seed());
         let mut cfg = CoreConfig::preset(Width::Eight);
         cfg.mem.prefetch = mem_prefetch;
         let mut b = bcfg.clone();
@@ -74,7 +74,7 @@ fn main() {
     let mut w_ipc = Vec::new();
     let mut wo_ipc = Vec::new();
     for wl in workload_names() {
-        let t = workload(wl, suite_len(), seed());
+        let t = cached_workload(wl, suite_len(), seed());
         w_ipc.push(run_machine(MachineKind::OutOfOrder, Width::Eight, &t).ipc());
         wo_ipc.push(run_machine(MachineKind::OutOfOrderNoMdp, Width::Eight, &t).ipc());
     }

@@ -1,0 +1,28 @@
+//! Dumps per-(machine, workload) cycle counts for the Fig. 11 matrix.
+//!
+//! Used to verify that performance refactors of the simulator core are
+//! pure: the cycle counts printed here must be byte-identical before and
+//! after any change that claims not to alter simulated behavior.
+//!
+//! Usage: `cycles_dump [N]` (default N = 4000, seed fixed at 42). Set
+//! `BALLERINO_REFERENCE=1` to run the frozen seed-layout reference
+//! pipeline instead — its output must match the default pipeline's.
+
+use ballerino_sim::{run_machine, run_machine_reference, MachineKind, Width};
+use ballerino_workloads::{cached_workload, workload_names};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4000);
+    let reference = std::env::var("BALLERINO_REFERENCE").map(|v| v == "1").unwrap_or(false);
+    for kind in MachineKind::FIG11 {
+        for name in workload_names() {
+            let t = cached_workload(name, n, 42);
+            let r = if reference {
+                run_machine_reference(kind, Width::Eight, &t)
+            } else {
+                run_machine(kind, Width::Eight, &t)
+            };
+            println!("{}\t{}\t{}\t{}", kind.label(), name, r.cycles, r.committed);
+        }
+    }
+}

@@ -8,7 +8,7 @@
 
 use ballerino_bench::{seed, suite_len};
 use ballerino_sim::{run_machine, MachineKind, Width};
-use ballerino_workloads::{workload, workload_names};
+use ballerino_workloads::{cached_workload, workload_names};
 
 fn main() {
     println!("Fig. 4 — CES-8 steering outcome breakdown (fractions of steer events)");
@@ -16,7 +16,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for wl in workload_names() {
-        let t = workload(wl, suite_len(), seed());
+        let t = cached_workload(wl, suite_len(), seed());
         let ino = run_machine(MachineKind::InOrder, Width::Eight, &t);
         let ces = run_machine(MachineKind::Ces, Width::Eight, &t);
         let s = ces.steer;

@@ -11,7 +11,7 @@
 use ballerino_bench::{seed, suite_len};
 use ballerino_sim::stats::geomean;
 use ballerino_sim::{run_machine, MachineKind, Width};
-use ballerino_workloads::{workload, workload_names};
+use ballerino_workloads::{cached_workload, workload_names};
 
 fn main() {
     let n = suite_len();
@@ -19,7 +19,7 @@ fn main() {
     for kind in [MachineKind::BallerinoStep1, MachineKind::BallerinoStep2] {
         let mut agg = [0.0f64; 5];
         for wl in workload_names() {
-            let t = workload(wl, n, seed());
+            let t = cached_workload(wl, n, seed());
             let r = run_machine(kind, Width::Eight, &t);
             let h = r.heads;
             let tot = h.total().max(1) as f64;
@@ -57,7 +57,7 @@ fn main() {
         for size in sizes {
             let mut ipcs = Vec::new();
             for wl in workload_names() {
-                let t = workload(wl, n, seed());
+                let t = cached_workload(wl, n, seed());
                 // Step 2 with a custom geometry: reuse BallerinoN and patch
                 // the entry count through the machine factory's config.
                 let r = run_custom(piqs, size, &t);

@@ -8,7 +8,7 @@ use ballerino_bench::{seed, suite_len};
 use ballerino_energy::{DvfsLevel, EnergyModel};
 use ballerino_sim::stats::geomean;
 use ballerino_sim::{run_machine, MachineKind, Width};
-use ballerino_workloads::{workload, workload_names};
+use ballerino_workloads::{cached_workload, workload_names};
 
 fn main() {
     println!("Fig. 16 — energy efficiency (1/EDP) normalized to OoO\n");
@@ -23,7 +23,7 @@ fn main() {
     ];
     let mut per_kind: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
     for wl in workload_names() {
-        let t = workload(wl, n, seed());
+        let t = cached_workload(wl, n, seed());
         let ooo = run_machine(MachineKind::OutOfOrder, Width::Eight, &t);
         let edp_ooo = EnergyModel::new(ooo.sizes, DvfsLevel::L4).edp(&ooo.energy);
         for (i, k) in kinds.iter().enumerate() {

@@ -14,12 +14,12 @@ use ballerino_bench::{seed, suite_len};
 use ballerino_energy::{DvfsLevel, EnergyModel};
 use ballerino_sim::stats::geomean;
 use ballerino_sim::{run_machine, MachineKind, SimResult, Width};
-use ballerino_workloads::{workload, workload_names};
+use ballerino_workloads::{cached_workload, workload_names};
 
 fn suite_runs(kind: MachineKind, width: Width) -> Vec<SimResult> {
     workload_names()
         .into_iter()
-        .map(|wl| run_machine(kind, width, &workload(wl, suite_len(), seed())))
+        .map(|wl| run_machine(kind, width, &cached_workload(wl, suite_len(), seed())))
         .collect()
 }
 

@@ -1,0 +1,143 @@
+//! Simulator-throughput smoke benchmark: A/B of the pre-overhaul harness
+//! against the current one on the Fig. 11 matrix, emitting
+//! `BENCH_simthroughput.json`.
+//!
+//! * **Baseline** — the seed harness, end to end: the legacy per-kind
+//!   `thread::scope` runner (one short-lived thread per workload, traces
+//!   regenerated once per kind) driving the frozen seed-layout pipeline
+//!   ([`run_machine_reference`]: `HashMap` inflight/taint/waiters core,
+//!   rescan-loop OoO select, per-cycle-allocating Ballerino issue and
+//!   port arbitration).
+//! * **New** — the work-stealing [`run_matrix`] pool (`BALLERINO_THREADS`
+//!   workers, shared `TraceCache`) driving the slab-based [`run_machine`]
+//!   pipeline.
+//!
+//! Both sides must produce byte-identical per-cell cycle counts — the
+//! binary asserts this — so the wall-clock ratio is a pure throughput
+//! number. See the crate docs for the JSON schema.
+//!
+//! Usage: `perf_smoke` (honors `BALLERINO_N` / `BALLERINO_SEED` /
+//! `BALLERINO_THREADS`). Exits non-zero on any cycle mismatch.
+
+use ballerino_bench::{run_matrix, run_matrix_legacy, seed, suite_len, threads};
+use ballerino_sim::{run_machine_reference, MachineKind, SimResult, Width};
+use ballerino_workloads::workload_names;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let kinds = MachineKind::FIG11;
+    let width = Width::Eight;
+    let names = workload_names();
+    println!(
+        "perf_smoke: {} kinds x {} workloads, N={}, seed={}, threads={}",
+        kinds.len(),
+        names.len(),
+        suite_len(),
+        seed(),
+        threads()
+    );
+
+    println!("running baseline (legacy runner x reference pipeline)...");
+    let t0 = Instant::now();
+    let base = run_matrix_legacy(&kinds, width, run_machine_reference);
+    let base_wall = t0.elapsed().as_secs_f64();
+
+    println!("running new (work-stealing runner x slab pipeline)...");
+    let t1 = Instant::now();
+    let new = run_matrix(&kinds, width);
+    let new_wall = t1.elapsed().as_secs_f64();
+
+    let mut mismatches = 0usize;
+    for (ki, &kind) in kinds.iter().enumerate() {
+        for (wi, wl) in names.iter().enumerate() {
+            let (b, n) = (&base[ki][wi], &new[ki][wi]);
+            if b.cycles != n.cycles || b.committed != n.committed {
+                eprintln!(
+                    "MISMATCH {} / {}: baseline {} cycles / {} committed, new {} / {}",
+                    kind.label(),
+                    wl,
+                    b.cycles,
+                    b.committed,
+                    n.cycles,
+                    n.committed
+                );
+                mismatches += 1;
+            }
+        }
+    }
+
+    let speedup = base_wall / new_wall;
+    let total_uops: u64 = new.iter().flatten().map(|r| r.committed).sum();
+    let total_cycles: u64 = new.iter().flatten().map(|r| r.cycles).sum();
+    println!(
+        "baseline {base_wall:.3}s, new {new_wall:.3}s -> {speedup:.2}x \
+         ({:.2} M uops/s, {:.2} M cycles/s aggregate)",
+        total_uops as f64 / new_wall / 1e6,
+        total_cycles as f64 / new_wall / 1e6
+    );
+
+    let json = render_json(
+        &kinds, &names, &base, &new, base_wall, new_wall, speedup, mismatches,
+    );
+    let path = "BENCH_simthroughput.json";
+    std::fs::write(path, json).expect("write BENCH_simthroughput.json");
+    println!("wrote {path}");
+
+    if mismatches > 0 {
+        eprintln!("{mismatches} cycle-count mismatches — behavioral drift!");
+        std::process::exit(1);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    kinds: &[MachineKind],
+    names: &[&str],
+    base: &[Vec<SimResult>],
+    new: &[Vec<SimResult>],
+    base_wall: f64,
+    new_wall: f64,
+    speedup: f64,
+    mismatches: usize,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"simthroughput\",");
+    let _ = writeln!(s, "  \"n\": {},", suite_len());
+    let _ = writeln!(s, "  \"seed\": {},", seed());
+    let _ = writeln!(s, "  \"threads\": {},", threads());
+    let _ = writeln!(s, "  \"baseline_wall_s\": {base_wall:.6},");
+    let _ = writeln!(s, "  \"new_wall_s\": {new_wall:.6},");
+    let _ = writeln!(s, "  \"speedup\": {speedup:.4},");
+    let _ = writeln!(s, "  \"cycle_mismatches\": {mismatches},");
+    s.push_str("  \"cells\": [\n");
+    let mut first = true;
+    for (ki, kind) in kinds.iter().enumerate() {
+        for (wi, wl) in names.iter().enumerate() {
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            let r = &new[ki][wi];
+            let b = &base[ki][wi];
+            let _ = write!(
+                s,
+                "    {{\"kind\": \"{}\", \"workload\": \"{}\", \"cycles\": {}, \
+                 \"committed\": {}, \"host_wall_s\": {:.6}, \
+                 \"baseline_host_wall_s\": {:.6}, \"sim_uops_per_sec\": {:.1}, \
+                 \"sim_cycles_per_sec\": {:.1}}}",
+                kind.label(),
+                wl,
+                r.cycles,
+                r.committed,
+                r.host_wall_s,
+                b.host_wall_s,
+                r.sim_uops_per_sec(),
+                r.sim_cycles_per_sec()
+            );
+        }
+    }
+    s.push_str("\n  ]\n}\n");
+    s
+}

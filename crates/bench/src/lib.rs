@@ -4,17 +4,60 @@
 //! evaluation (see DESIGN.md §3 for the index), plus Criterion
 //! micro-benchmarks of the library itself.
 //!
-//! All binaries honor two environment variables:
+//! All binaries honor three environment variables:
 //!
 //! * `BALLERINO_N` — μops per workload (default 20 000; the paper runs
 //!   300M-instruction SimPoints, so crank this up for smoother numbers),
-//! * `BALLERINO_SEED` — workload generator seed (default 42).
+//! * `BALLERINO_SEED` — workload generator seed (default 42),
+//! * `BALLERINO_THREADS` — worker threads for the matrix runner
+//!   (default: the host's available parallelism).
+//!
+//! ## Threading model
+//!
+//! [`run_matrix`] flattens the `kinds × workloads` matrix into a shared
+//! list of independent cells and runs them on a fixed pool of
+//! [`threads`] workers that *steal* work via an atomic cursor: each
+//! worker repeatedly claims the next unclaimed cell index with a
+//! `fetch_add` and simulates it. Traces come from the process-wide
+//! [`ballerino_workloads::TraceCache`], so a workload trace is generated
+//! once per `(name, n, seed)` no matter how many machine kinds consume
+//! it, and workers share the same `Arc<Trace>` instead of cloning.
+//! Results are written back by cell index, so the output layout — and,
+//! because every simulation is single-threaded and deterministic, every
+//! cycle count — is independent of the thread count.
+//!
+//! ## `BENCH_simthroughput.json` (written by the `perf_smoke` binary)
+//!
+//! ```json
+//! {
+//!   "bench": "simthroughput",
+//!   "n": 20000,                 // μops per workload
+//!   "seed": 42,
+//!   "threads": 1,               // pool size used for the "new" side
+//!   "baseline_wall_s": 5.317,   // legacy runner × frozen seed pipeline
+//!   "new_wall_s": 2.656,        // work-stealing runner × slab pipeline
+//!   "speedup": 2.0019,          // baseline_wall_s / new_wall_s
+//!   "cycle_mismatches": 0,      // any non-zero ⇒ behavioral drift ⇒ exit 1
+//!   "cells": [                  // one per (kind, workload), kind-major
+//!     {"kind": "OoO", "workload": "stream_triad", "cycles": 9741,
+//!      "committed": 20000, "host_wall_s": 0.0123,
+//!      "baseline_host_wall_s": 0.0217,
+//!      "sim_uops_per_sec": 1626016.3, "sim_cycles_per_sec": 793495.9}
+//!   ]
+//! }
+//! ```
+//!
+//! Both sides simulate every cell; per-cell cycle counts must agree
+//! exactly (the refactor is behavior-preserving), so `speedup` is a
+//! pure host-throughput ratio.
 
 #![warn(missing_docs)]
 
 use ballerino_sim::stats::geomean;
 use ballerino_sim::{run_machine, MachineKind, SimResult, Width};
-use ballerino_workloads::{workload, workload_names};
+use ballerino_workloads::{cached_workload, workload, workload_names};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// μops per workload (env `BALLERINO_N`, default 20 000).
 pub fn suite_len() -> usize {
@@ -26,29 +69,119 @@ pub fn seed() -> u64 {
     std::env::var("BALLERINO_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
 }
 
-/// Runs one machine kind over the whole suite at a width, one thread
-/// per workload (simulations are independent and deterministic).
+/// Worker threads for the matrix runner (env `BALLERINO_THREADS`,
+/// default: the host's available parallelism; always at least 1).
+pub fn threads() -> usize {
+    std::env::var("BALLERINO_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        })
+}
+
+/// Runs several machine kinds over the suite on `threads` work-stealing
+/// workers; returns `[kind][workload]`.
+///
+/// The result is bit-for-bit independent of `threads` — workers only
+/// race for *which* cell to claim next, never over a cell's inputs or
+/// outputs.
+pub fn run_matrix_with_threads(
+    kinds: &[MachineKind],
+    width: Width,
+    threads: usize,
+) -> Vec<Vec<SimResult>> {
+    run_cells(kinds, width, suite_len(), seed(), threads)
+}
+
+/// [`run_matrix_with_threads`] with explicit workload length and seed
+/// (instead of the `BALLERINO_N` / `BALLERINO_SEED` environment).
+pub fn run_cells(
+    kinds: &[MachineKind],
+    width: Width,
+    n: usize,
+    s: u64,
+    threads: usize,
+) -> Vec<Vec<SimResult>> {
+    let names = workload_names();
+    let cells: Vec<(MachineKind, &str)> = kinds
+        .iter()
+        .flat_map(|&k| names.iter().map(move |&wl| (k, wl)))
+        .collect();
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SimResult>>> =
+        cells.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&(kind, wl)) = cells.get(i) else { break };
+                let t = cached_workload(wl, n, s);
+                let r = run_machine(kind, width, &t);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+
+    let mut out: Vec<SimResult> = slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot poisoned").expect("cell not simulated"))
+        .collect();
+    let mut rows = Vec::with_capacity(kinds.len());
+    for _ in kinds {
+        let rest = out.split_off(names.len());
+        rows.push(out);
+        out = rest;
+    }
+    rows
+}
+
+/// Runs several machine kinds over the suite (the [`threads`]-sized
+/// work-stealing pool); returns `[kind][workload]`.
+pub fn run_matrix(kinds: &[MachineKind], width: Width) -> Vec<Vec<SimResult>> {
+    run_matrix_with_threads(kinds, width, threads())
+}
+
+/// Runs one machine kind over the whole suite at a width.
 pub fn run_suite(kind: MachineKind, width: Width) -> Vec<SimResult> {
+    run_matrix(&[kind], width).pop().expect("one row per kind")
+}
+
+/// The harness this crate shipped before the work-stealing runner: one
+/// short-lived thread per workload *per kind*, each regenerating its
+/// trace from scratch. Kept (generic over the per-cell run function) as
+/// the baseline side of the `perf_smoke` throughput A/B.
+pub fn run_matrix_legacy(
+    kinds: &[MachineKind],
+    width: Width,
+    run: impl Fn(MachineKind, Width, &ballerino_isa::Trace) -> SimResult + Copy + Send + Sync,
+) -> Vec<Vec<SimResult>> {
     let n = suite_len();
     let s = seed();
     let names = workload_names();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = names
-            .iter()
-            .map(|wl| {
-                scope.spawn(move || {
-                    let t = workload(wl, n, s);
-                    run_machine(kind, width, &t)
-                })
+    kinds
+        .iter()
+        .map(|&kind| {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = names
+                    .iter()
+                    .map(|wl| {
+                        scope.spawn(move || {
+                            let t = workload(wl, n, s);
+                            run(kind, width, &t)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("simulation panicked"))
+                    .collect()
             })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("simulation panicked")).collect()
-    })
-}
-
-/// Runs several machine kinds over the suite; returns `[kind][workload]`.
-pub fn run_matrix(kinds: &[MachineKind], width: Width) -> Vec<Vec<SimResult>> {
-    kinds.iter().map(|&k| run_suite(k, width)).collect()
+        })
+        .collect()
 }
 
 /// Per-workload speedups of `results` over `base` (paired by index),
@@ -71,13 +204,26 @@ pub fn print_row(label: &str, vals: &[f64], width: usize, prec: usize) {
 }
 
 /// Prints the table header: workload names plus `GEOMEAN`.
+///
+/// Labels wider than the column are truncated to `width - 1` *characters*
+/// (not bytes, so multi-byte labels never split a UTF-8 sequence); at
+/// `width <= 1` nothing of the label fits and only spacing is printed.
 pub fn print_header(cols: &[&str], width: usize) {
     print!("{:<20}", "");
     for c in cols {
-        let c = if c.len() >= width { &c[..width - 1] } else { c };
-        print!("{c:>width$}");
+        let truncated = truncate_chars(c, width.saturating_sub(1));
+        print!("{truncated:>width$}");
     }
     println!();
+}
+
+/// The first `max_chars` characters of `s` (all of `s` if it is short
+/// enough), never splitting inside a multi-byte character.
+fn truncate_chars(s: &str, max_chars: usize) -> &str {
+    match s.char_indices().nth(max_chars) {
+        Some((byte_idx, _)) => &s[..byte_idx],
+        None => s,
+    }
 }
 
 /// Short column labels for the suite plus a geomean column.
@@ -95,6 +241,7 @@ mod tests {
     fn defaults_are_sane() {
         assert!(suite_len() >= 1000);
         let _ = seed();
+        assert!(threads() >= 1);
     }
 
     #[test]
@@ -102,5 +249,23 @@ mod tests {
         let cols = workload_cols();
         assert_eq!(*cols.last().unwrap(), "GEOMEAN");
         assert_eq!(cols.len(), 16);
+    }
+
+    #[test]
+    fn truncate_chars_is_char_safe() {
+        assert_eq!(truncate_chars("hello", 3), "hel");
+        assert_eq!(truncate_chars("hello", 10), "hello");
+        assert_eq!(truncate_chars("héllo", 2), "hé");
+        assert_eq!(truncate_chars("μop-μop", 4), "μop-");
+        assert_eq!(truncate_chars("anything", 0), "");
+    }
+
+    #[test]
+    fn print_header_handles_degenerate_widths() {
+        // Must not panic for tiny widths or non-ASCII labels (the seed
+        // version byte-sliced at `width - 1`, panicking on both).
+        print_header(&["alpha", "β-workload", "x"], 1);
+        print_header(&["alpha", "β-workload"], 2);
+        print_header(&["日本語ラベル"], 4);
     }
 }

@@ -1,0 +1,51 @@
+//! The work-stealing matrix runner must be a pure parallelization: the
+//! thread count can change wall-clock time, never results. These tests
+//! pin that, plus the trace-sharing contract it leans on.
+
+use ballerino_bench::run_cells;
+use ballerino_sim::{MachineKind, Width};
+use ballerino_workloads::cached_workload;
+use std::sync::Arc;
+
+const N: usize = 1500;
+const SEED: u64 = 42;
+
+/// A single worker and an oversubscribed pool must produce identical
+/// matrices — same layout, same cycles, same committed counts.
+#[test]
+fn thread_count_does_not_change_results() {
+    let kinds = [
+        MachineKind::OutOfOrder,
+        MachineKind::Ballerino,
+        MachineKind::Casino,
+    ];
+    let serial = run_cells(&kinds, Width::Eight, N, SEED, 1);
+    let pooled = run_cells(&kinds, Width::Eight, N, SEED, 8);
+
+    assert_eq!(serial.len(), pooled.len());
+    for (row_s, row_p) in serial.iter().zip(&pooled) {
+        assert_eq!(row_s.len(), row_p.len());
+        for (s, p) in row_s.iter().zip(row_p) {
+            assert_eq!(s.cycles, p.cycles);
+            assert_eq!(s.committed, p.committed);
+            assert_eq!(s.violations, p.violations);
+            assert_eq!(s.mispredicts, p.mispredicts);
+        }
+    }
+}
+
+/// Every kind consuming a workload must see the *same* `Arc<Trace>`:
+/// after a matrix run, a cache lookup is pointer-equal to a repeat
+/// lookup, and the trace contents match a fresh generation.
+#[test]
+fn matrix_cells_share_cached_traces() {
+    let kinds = [MachineKind::OutOfOrder, MachineKind::Ces];
+    let _ = run_cells(&kinds, Width::Eight, N, SEED, 2);
+
+    let a = cached_workload("hash_join", N, SEED);
+    let b = cached_workload("hash_join", N, SEED);
+    assert!(Arc::ptr_eq(&a, &b), "same key must share one generation");
+
+    let fresh = ballerino_workloads::workload("hash_join", N, SEED);
+    assert_eq!(a.ops.len(), fresh.ops.len());
+}

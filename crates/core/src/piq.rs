@@ -25,6 +25,38 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PartId(pub u8);
 
+/// The (at most two) partitions whose heads compete for issue this
+/// cycle; a stack-allocated iterator so the per-cycle select path never
+/// touches the heap.
+#[derive(Debug, Clone, Copy)]
+pub struct IssueCandidates {
+    parts: [PartId; 2],
+    len: u8,
+    next: u8,
+}
+
+impl IssueCandidates {
+    /// Number of candidate partitions (1 or 2).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+}
+
+impl Iterator for IssueCandidates {
+    type Item = PartId;
+
+    fn next(&mut self) -> Option<PartId> {
+        if self.next < self.len {
+            let p = self.parts[self.next as usize];
+            self.next += 1;
+            Some(p)
+        } else {
+            None
+        }
+    }
+}
+
 /// A P-IQ: single-chain circular FIFO, shareable into two partitions.
 #[derive(Debug)]
 pub struct Piq {
@@ -198,8 +230,22 @@ impl Piq {
 
     /// Head candidates for issue this cycle: in normal mode the single
     /// head; in sharing mode the active partition's head (both heads when
-    /// `ideal`).
-    pub fn issue_candidates(&self) -> Vec<PartId> {
+    /// `ideal`). At most two, returned by value — this runs once per
+    /// P-IQ per cycle, so it must not allocate.
+    pub fn issue_candidates(&self) -> IssueCandidates {
+        if !self.shared {
+            return IssueCandidates { parts: [PartId(0), PartId(0)], len: 1, next: 0 };
+        }
+        if self.ideal {
+            return IssueCandidates { parts: [PartId(0), PartId(1)], len: 2, next: 0 };
+        }
+        IssueCandidates { parts: [PartId(self.active as u8), PartId(0)], len: 1, next: 0 }
+    }
+
+    /// Heap-allocating variant of [`Piq::issue_candidates`] (the seed's
+    /// original signature), kept for the frozen reference issue path in
+    /// `ballerino-core`'s Ballerino scheduler.
+    pub fn issue_candidates_vec(&self) -> Vec<PartId> {
         if !self.shared {
             return vec![PartId(0)];
         }

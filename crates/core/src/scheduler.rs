@@ -139,6 +139,12 @@ pub struct Ballerino {
     breakdown: IssueBreakdown,
     /// Sharing-mode activations (diagnostics / Fig. 13 analysis).
     pub sharing_activations: u64,
+    /// Scratch buffers reused across [`Scheduler::issue`] calls so the
+    /// per-cycle hot path allocates nothing.
+    scratch_issued: Vec<PhysReg>,
+    scratch_lingering: Vec<PhysReg>,
+    scratch_remove: Vec<usize>,
+    reference_issue: bool,
 }
 
 impl Ballerino {
@@ -158,6 +164,10 @@ impl Ballerino {
             heads: HeadStateStats::default(),
             breakdown: IssueBreakdown::default(),
             sharing_activations: 0,
+            scratch_issued: Vec::new(),
+            scratch_lingering: Vec::new(),
+            scratch_remove: Vec::new(),
+            reference_issue: false,
         }
     }
 
@@ -308,29 +318,19 @@ impl Ballerino {
     }
 }
 
-impl Scheduler for Ballerino {
-    fn name(&self) -> String {
-        let mut n = format!("ballerino-{}", self.cfg.num_piqs + 1);
-        if !self.cfg.mda_steering {
-            n.push_str("-step1");
-        } else if !self.cfg.piq_sharing {
-            n.push_str("-step2");
-        } else if self.cfg.ideal_sharing {
-            n.push_str("-ideal");
-        }
-        n
+impl Ballerino {
+    /// Switches to the seed's per-cycle-allocating issue path (identical
+    /// grant decisions); kept for the `perf_smoke` reference baseline.
+    pub fn with_reference_issue(mut self) -> Self {
+        self.reference_issue = true;
+        self
     }
 
-    fn try_dispatch(&mut self, uop: SchedUop, _ctx: &ReadyCtx<'_>) -> DispatchOutcome {
-        if self.siq.len() >= self.cfg.siq_entries {
-            return DispatchOutcome::Stall(StallReason::Full);
-        }
-        self.energy.queue_writes += 1;
-        self.siq.push_back(uop);
-        DispatchOutcome::Accepted
-    }
-
-    fn issue(&mut self, ctx: &ReadyCtx<'_>, ports: &mut PortAlloc<'_>, out: &mut Vec<u64>) {
+    /// The seed's issue path, frozen verbatim for the `perf_smoke`
+    /// reference baseline: allocates its tracking buffers every cycle
+    /// and asks each P-IQ for a heap-allocated candidate list. Grant
+    /// decisions are identical to [`Scheduler::issue`].
+    fn issue_reference(&mut self, ctx: &ReadyCtx<'_>, ports: &mut PortAlloc<'_>, out: &mut Vec<u64>) {
         // Destinations of single-cycle μops issued *this very cycle*: the
         // scoreboard is only updated by the pipeline after this call, so
         // the intra-group enable logic (Fig. 8) must track them here to
@@ -350,7 +350,7 @@ impl Scheduler for Ballerino {
         for k in 0..self.piqs.len() {
             let mut issued_part: Option<PartId> = None;
             let mut recorded = false;
-            for part in self.piqs[k].issue_candidates() {
+            for part in self.piqs[k].issue_candidates_vec() {
                 let state = match self.piqs[k].front(part) {
                     None => HeadState::Empty,
                     Some(head) => {
@@ -425,7 +425,7 @@ impl Scheduler for Ballerino {
             }
             // Held loads must move to the P-IQs (ideally behind their
             // producer store via MDA steering).
-            let held = ctx.held.contains(&u.seq);
+            let held = ctx.held.contains(u.seq);
             if !held {
                 // Soon-ready consumers linger for back-to-back issue; a
                 // source counts as soon-ready when its producer issued
@@ -457,6 +457,175 @@ impl Scheduler for Ballerino {
         for &i in remove.iter().rev() {
             self.siq.remove(i);
         }
+
+        if any_candidate {
+            // Each port's prefix-sum sees P-IQ head requests above S-IQ
+            // slot requests (§IV-E).
+            let inputs = self.cfg.num_piqs + self.cfg.siq_window;
+            self.energy.select_inputs += inputs as u64;
+        }
+    }
+
+}
+
+impl Scheduler for Ballerino {
+    fn name(&self) -> String {
+        let mut n = format!("ballerino-{}", self.cfg.num_piqs + 1);
+        if !self.cfg.mda_steering {
+            n.push_str("-step1");
+        } else if !self.cfg.piq_sharing {
+            n.push_str("-step2");
+        } else if self.cfg.ideal_sharing {
+            n.push_str("-ideal");
+        }
+        n
+    }
+
+    fn try_dispatch(&mut self, uop: SchedUop, _ctx: &ReadyCtx<'_>) -> DispatchOutcome {
+        if self.siq.len() >= self.cfg.siq_entries {
+            return DispatchOutcome::Stall(StallReason::Full);
+        }
+        self.energy.queue_writes += 1;
+        self.siq.push_back(uop);
+        DispatchOutcome::Accepted
+    }
+
+    fn issue(&mut self, ctx: &ReadyCtx<'_>, ports: &mut PortAlloc<'_>, out: &mut Vec<u64>) {
+        if self.reference_issue {
+            return self.issue_reference(ctx, ports, out);
+        }
+        // Destinations of single-cycle μops issued *this very cycle*: the
+        // scoreboard is only updated by the pipeline after this call, so
+        // the intra-group enable logic (Fig. 8) must track them here to
+        // keep their consumers in the S-IQ for back-to-back issue.
+        let mut just_issued = std::mem::take(&mut self.scratch_issued);
+        just_issued.clear();
+        let note_issue = |u: &SchedUop, v: &mut Vec<PhysReg>| {
+            if !u.is_load() && u.class.exec_latency() as u64 <= 1 {
+                if let Some(d) = u.dst {
+                    v.push(d);
+                }
+            }
+        };
+
+        // ---- 1. P-IQ heads: highest select priority (prefix-sum order,
+        //         §IV-E), examined via the active head pointer(s).
+        let mut any_candidate = false;
+        for k in 0..self.piqs.len() {
+            let mut issued_part: Option<PartId> = None;
+            let mut recorded = false;
+            for part in self.piqs[k].issue_candidates() {
+                let state = match self.piqs[k].front(part) {
+                    None => HeadState::Empty,
+                    Some(head) => {
+                        self.energy.head_examinations += 1;
+                        if ctx.is_ready(head) {
+                            any_candidate = true;
+                            if ports.try_claim(head.port, head.class) {
+                                HeadState::Issuing
+                            } else {
+                                HeadState::StallPortConflict
+                            }
+                        } else if ctx.is_mdp_blocked(head) {
+                            HeadState::StallMdepLoad
+                        } else {
+                            HeadState::StallNonReady
+                        }
+                    }
+                };
+                if !recorded {
+                    // One observation per queue per cycle.
+                    self.heads.record(state);
+                    recorded = true;
+                }
+                if state == HeadState::Issuing {
+                    let u = self.piqs[k].pop(part).expect("head present");
+                    self.energy.queue_reads += 1;
+                    self.breakdown.from_piq += 1;
+                    self.release_store_lfst(&u);
+                    note_issue(&u, &mut just_issued);
+                    out.push(u.seq);
+                    issued_part = Some(part);
+                }
+            }
+            self.piqs[k].end_cycle(issued_part);
+        }
+
+        // ---- 2. S-IQ speculative scheduling window: ready μops issue,
+        //         far-from-ready μops are steered to the P-IQs.
+        let window = self.cfg.siq_window.min(self.siq.len());
+        let mut remove = std::mem::take(&mut self.scratch_remove);
+        remove.clear();
+        let mut lingering = std::mem::take(&mut self.scratch_lingering);
+        lingering.clear();
+        for i in 0..window {
+            let u = self.siq[i];
+            self.energy.head_examinations += 1;
+            if ctx.is_ready(&u) {
+                any_candidate = true;
+                if ports.try_claim(u.port, u.class) {
+                    self.energy.queue_reads += 1;
+                    self.breakdown.from_siq += 1;
+                    self.steer.record(SteerEvent::SpeculativeIssue);
+                    self.release_store_lfst(&u);
+                    note_issue(&u, &mut just_issued);
+                    out.push(u.seq);
+                    remove.push(i);
+                } else {
+                    // Ready but port-denied (§IV-C case 3): steer to a new
+                    // P-IQ head; re-examined there next cycle.
+                    self.energy.steer_ops += 1;
+                    if let Some((k, part)) = self.alloc_target() {
+                        let shared = self.piqs[k].is_shared();
+                        self.steer.record(if shared {
+                            SteerEvent::SteerShared
+                        } else {
+                            SteerEvent::AllocReady
+                        });
+                        self.push_tracked(k, part, u);
+                        remove.push(i);
+                    }
+                    // No free queue: it simply stays in the S-IQ.
+                }
+                continue;
+            }
+            // Held loads must move to the P-IQs (ideally behind their
+            // producer store via MDA steering).
+            let held = ctx.held.contains(u.seq);
+            if !held {
+                // Soon-ready consumers linger for back-to-back issue; a
+                // source counts as soon-ready when its producer issued
+                // within this very cycle with single-cycle latency, or
+                // when the producer itself lingers in the window (the
+                // intra-group dependence analysis of Fig. 8 keeps whole
+                // soon-ready chains in the S-IQ).
+                let far = u.srcs.iter().flatten().any(|s| {
+                    let rc = ctx.scb.ready_cycle(*s);
+                    rc > ctx.cycle + self.cfg.spec_horizon
+                        && !just_issued.contains(s)
+                        && !lingering.contains(s)
+                });
+                if !far {
+                    if let Some(d) = u.dst {
+                        lingering.push(d);
+                    }
+                    continue;
+                }
+            }
+            if self.steer(&u) {
+                remove.push(i);
+            } else {
+                // Steering stall: the window cannot advance past this μop.
+                self.steer.record(SteerEvent::StallNonReady);
+                break;
+            }
+        }
+        for &i in remove.iter().rev() {
+            self.siq.remove(i);
+        }
+        self.scratch_issued = just_issued;
+        self.scratch_lingering = lingering;
+        self.scratch_remove = remove;
 
         if any_candidate {
             // Each port's prefix-sum sees P-IQ head requests above S-IQ
@@ -520,8 +689,7 @@ mod tests {
     use super::*;
     use ballerino_isa::{OpClass, PortId};
     use ballerino_mem::SsId;
-    use ballerino_sched::{FuBusy, Scoreboard};
-    use std::collections::HashSet;
+    use ballerino_sched::{FuBusy, HeldSet, Scoreboard};
 
     fn op(seq: u64, dst: Option<u32>, srcs: [Option<u32>; 2]) -> SchedUop {
         SchedUop {
@@ -535,12 +703,12 @@ mod tests {
     struct Rig {
         b: Ballerino,
         scb: Scoreboard,
-        held: HashSet<u64>,
+        held: HeldSet,
     }
 
     impl Rig {
         fn new(cfg: BallerinoConfig) -> Self {
-            Rig { b: Ballerino::new(cfg), scb: Scoreboard::new(348), held: HashSet::new() }
+            Rig { b: Ballerino::new(cfg), scb: Scoreboard::new(348), held: HeldSet::new() }
         }
 
         fn dispatch(&mut self, u: SchedUop) -> DispatchOutcome {

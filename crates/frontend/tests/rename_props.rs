@@ -1,23 +1,31 @@
 //! Property tests for register renaming: physical registers are
-//! conserved, and rollback exactly undoes rename.
+//! conserved, and rollback exactly undoes rename. Randomized inputs are
+//! driven by the in-repo deterministic [`Rng64`] (many seeded cases per
+//! property, replacing the former proptest strategies).
 
 use ballerino_frontend::Renamer;
+use ballerino_isa::rng::Rng64;
 use ballerino_isa::{ArchReg, MicroOp, RegClass};
-use proptest::prelude::*;
 
-fn arb_op() -> impl Strategy<Value = MicroOp> {
-    (0u16..32, 0u16..32, 0u16..32).prop_map(|(d, s1, s2)| {
-        MicroOp::alu(0x400, ArchReg::int(d), [Some(ArchReg::int(s1)), Some(ArchReg::int(s2))])
-    })
+fn arb_op(rng: &mut Rng64) -> MicroOp {
+    let d = rng.below(32) as u16;
+    let s1 = rng.below(32) as u16;
+    let s2 = rng.below(32) as u16;
+    MicroOp::alu(0x400, ArchReg::int(d), [Some(ArchReg::int(s1)), Some(ArchReg::int(s2))])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn arb_ops(rng: &mut Rng64, max: usize) -> Vec<MicroOp> {
+    let n = rng.index(max) + 1;
+    (0..n).map(|_| arb_op(rng)).collect()
+}
 
-    /// Every renamed μop consumes exactly one free register, and each
-    /// commit-release returns exactly one; totals are conserved.
-    #[test]
-    fn free_list_conservation(ops in proptest::collection::vec(arb_op(), 1..60)) {
+/// Every renamed μop consumes exactly one free register, and each
+/// commit-release returns exactly one; totals are conserved.
+#[test]
+fn free_list_conservation() {
+    for case in 0..256u64 {
+        let mut rng = Rng64::new(0x5EED_0001 + case);
+        let ops = arb_ops(&mut rng, 60);
         let mut r = Renamer::new(100, 40);
         let initial = r.free_count(RegClass::Int);
         let mut renamed = Vec::new();
@@ -27,18 +35,22 @@ proptest! {
                 Err(_) => break,
             }
         }
-        prop_assert_eq!(r.free_count(RegClass::Int), initial - renamed.len());
+        assert_eq!(r.free_count(RegClass::Int), initial - renamed.len());
         // Commit them all: each frees its previous mapping.
         for ren in &renamed {
             r.release(ren.prev_dst.expect("alu writes"));
         }
-        prop_assert_eq!(r.free_count(RegClass::Int), initial);
+        assert_eq!(r.free_count(RegClass::Int), initial);
     }
+}
 
-    /// Renaming then rolling back in reverse order restores every
-    /// architectural mapping and the free list.
-    #[test]
-    fn rollback_round_trips(ops in proptest::collection::vec(arb_op(), 1..60)) {
+/// Renaming then rolling back in reverse order restores every
+/// architectural mapping and the free list.
+#[test]
+fn rollback_round_trips() {
+    for case in 0..256u64 {
+        let mut rng = Rng64::new(0x5EED_0002 + case);
+        let ops = arb_ops(&mut rng, 60);
         let mut r = Renamer::new(100, 40);
         let before: Vec<_> = (0..32).map(|i| r.mapping(ArchReg::int(i))).collect();
         let free_before = r.free_count(RegClass::Int);
@@ -54,15 +66,20 @@ proptest! {
             r.rollback(*dst, ren);
         }
         for (i, want) in before.iter().enumerate() {
-            prop_assert_eq!(r.mapping(ArchReg::int(i as u16)), *want);
+            assert_eq!(r.mapping(ArchReg::int(i as u16)), *want);
         }
-        prop_assert_eq!(r.free_count(RegClass::Int), free_before);
+        assert_eq!(r.free_count(RegClass::Int), free_before);
     }
+}
 
-    /// Reads always see the most recent writer's tag (true dependences
-    /// preserved through renaming).
-    #[test]
-    fn raw_dependences_preserved(writes in proptest::collection::vec(0u16..8, 2..40)) {
+/// Reads always see the most recent writer's tag (true dependences
+/// preserved through renaming).
+#[test]
+fn raw_dependences_preserved() {
+    for case in 0..256u64 {
+        let mut rng = Rng64::new(0x5EED_0003 + case);
+        let n = rng.index(38) + 2;
+        let writes: Vec<u16> = (0..n).map(|_| rng.below(8) as u16).collect();
         let mut r = Renamer::new(100, 40);
         let mut last_tag = std::collections::HashMap::new();
         for (i, d) in writes.iter().enumerate() {
@@ -70,7 +87,7 @@ proptest! {
             let op = MicroOp::alu(0, ArchReg::int(*d), [Some(ArchReg::int(src)), None]);
             let ren = r.rename(&op).expect("enough regs");
             if let Some(&expected) = last_tag.get(&src) {
-                prop_assert_eq!(ren.srcs[0], Some(expected));
+                assert_eq!(ren.srcs[0], Some(expected));
             }
             last_tag.insert(*d, ren.dst.expect("alu writes"));
         }

@@ -24,6 +24,7 @@
 pub mod op;
 pub mod ports;
 pub mod regs;
+pub mod rng;
 pub mod trace;
 pub mod trace_io;
 

@@ -62,6 +62,14 @@ pub enum FuKind {
 }
 
 impl FuKind {
+    /// Number of distinct kinds (for kind-indexed tables).
+    pub const COUNT: usize = 8;
+
+    /// Dense index of this kind, `0..COUNT`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// The functional unit an opcode class executes on.
     pub fn for_class(class: OpClass) -> FuKind {
         match class {

@@ -1,20 +1,22 @@
-//! Property tests for the LSQ and MSHR file.
+//! Property tests for the LSQ and MSHR file, driven by the in-repo
+//! deterministic [`Rng64`] (many seeded cases per property).
 
+use ballerino_isa::rng::Rng64;
 use ballerino_mem::lsq::{Forward, MemRange, StoreQueue};
 use ballerino_mem::mshr::{MshrClaim, MshrFile};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+/// Forwarding always returns the *youngest older* store with a known
+/// overlapping address — checked against a brute-force model.
+#[test]
+fn forwarding_matches_bruteforce() {
+    for case in 0..512u64 {
+        let mut rng = Rng64::new(0x15_0001 + case);
+        let n = rng.index(19) + 1;
+        let stores: Vec<(u64, bool)> =
+            (0..n).map(|_| (rng.below(64), rng.chance(0.5))).collect();
+        let load_pos = rng.index(20);
+        let load_addr = rng.below(64);
 
-    /// Forwarding always returns the *youngest older* store with a known
-    /// overlapping address — checked against a brute-force model.
-    #[test]
-    fn forwarding_matches_bruteforce(
-        stores in proptest::collection::vec((0u64..64, any::<bool>()), 1..20),
-        load_pos in 0usize..20,
-        load_addr in 0u64..64,
-    ) {
         let mut sq = StoreQueue::new(64);
         let mut model: Vec<(u64, u64, bool)> = Vec::new(); // (seq, addr, known)
         for (i, (addr, known)) in stores.iter().enumerate() {
@@ -34,18 +36,23 @@ proptest! {
             .find(|(s, a, k)| *s < load_seq && *k && *a == load_addr * 8)
             .map(|(s, _, _)| *s);
         match (got, want) {
-            (Forward::FromStore { store_seq }, Some(w)) => prop_assert_eq!(store_seq, w),
+            (Forward::FromStore { store_seq }, Some(w)) => assert_eq!(store_seq, w),
             (Forward::FromCache, None) => {}
-            other => prop_assert!(false, "mismatch: {:?}", other),
+            other => panic!("mismatch: {other:?}"),
         }
     }
+}
 
-    /// The MSHR file never tracks more than its capacity of live lines,
-    /// and merged claims always return the primary's fill time.
-    #[test]
-    fn mshr_capacity_and_merging(
-        reqs in proptest::collection::vec((0u64..8, 1u64..50), 1..40),
-    ) {
+/// The MSHR file never tracks more than its capacity of live lines,
+/// and merged claims always return the primary's fill time.
+#[test]
+fn mshr_capacity_and_merging() {
+    for case in 0..512u64 {
+        let mut rng = Rng64::new(0x15_0002 + case);
+        let n = rng.index(39) + 1;
+        let reqs: Vec<(u64, u64)> =
+            (0..n).map(|_| (rng.below(8), rng.below(49) + 1)).collect();
+
         let cap = 4usize;
         let mut m = MshrFile::new(cap);
         let mut t = 0u64;
@@ -56,29 +63,33 @@ proptest! {
             match m.claim(line, t) {
                 MshrClaim::Merged { fill } => {
                     let primary = outstanding.iter().find(|&&(l, _)| l == line);
-                    prop_assert!(primary.is_some(), "merged without a primary");
-                    prop_assert_eq!(fill, primary.unwrap().1);
+                    assert!(primary.is_some(), "merged without a primary");
+                    assert_eq!(fill, primary.unwrap().1);
                 }
                 MshrClaim::Allocated { start } => {
-                    prop_assert!(start >= t);
+                    assert!(start >= t);
                     let fill = start + dur;
                     m.record_fill(line, fill);
                     outstanding.retain(|&(_, f)| f > start);
                     outstanding.push((line, fill));
-                    prop_assert!(outstanding.len() <= cap, "capacity exceeded");
+                    assert!(outstanding.len() <= cap, "capacity exceeded");
                 }
             }
-            prop_assert!(m.occupancy(t) <= cap);
+            assert!(m.occupancy(t) <= cap);
         }
     }
+}
 
-    /// Store queue flush+release keeps entries consistent: entries never
-    /// resurface after removal.
-    #[test]
-    fn store_queue_flush_is_final(
-        seqs in proptest::collection::vec(1u64..100, 1..20),
-        flush_at in 1u64..100,
-    ) {
+/// Store queue flush+release keeps entries consistent: entries never
+/// resurface after removal.
+#[test]
+fn store_queue_flush_is_final() {
+    for case in 0..512u64 {
+        let mut rng = Rng64::new(0x15_0003 + case);
+        let n = rng.index(19) + 1;
+        let seqs: Vec<u64> = (0..n).map(|_| rng.below(99) + 1).collect();
+        let flush_at = rng.below(99) + 1;
+
         let mut sorted = seqs.clone();
         sorted.sort_unstable();
         sorted.dedup();
@@ -88,7 +99,7 @@ proptest! {
         }
         sq.flush_after(flush_at);
         for &s in &sorted {
-            prop_assert_eq!(sq.get(s).is_some(), s <= flush_at);
+            assert_eq!(sq.get(s).is_some(), s <= flush_at);
         }
     }
 }

@@ -84,6 +84,9 @@ pub struct Casino {
     cfg: CasinoConfig,
     siqs: Vec<VecDeque<SchedUop>>,
     final_iq: VecDeque<SchedUop>,
+    /// Scratch for issued window indices, reused across cycles and
+    /// stages so the per-cycle cascade walk never allocates.
+    scratch_issued: Vec<usize>,
     energy: SchedEnergyEvents,
     breakdown: IssueBreakdown,
 }
@@ -96,6 +99,7 @@ impl Casino {
             cfg,
             siqs,
             final_iq: VecDeque::new(),
+            scratch_issued: Vec::new(),
             energy: SchedEnergyEvents::default(),
             breakdown: IssueBreakdown::default(),
         }
@@ -154,7 +158,8 @@ impl Scheduler for Casino {
         //    moves at most one stage per cycle.
         for i in (0..self.siqs.len()).rev() {
             let window = self.cfg.siqs[i].ports.min(self.siqs[i].len());
-            let mut issued_idx: Vec<usize> = Vec::new();
+            let mut issued_idx = std::mem::take(&mut self.scratch_issued);
+            issued_idx.clear();
             for k in 0..window {
                 let u = &self.siqs[i][k];
                 self.energy.head_examinations += 1;
@@ -173,6 +178,7 @@ impl Scheduler for Casino {
             // queue. Issues and passes share the S-IQ's read ports, so a
             // queue that issued k μops can pass at most ports-k more.
             let ports_left = self.cfg.siqs[i].ports.saturating_sub(issued_idx.len());
+            self.scratch_issued = issued_idx;
             let budget = ports_left.min(self.next_space(i));
             let passes = budget.min(self.siqs[i].len());
             for _ in 0..passes {
@@ -232,14 +238,14 @@ mod tests {
     use crate::ports::FuBusy;
     use crate::scoreboard::Scoreboard;
     use ballerino_isa::PortId;
-    use std::collections::HashSet;
+    use crate::held::HeldSet;
 
     fn op(seq: u64, port: u8, src: Option<u32>) -> SchedUop {
         SchedUop { port: PortId(port), srcs: [src.map(PhysReg), None], ..SchedUop::test_op(seq) }
     }
 
     fn issue_once(c: &mut Casino, scb: &Scoreboard, cycle: u64) -> Vec<u64> {
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle, scb, held: &held };
         let busy = FuBusy::new();
         let mut pa = PortAlloc::new(8, 8, &busy, cycle);
@@ -252,7 +258,7 @@ mod tests {
     fn ready_ops_issue_speculatively_from_siq0() {
         let mut c = Casino::new(CasinoConfig::eight_wide());
         let scb = Scoreboard::new(16);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         for i in 0..4 {
             c.try_dispatch(op(i, i as u8, None), &ctx);
@@ -267,7 +273,7 @@ mod tests {
         let mut c = Casino::new(CasinoConfig::eight_wide());
         let mut scb = Scoreboard::new(16);
         scb.allocate(PhysReg(1));
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         for i in 0..4 {
             c.try_dispatch(op(i, i as u8, Some(1)), &ctx);
@@ -290,7 +296,7 @@ mod tests {
         let mut scb = Scoreboard::new(16);
         scb.allocate(PhysReg(1));
         scb.allocate(PhysReg(2));
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         c.try_dispatch(op(0, 0, Some(1)), &ctx);
         c.try_dispatch(op(1, 1, Some(2)), &ctx);
@@ -314,7 +320,7 @@ mod tests {
         let mut c = Casino::new(CasinoConfig::eight_wide());
         let mut scb = Scoreboard::new(16);
         scb.allocate(PhysReg(1));
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         c.try_dispatch(op(0, 0, Some(1)), &ctx);
         let _ = issue_once(&mut c, &scb, 0); // moved to S-IQ1
@@ -330,7 +336,7 @@ mod tests {
         let mut c = Casino::new(CasinoConfig::eight_wide());
         let mut scb = Scoreboard::new(16);
         scb.allocate(PhysReg(1));
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         c.try_dispatch(op(0, 0, Some(1)), &ctx);
         let _ = issue_once(&mut c, &scb, 0);
@@ -342,7 +348,7 @@ mod tests {
         let mut c = Casino::new(CasinoConfig::eight_wide());
         let mut scb = Scoreboard::new(16);
         scb.allocate(PhysReg(1));
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         for i in 0..8 {
             assert_eq!(c.try_dispatch(op(i, 0, Some(1)), &ctx), DispatchOutcome::Accepted);
@@ -358,7 +364,7 @@ mod tests {
         });
         let mut scb = Scoreboard::new(16);
         scb.allocate(PhysReg(1));
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         for i in 0..6 {
             c.try_dispatch(op(i, 0, Some(1)), &ctx);
@@ -376,7 +382,7 @@ mod tests {
         let mut c = Casino::new(CasinoConfig::eight_wide());
         let mut scb = Scoreboard::new(16);
         scb.allocate(PhysReg(1));
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         for i in 0..4 {
             c.try_dispatch(op(i, 0, Some(1)), &ctx);

@@ -325,7 +325,7 @@ mod tests {
     use crate::scoreboard::Scoreboard;
     use ballerino_isa::{OpClass, PortId};
     use ballerino_mem::SsId;
-    use std::collections::HashSet;
+    use crate::held::HeldSet;
 
     fn op(seq: u64, dst: Option<u32>, srcs: [Option<u32>; 2]) -> SchedUop {
         SchedUop {
@@ -337,7 +337,7 @@ mod tests {
     }
 
     fn issue_once(ces: &mut Ces, scb: &Scoreboard, cycle: u64) -> Vec<u64> {
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle, scb, held: &held };
         let busy = FuBusy::new();
         let mut pa = PortAlloc::new(8, 8, &busy, cycle);
@@ -353,7 +353,7 @@ mod tests {
         for p in [10, 11, 12] {
             scb.allocate(PhysReg(p));
         }
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         // chain: 0 -> 1 -> 2 via regs 10, 11; all non-ready (src 9 missing? no:
         // op0 reads nothing but writes 10, and 10 is allocated → not ready for
@@ -371,7 +371,7 @@ mod tests {
         let mut ces = Ces::new(CesConfig::default());
         let mut scb = Scoreboard::new(348);
         scb.allocate(PhysReg(10));
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         ces.try_dispatch(op(0, Some(10), [None, None]), &ctx);
         ces.try_dispatch(op(1, Some(11), [Some(10), None]), &ctx); // consumer 1
@@ -384,7 +384,7 @@ mod tests {
     fn ready_ops_allocate_their_own_piqs_until_stall() {
         let mut ces = Ces::new(CesConfig { num_piqs: 2, ..CesConfig::default() });
         let scb = Scoreboard::new(348);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         assert_eq!(ces.try_dispatch(op(0, None, [None, None]), &ctx), DispatchOutcome::Accepted);
         assert_eq!(ces.try_dispatch(op(1, None, [None, None]), &ctx), DispatchOutcome::Accepted);
@@ -401,7 +401,7 @@ mod tests {
         let mut ces = Ces::new(CesConfig::default());
         let mut scb = Scoreboard::new(348);
         scb.allocate(PhysReg(10)); // chain 0 blocked
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         ces.try_dispatch(op(0, Some(11), [Some(10), None]), &ctx); // blocked chain
         ces.try_dispatch(op(1, None, [None, None]), &ctx); // ready chain
@@ -420,7 +420,7 @@ mod tests {
         for p in 10..16 {
             scb.allocate(PhysReg(p));
         }
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         ces.try_dispatch(op(0, Some(10), [None, None]), &ctx);
         ces.try_dispatch(op(1, Some(11), [Some(10), None]), &ctx);
@@ -435,7 +435,7 @@ mod tests {
         let mut ces = Ces::new(CesConfig::default());
         let mut scb = Scoreboard::new(348);
         scb.allocate(PhysReg(10));
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         ces.try_dispatch(op(0, Some(10), [None, None]), &ctx);
         let _ = issue_once(&mut ces, &scb, 0);
@@ -452,7 +452,7 @@ mod tests {
         let mut ces = Ces::new(CesConfig { mda_steering: true, ..CesConfig::default() });
         let mut scb = Scoreboard::new(348);
         scb.allocate(PhysReg(20));
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         // Store in a chain (non-ready), with ssid 5.
         let mut st = op(0, None, [Some(20), None]);
@@ -480,7 +480,7 @@ mod tests {
         let mut ces = Ces::new(CesConfig::default());
         let mut scb = Scoreboard::new(348);
         scb.allocate(PhysReg(20));
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         let mut st = op(0, None, [Some(20), None]);
         st.class = OpClass::Store;
@@ -498,7 +498,7 @@ mod tests {
     fn store_issue_releases_lfst_steer() {
         let mut ces = Ces::new(CesConfig { mda_steering: true, ..CesConfig::default() });
         let scb = Scoreboard::new(348);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         let mut st = op(0, None, [None, None]);
         st.class = OpClass::Store;
@@ -521,7 +521,7 @@ mod tests {
     fn head_stats_classify_mdp_blocked_loads() {
         let mut ces = Ces::new(CesConfig::default());
         let scb = Scoreboard::new(348);
-        let mut held = HashSet::new();
+        let mut held = HeldSet::new();
         held.insert(0u64);
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         let mut ld = op(0, Some(30), [None, None]);
@@ -542,7 +542,7 @@ mod tests {
         let mut scb = Scoreboard::new(348);
         scb.allocate(PhysReg(10));
         scb.allocate(PhysReg(11));
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         ces.try_dispatch(op(0, Some(10), [None, None]), &ctx);
         ces.try_dispatch(op(1, Some(11), [Some(10), None]), &ctx);
@@ -560,7 +560,7 @@ mod tests {
     fn issue_breakdown_counts_piq_issues() {
         let mut ces = Ces::new(CesConfig::default());
         let scb = Scoreboard::new(348);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         ces.try_dispatch(op(0, None, [None, None]), &ctx);
         let _ = issue_once(&mut ces, &scb, 0);

@@ -186,14 +186,14 @@ mod tests {
     use crate::ports::FuBusy;
     use crate::scoreboard::Scoreboard;
     use ballerino_isa::{OpClass, PortId};
-    use std::collections::HashSet;
+    use crate::held::HeldSet;
 
     fn op(seq: u64, port: u8, src: Option<u32>) -> SchedUop {
         SchedUop { port: PortId(port), srcs: [src.map(PhysReg), None], ..SchedUop::test_op(seq) }
     }
 
     fn issue_once(d: &mut Dnb, scb: &Scoreboard, cycle: u64) -> Vec<u64> {
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle, scb, held: &held };
         let busy = FuBusy::new();
         let mut pa = PortAlloc::new(8, 8, &busy, cycle);
@@ -206,7 +206,7 @@ mod tests {
     fn ready_ops_take_the_bypass_queue() {
         let mut d = Dnb::new(DnbConfig::default());
         let scb = Scoreboard::new(64);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         d.try_dispatch(op(1, 0, None), &ctx);
         assert_eq!(d.ooo_len(), 0);
@@ -220,7 +220,7 @@ mod tests {
         let mut d = Dnb::new(DnbConfig::default());
         let mut scb = Scoreboard::new(64);
         scb.allocate(PhysReg(10));
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         let mut u = op(1, 0, Some(10));
         u.load_dep = true;
@@ -238,7 +238,7 @@ mod tests {
         let mut scb = Scoreboard::new(64);
         scb.allocate(PhysReg(10));
         scb.set_ready_at(PhysReg(10), 1); // short-latency producer
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         d.try_dispatch(op(1, 0, Some(10)), &ctx);
         assert_eq!(d.ooo_len(), 0);
@@ -254,7 +254,7 @@ mod tests {
         scb.allocate(PhysReg(10)); // never ready
         scb.allocate(PhysReg(11));
         scb.set_ready_at(PhysReg(11), 1);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         d.try_dispatch(op(1, 0, Some(10)), &ctx);
         d.try_dispatch(op(2, 1, Some(11)), &ctx);
@@ -266,7 +266,7 @@ mod tests {
         let mut d = Dnb::new(DnbConfig::default());
         let mut scb = Scoreboard::new(64);
         scb.allocate(PhysReg(10));
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         let mut ld = op(1, 2, Some(10));
         ld.class = OpClass::Load;
@@ -281,7 +281,7 @@ mod tests {
         scb.allocate(PhysReg(10));
         scb.allocate(PhysReg(11));
         scb.set_ready_at(PhysReg(11), 1);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         d.try_dispatch(op(1, 0, None), &ctx); // bypass
         let mut crit = op(2, 1, Some(10));

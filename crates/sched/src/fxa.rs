@@ -62,7 +62,7 @@ impl Fxa {
         if !Self::ixu_eligible_class(uop.class) {
             return false;
         }
-        if ctx.held.contains(&uop.seq) {
+        if ctx.held.contains(uop.seq) {
             return false;
         }
         if self.ixu_cycle != ctx.cycle {
@@ -138,7 +138,7 @@ mod tests {
     use crate::ports::FuBusy;
     use crate::scoreboard::Scoreboard;
     use ballerino_isa::PortId;
-    use std::collections::HashSet;
+    use crate::held::HeldSet;
 
     fn op(seq: u64, class: OpClass, src: Option<u32>) -> SchedUop {
         SchedUop {
@@ -153,7 +153,7 @@ mod tests {
     fn ready_alu_executes_in_ixu() {
         let mut f = Fxa::new(FxaConfig::default());
         let scb = Scoreboard::new(16);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         assert_eq!(
             f.try_dispatch(op(0, OpClass::IntAlu, None), &ctx),
@@ -170,7 +170,7 @@ mod tests {
         // Producer issued this cycle; result ready at cycle+1 (alu).
         scb.allocate(PhysReg(1));
         scb.set_ready_at(PhysReg(1), 1);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         assert_eq!(
             f.try_dispatch(op(1, OpClass::IntAlu, Some(1)), &ctx),
@@ -185,7 +185,7 @@ mod tests {
         // Load result ready far in the future (cache access).
         scb.allocate(PhysReg(1));
         scb.set_ready_at(PhysReg(1), 50);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         assert_eq!(
             f.try_dispatch(op(1, OpClass::IntAlu, Some(1)), &ctx),
@@ -198,7 +198,7 @@ mod tests {
     fn fp_compute_always_goes_to_backend() {
         let mut f = Fxa::new(FxaConfig::default());
         let scb = Scoreboard::new(16);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         assert_eq!(f.try_dispatch(op(0, OpClass::FpMul, None), &ctx), DispatchOutcome::Accepted);
     }
@@ -207,7 +207,7 @@ mod tests {
     fn ixu_width_limits_per_cycle_executions() {
         let mut f = Fxa::new(FxaConfig::default());
         let scb = Scoreboard::new(16);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         for i in 0..4 {
             assert_eq!(
@@ -229,7 +229,7 @@ mod tests {
     fn mdp_held_load_goes_to_backend() {
         let mut f = Fxa::new(FxaConfig::default());
         let scb = Scoreboard::new(16);
-        let mut held = HashSet::new();
+        let mut held = HeldSet::new();
         held.insert(0u64);
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         assert_eq!(f.try_dispatch(op(0, OpClass::Load, None), &ctx), DispatchOutcome::Accepted);
@@ -241,7 +241,7 @@ mod tests {
         let mut scb = Scoreboard::new(16);
         scb.allocate(PhysReg(1));
         scb.set_ready_at(PhysReg(1), 50);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         f.try_dispatch(op(1, OpClass::IntAlu, Some(1)), &ctx);
         let busy = FuBusy::new();

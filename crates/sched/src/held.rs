@@ -1,0 +1,120 @@
+//! [`HeldSet`]: the set of sequence numbers serialized by the MDP.
+//!
+//! The pipeline consults this set for *every* μop examined by the
+//! scheduler every cycle (via [`crate::ReadyCtx::is_ready`]), so it sits
+//! on the hottest path of the simulator. Membership is tiny (only loads
+//! and stores waiting behind a predicted producer store) and churns in
+//! rough seq order, so a sorted `Vec` with binary search beats a
+//! `HashSet`: lookups are a handful of cache-resident compares with no
+//! hashing, and inserts are usually appends.
+
+/// A small sorted set of μop sequence numbers held by the MDP.
+#[derive(Debug, Default, Clone)]
+pub struct HeldSet {
+    seqs: Vec<u64>,
+}
+
+impl HeldSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        HeldSet::default()
+    }
+
+    /// Whether `seq` is held.
+    #[inline]
+    pub fn contains(&self, seq: u64) -> bool {
+        // New holds are almost always younger than everything resident,
+        // so check the tail before falling back to binary search.
+        match self.seqs.last() {
+            None => false,
+            Some(&last) if seq > last => false,
+            Some(&last) if seq == last => true,
+            _ => self.seqs.binary_search(&seq).is_ok(),
+        }
+    }
+
+    /// Adds `seq`; no-op if already present.
+    pub fn insert(&mut self, seq: u64) {
+        match self.seqs.last() {
+            Some(&last) if seq > last => self.seqs.push(seq),
+            None => self.seqs.push(seq),
+            _ => {
+                if let Err(pos) = self.seqs.binary_search(&seq) {
+                    self.seqs.insert(pos, seq);
+                }
+            }
+        }
+    }
+
+    /// Removes `seq` if present.
+    pub fn remove(&mut self, seq: u64) {
+        if let Ok(pos) = self.seqs.binary_search(&seq) {
+            self.seqs.remove(pos);
+        }
+    }
+
+    /// Number of held μops.
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut h = HeldSet::new();
+        assert!(!h.contains(5));
+        h.insert(5);
+        h.insert(9);
+        h.insert(2); // out-of-order insert still lands sorted
+        assert!(h.contains(2) && h.contains(5) && h.contains(9));
+        assert!(!h.contains(7));
+        assert_eq!(h.len(), 3);
+        h.remove(5);
+        assert!(!h.contains(5));
+        h.remove(5); // double remove is a no-op
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut h = HeldSet::new();
+        h.insert(4);
+        h.insert(4);
+        assert_eq!(h.len(), 1);
+        h.remove(4);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn matches_reference_hashset_under_churn() {
+        use ballerino_isa::rng::Rng64;
+        use std::collections::HashSet;
+        let mut rng = Rng64::new(11);
+        let mut h = HeldSet::new();
+        let mut model: HashSet<u64> = HashSet::new();
+        for _ in 0..10_000 {
+            let s = rng.below(64);
+            match rng.index(3) {
+                0 => {
+                    h.insert(s);
+                    model.insert(s);
+                }
+                1 => {
+                    h.remove(s);
+                    model.remove(&s);
+                }
+                _ => assert_eq!(h.contains(s), model.contains(&s)),
+            }
+            assert_eq!(h.len(), model.len());
+        }
+    }
+}

@@ -115,9 +115,9 @@ mod tests {
     use crate::ports::FuBusy;
     use crate::scoreboard::Scoreboard;
     use ballerino_isa::{OpClass, PortId};
-    use std::collections::HashSet;
+    use crate::held::HeldSet;
 
-    fn ctx<'a>(scb: &'a Scoreboard, held: &'a HashSet<u64>, cycle: u64) -> ReadyCtx<'a> {
+    fn ctx<'a>(scb: &'a Scoreboard, held: &'a HeldSet, cycle: u64) -> ReadyCtx<'a> {
         ReadyCtx { cycle, scb, held }
     }
 
@@ -129,7 +129,7 @@ mod tests {
     fn issues_ready_prefix_in_order() {
         let mut iq = InOrderIq::new(InOrderIqConfig::default());
         let scb = Scoreboard::new(8);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let c = ctx(&scb, &held, 0);
         for i in 0..4 {
             assert_eq!(iq.try_dispatch(op(i, i as u8, None), &c), DispatchOutcome::Accepted);
@@ -147,7 +147,7 @@ mod tests {
         let mut iq = InOrderIq::new(InOrderIqConfig::default());
         let mut scb = Scoreboard::new(8);
         scb.allocate(PhysReg(1));
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let c = ctx(&scb, &held, 0);
         iq.try_dispatch(op(0, 0, Some(PhysReg(1))), &c); // not ready
         iq.try_dispatch(op(1, 1, None), &c); // ready but behind
@@ -163,7 +163,7 @@ mod tests {
     fn port_conflict_blocks_in_order() {
         let mut iq = InOrderIq::new(InOrderIqConfig::default());
         let scb = Scoreboard::new(8);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let c = ctx(&scb, &held, 0);
         iq.try_dispatch(op(0, 0, None), &c);
         iq.try_dispatch(op(1, 0, None), &c); // same port
@@ -180,7 +180,7 @@ mod tests {
     fn capacity_stalls_dispatch() {
         let mut iq = InOrderIq::new(InOrderIqConfig { entries: 2, read_ports: 2 });
         let scb = Scoreboard::new(8);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let c = ctx(&scb, &held, 0);
         assert_eq!(iq.try_dispatch(op(0, 0, None), &c), DispatchOutcome::Accepted);
         assert_eq!(iq.try_dispatch(op(1, 0, None), &c), DispatchOutcome::Accepted);
@@ -194,7 +194,7 @@ mod tests {
     fn flush_removes_younger_entries() {
         let mut iq = InOrderIq::new(InOrderIqConfig::default());
         let scb = Scoreboard::new(8);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let c = ctx(&scb, &held, 0);
         for i in 0..5 {
             iq.try_dispatch(op(i, 0, None), &c);
@@ -207,7 +207,7 @@ mod tests {
     fn mdp_hold_blocks_head() {
         let mut iq = InOrderIq::new(InOrderIqConfig::default());
         let scb = Scoreboard::new(8);
-        let mut held = HashSet::new();
+        let mut held = HeldSet::new();
         held.insert(0u64);
         let c = ctx(&scb, &held, 0);
         iq.try_dispatch(op(0, 0, None), &c);
@@ -222,7 +222,7 @@ mod tests {
     fn issue_width_bounded_by_read_ports() {
         let mut iq = InOrderIq::new(InOrderIqConfig { entries: 96, read_ports: 2 });
         let scb = Scoreboard::new(8);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let c = ctx(&scb, &held, 0);
         for i in 0..6 {
             iq.try_dispatch(op(i, i as u8, None), &c);
@@ -238,7 +238,7 @@ mod tests {
     fn unpipelined_div_stalls_port() {
         let mut iq = InOrderIq::new(InOrderIqConfig::default());
         let scb = Scoreboard::new(8);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let c = ctx(&scb, &held, 10);
         let div = SchedUop { class: OpClass::IntDiv, ..op(0, 0, None) };
         iq.try_dispatch(div, &c);

@@ -34,6 +34,7 @@ pub mod casino;
 pub mod ces;
 pub mod dnb;
 pub mod fxa;
+pub mod held;
 pub mod ino;
 pub mod loc;
 pub mod lsc;
@@ -48,6 +49,7 @@ pub use casino::{Casino, CasinoConfig};
 pub use ces::{Ces, CesConfig};
 pub use dnb::{Dnb, DnbConfig};
 pub use fxa::{Fxa, FxaConfig};
+pub use held::HeldSet;
 pub use ino::{InOrderIq, InOrderIqConfig};
 pub use loc::{LocEntry, LocTable};
 pub use lsc::{Lsc, LscConfig};

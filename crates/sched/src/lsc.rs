@@ -214,7 +214,7 @@ mod tests {
     use crate::ports::FuBusy;
     use crate::scoreboard::Scoreboard;
     use ballerino_isa::{OpClass, PortId};
-    use std::collections::HashSet;
+    use crate::held::HeldSet;
 
     fn op(seq: u64, pc: u64, class: OpClass, dst: Option<u32>, src: Option<u32>) -> SchedUop {
         SchedUop {
@@ -231,7 +231,7 @@ mod tests {
     }
 
     fn issue_once(l: &mut Lsc, scb: &Scoreboard, cycle: u64) -> Vec<u64> {
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle, scb, held: &held };
         let busy = FuBusy::new();
         let mut pa = PortAlloc::new(8, 8, &busy, cycle);
@@ -244,7 +244,7 @@ mod tests {
     fn loads_always_take_the_bypass_queue() {
         let mut l = Lsc::new(LscConfig::default());
         let scb = Scoreboard::new(64);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         l.try_dispatch(op(1, 0x400, OpClass::Load, Some(10), None), &ctx);
         assert_eq!(l.bypassed, 1);
@@ -254,7 +254,7 @@ mod tests {
     fn address_producers_join_the_slice_over_iterations() {
         let mut l = Lsc::new(LscConfig::default());
         let scb = Scoreboard::new(64);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         // Iteration 1: ALU at 0x400 produces p10; load at 0x404 uses it.
         l.try_dispatch(op(1, 0x400, OpClass::IntAlu, Some(10), None), &ctx);
@@ -271,7 +271,7 @@ mod tests {
         let mut l = Lsc::new(LscConfig::default());
         let mut scb = Scoreboard::new(64);
         scb.allocate(PhysReg(20)); // main-queue head depends on this
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         l.try_dispatch(op(1, 0x500, OpClass::IntAlu, Some(21), Some(20)), &ctx); // main, blocked
         l.try_dispatch(op(2, 0x504, OpClass::Load, Some(22), None), &ctx); // bypass, ready
@@ -284,7 +284,7 @@ mod tests {
         let mut l = Lsc::new(LscConfig::default());
         let mut scb = Scoreboard::new(64);
         scb.allocate(PhysReg(20));
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         // Two bypass loads; the first blocked on its base register.
         l.try_dispatch(op(1, 0x500, OpClass::Load, Some(21), Some(20)), &ctx);
@@ -298,7 +298,7 @@ mod tests {
         let mut l = Lsc::new(LscConfig::default());
         let mut scb = Scoreboard::new(64);
         scb.allocate(PhysReg(20));
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         l.try_dispatch(op(1, 0x500, OpClass::IntAlu, Some(21), Some(20)), &ctx);
         l.try_dispatch(op(2, 0x504, OpClass::Load, Some(22), Some(20)), &ctx);
@@ -312,7 +312,7 @@ mod tests {
         let mut l = Lsc::new(LscConfig { bypass_entries: 1, ..LscConfig::default() });
         let mut scb = Scoreboard::new(64);
         scb.allocate(PhysReg(20));
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         assert_eq!(
             l.try_dispatch(op(1, 0x500, OpClass::Load, Some(21), Some(20)), &ctx),

@@ -10,7 +10,9 @@ use crate::ports::PortAlloc;
 use crate::stats::{IssueBreakdown, SchedEnergyEvents};
 use crate::traits::{DispatchOutcome, ReadyCtx, Scheduler, StallReason};
 use crate::uop::SchedUop;
-use ballerino_isa::PhysReg;
+use ballerino_isa::{PhysReg, MAX_PORTS};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Configuration of the out-of-order IQ.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +36,13 @@ pub struct OooIq {
     cfg: OooIqConfig,
     slots: Vec<Option<SchedUop>>,
     occupancy: usize,
+    /// Min-heap of free slot indices: dispatch must fill the
+    /// lowest-numbered free slot (position is the select priority), and
+    /// popping a heap beats rescanning the whole slot array.
+    free_slots: BinaryHeap<Reverse<usize>>,
+    /// Scratch for granted slot indices, reused across cycles.
+    grant_buf: Vec<usize>,
+    reference_select: bool,
     energy: SchedEnergyEvents,
     breakdown: IssueBreakdown,
 }
@@ -42,46 +51,96 @@ impl OooIq {
     /// Builds an empty IQ.
     pub fn new(cfg: OooIqConfig) -> Self {
         let slots = vec![None; cfg.entries];
+        let free_slots = (0..cfg.entries).map(Reverse).collect();
         OooIq {
             cfg,
             slots,
             occupancy: 0,
+            free_slots,
+            grant_buf: Vec::new(),
+            reference_select: false,
             energy: SchedEnergyEvents::default(),
             breakdown: IssueBreakdown::default(),
         }
     }
-}
 
-impl Scheduler for OooIq {
-    fn name(&self) -> String {
-        if self.cfg.oldest_first { "ooo-oldest".to_string() } else { "ooo".to_string() }
+    /// Switches select to the seed's grant loop, which rescans every
+    /// slot once per grant. Identical grant decisions, O(entries ×
+    /// width) instead of O(entries) per cycle; kept for the `perf_smoke`
+    /// reference baseline.
+    pub fn with_reference_select(mut self) -> Self {
+        self.reference_select = true;
+        self
     }
 
-    fn try_dispatch(&mut self, uop: SchedUop, _ctx: &ReadyCtx<'_>) -> DispatchOutcome {
-        match self.slots.iter_mut().find(|s| s.is_none()) {
-            Some(slot) => {
-                *slot = Some(uop);
-                self.occupancy += 1;
-                self.energy.queue_writes += 1;
-                DispatchOutcome::Accepted
-            }
-            None => DispatchOutcome::Stall(StallReason::Full),
-        }
-    }
-
-    fn issue(&mut self, ctx: &ReadyCtx<'_>, ports: &mut PortAlloc<'_>, out: &mut Vec<u64>) {
-        if self.occupancy == 0 {
-            return;
-        }
-        // The wakeup logic evaluates readiness for every occupied entry
-        // every cycle (here: scoreboard reads).
-        self.energy.head_examinations += self.occupancy as u64;
-
-        // Gather per-slot ready requests.
+    /// Single-pass select: one scan computes the best requester per
+    /// port, then grants flow in the same global priority order the
+    /// seed's rescan loop produced (lowest slot, or oldest when
+    /// configured), so the issued set is identical.
+    fn select_single_pass(&mut self, ctx: &ReadyCtx<'_>, ports: &mut PortAlloc<'_>) -> bool {
         let mut any_request = false;
-        let mut grants: Vec<usize> = Vec::new();
-        // Per port, grant one request: lowest slot (prefix-sum) or oldest.
-        let mut claimed_ports = [false; ballerino_isa::MAX_PORTS];
+        let mut best_per_port: [Option<usize>; MAX_PORTS] = [None; MAX_PORTS];
+        for (i, s) in self.slots.iter().enumerate() {
+            let Some(u) = s else { continue };
+            if !ctx.is_ready(u) {
+                continue;
+            }
+            any_request = true;
+            if !ports.can_claim(u.port, u.class) {
+                continue;
+            }
+            let best = &mut best_per_port[u.port.index()];
+            let better = match *best {
+                None => true,
+                Some(b) => {
+                    let bu = self.slots[b].as_ref().expect("occupied");
+                    if self.cfg.oldest_first {
+                        u.seq < bu.seq
+                    } else {
+                        i < b
+                    }
+                }
+            };
+            if better {
+                *best = Some(i);
+            }
+        }
+        // Grant the per-port winners in global priority order until the
+        // width budget runs out (ports are independent, so removing one
+        // port's winner never changes another port's).
+        while ports.remaining() > 0 {
+            let mut best: Option<usize> = None;
+            for cand in best_per_port.iter().flatten() {
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        if self.cfg.oldest_first {
+                            let cu = self.slots[*cand].as_ref().expect("occupied");
+                            let bu = self.slots[b].as_ref().expect("occupied");
+                            cu.seq < bu.seq
+                        } else {
+                            *cand < b
+                        }
+                    }
+                };
+                if better {
+                    best = Some(*cand);
+                }
+            }
+            let Some(i) = best else { break };
+            let u = self.slots[i].as_ref().expect("occupied");
+            let claimed = ports.try_claim(u.port, u.class);
+            debug_assert!(claimed);
+            best_per_port[u.port.index()] = None;
+            self.grant_buf.push(i);
+        }
+        any_request
+    }
+
+    /// The seed's select loop: rescan all slots once per grant.
+    fn select_reference(&mut self, ctx: &ReadyCtx<'_>, ports: &mut PortAlloc<'_>) -> bool {
+        let mut any_request = false;
+        let mut claimed_ports = [false; MAX_PORTS];
         loop {
             let mut best: Option<usize> = None;
             for (i, s) in self.slots.iter().enumerate() {
@@ -116,25 +175,66 @@ impl Scheduler for OooIq {
             let claimed = ports.try_claim(u.port, u.class);
             debug_assert!(claimed);
             claimed_ports[u.port.index()] = true;
-            grants.push(i);
+            self.grant_buf.push(i);
             if ports.remaining() == 0 {
                 break;
             }
         }
+        any_request
+    }
+}
+
+impl Scheduler for OooIq {
+    fn name(&self) -> String {
+        if self.cfg.oldest_first { "ooo-oldest".to_string() } else { "ooo".to_string() }
+    }
+
+    fn try_dispatch(&mut self, uop: SchedUop, _ctx: &ReadyCtx<'_>) -> DispatchOutcome {
+        match self.free_slots.pop() {
+            Some(Reverse(i)) => {
+                debug_assert!(self.slots[i].is_none(), "free list out of sync");
+                self.slots[i] = Some(uop);
+                self.occupancy += 1;
+                self.energy.queue_writes += 1;
+                DispatchOutcome::Accepted
+            }
+            None => DispatchOutcome::Stall(StallReason::Full),
+        }
+    }
+
+    fn issue(&mut self, ctx: &ReadyCtx<'_>, ports: &mut PortAlloc<'_>, out: &mut Vec<u64>) {
+        if self.occupancy == 0 {
+            return;
+        }
+        // The wakeup logic evaluates readiness for every occupied entry
+        // every cycle (here: scoreboard reads).
+        self.energy.head_examinations += self.occupancy as u64;
+
+        let mut grants = std::mem::take(&mut self.grant_buf);
+        grants.clear();
+        self.grant_buf = grants;
+        let any_request = if self.reference_select {
+            self.select_reference(ctx, ports)
+        } else {
+            self.select_single_pass(ctx, ports)
+        };
 
         if any_request {
             // Every port's prefix-sum circuit spans all IQ entries (Fig. 2).
-            self.energy.select_inputs +=
-                (self.cfg.entries * claimed_ports.len().min(8)) as u64;
+            self.energy.select_inputs += (self.cfg.entries * MAX_PORTS.min(8)) as u64;
         }
 
-        for i in grants {
+        let mut grants = std::mem::take(&mut self.grant_buf);
+        for &i in &grants {
             let u = self.slots[i].take().expect("granted slot");
+            self.free_slots.push(Reverse(i));
             self.occupancy -= 1;
             self.energy.queue_reads += 1;
             self.breakdown.from_ooo += 1;
             out.push(u.seq);
         }
+        grants.clear();
+        self.grant_buf = grants;
     }
 
     fn on_complete(&mut self, _dst: PhysReg) {
@@ -144,9 +244,10 @@ impl Scheduler for OooIq {
     }
 
     fn flush_after(&mut self, seq: u64, _flushed_dests: &[PhysReg]) {
-        for s in &mut self.slots {
+        for (i, s) in self.slots.iter_mut().enumerate() {
             if s.as_ref().map(|u| u.seq > seq).unwrap_or(false) {
                 *s = None;
+                self.free_slots.push(Reverse(i));
                 self.occupancy -= 1;
             }
         }
@@ -175,14 +276,14 @@ mod tests {
     use crate::ports::FuBusy;
     use crate::scoreboard::Scoreboard;
     use ballerino_isa::{OpClass, PortId};
-    use std::collections::HashSet;
+    use crate::held::HeldSet;
 
     fn op(seq: u64, port: u8, src: Option<PhysReg>) -> SchedUop {
         SchedUop { port: PortId(port), srcs: [src, None], ..SchedUop::test_op(seq) }
     }
 
     fn issue_once(iq: &mut OooIq, scb: &Scoreboard, cycle: u64) -> Vec<u64> {
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle, scb, held: &held };
         let busy = FuBusy::new();
         let mut pa = PortAlloc::new(8, 8, &busy, cycle);
@@ -196,7 +297,7 @@ mod tests {
         let mut iq = OooIq::new(OooIqConfig::default());
         let mut scb = Scoreboard::new(8);
         scb.allocate(PhysReg(1)); // op 0's source never ready
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         iq.try_dispatch(op(0, 0, Some(PhysReg(1))), &ctx);
         iq.try_dispatch(op(1, 1, None), &ctx);
@@ -210,7 +311,7 @@ mod tests {
     fn one_grant_per_port_per_cycle() {
         let mut iq = OooIq::new(OooIqConfig::default());
         let scb = Scoreboard::new(8);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         iq.try_dispatch(op(0, 3, None), &ctx);
         iq.try_dispatch(op(1, 3, None), &ctx);
@@ -224,7 +325,7 @@ mod tests {
     fn slot_priority_without_oldest_first() {
         let mut iq = OooIq::new(OooIqConfig { entries: 4, oldest_first: false });
         let scb = Scoreboard::new(8);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         // Fill slots 0..3 with seqs 0..3, issue all, then refill slot 0
         // with a *younger* op: slot order, not age, decides priority.
@@ -243,7 +344,7 @@ mod tests {
     fn oldest_first_grants_by_age() {
         let mut iq = OooIq::new(OooIqConfig { entries: 4, oldest_first: true });
         let scb = Scoreboard::new(8);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         for i in 0..4 {
             iq.try_dispatch(op(i, i as u8, None), &ctx);
@@ -259,7 +360,7 @@ mod tests {
     fn full_queue_stalls() {
         let mut iq = OooIq::new(OooIqConfig { entries: 1, oldest_first: false });
         let scb = Scoreboard::new(8);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         let mut blocked = op(0, 0, Some(PhysReg(1)));
         blocked.srcs = [Some(PhysReg(1)), None];
@@ -285,7 +386,7 @@ mod tests {
         let mut iq = OooIq::new(OooIqConfig::default());
         let mut scb = Scoreboard::new(8);
         scb.allocate(PhysReg(1));
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         for i in 0..5 {
             iq.try_dispatch(op(i, i as u8, Some(PhysReg(1))), &ctx);
@@ -298,7 +399,7 @@ mod tests {
     fn width_budget_bounds_total_issue() {
         let mut iq = OooIq::new(OooIqConfig::default());
         let scb = Scoreboard::new(8);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         for i in 0..8 {
             iq.try_dispatch(op(i, i as u8, None), &ctx);
@@ -314,7 +415,7 @@ mod tests {
     fn div_contention_defers_issue() {
         let mut iq = OooIq::new(OooIqConfig::default());
         let scb = Scoreboard::new(8);
-        let held = HashSet::new();
+        let held = HeldSet::new();
         let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
         let div = SchedUop { class: OpClass::IntDiv, ..op(0, 0, None) };
         iq.try_dispatch(div, &ctx);

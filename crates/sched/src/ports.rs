@@ -99,12 +99,37 @@ impl<'a> PortAlloc<'a> {
 pub struct PortArbiter {
     map: PortMap,
     inflight: [u32; MAX_PORTS],
+    /// Capable ports per FU kind, precomputed at build time: `assign`
+    /// runs once per renamed μop, so it must not walk the port map (or
+    /// allocate) on every call.
+    by_fu: [([PortId; MAX_PORTS], u8); FuKind::COUNT],
 }
 
 impl PortArbiter {
     /// Builds an arbiter over a port map.
     pub fn new(map: PortMap) -> Self {
-        PortArbiter { map, inflight: [0; MAX_PORTS] }
+        let mut by_fu = [([PortId(0); MAX_PORTS], 0u8); FuKind::COUNT];
+        // One representative class per FU kind (loads and stores share
+        // the AGU entry).
+        let classes = [
+            OpClass::IntAlu,
+            OpClass::IntMul,
+            OpClass::IntDiv,
+            OpClass::FpAdd,
+            OpClass::FpMul,
+            OpClass::FpDiv,
+            OpClass::Load,
+            OpClass::Branch,
+        ];
+        for class in classes {
+            let fu = FuKind::for_class(class);
+            let (ports, n) = &mut by_fu[fu.index()];
+            for (k, p) in map.ports_for(class).into_iter().enumerate() {
+                ports[k] = p;
+                *n = (k + 1) as u8;
+            }
+        }
+        PortArbiter { map, inflight: [0; MAX_PORTS], by_fu }
     }
 
     /// The underlying port map.
@@ -114,8 +139,24 @@ impl PortArbiter {
 
     /// Picks the least-loaded capable port and records the in-flight μop.
     pub fn assign(&mut self, class: OpClass) -> PortId {
-        let candidates = self.map.ports_for(class);
-        let best = candidates
+        let (ports, n) = &self.by_fu[FuKind::for_class(class).index()];
+        let best = ports[..*n as usize]
+            .iter()
+            .copied()
+            .min_by_key(|p| self.inflight[p.index()])
+            .expect("PortMap::new guarantees every class has a port");
+        self.inflight[best.index()] += 1;
+        best
+    }
+
+    /// The seed's assignment path, frozen for the `perf_smoke` reference
+    /// baseline: recomputes the capable-port list (a fresh `Vec`) on
+    /// every call instead of using the precomputed `by_fu` table. Picks
+    /// the same port as [`PortArbiter::assign`].
+    pub fn assign_reference(&mut self, class: OpClass) -> PortId {
+        let best = self
+            .map
+            .ports_for(class)
             .into_iter()
             .min_by_key(|p| self.inflight[p.index()])
             .expect("PortMap::new guarantees every class has a port");

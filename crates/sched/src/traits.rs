@@ -1,12 +1,12 @@
 //! The [`Scheduler`] trait: the contract between the pipeline model and
 //! every IQ design (baselines here, Ballerino in `ballerino-core`).
 
+use crate::held::HeldSet;
 use crate::ports::PortAlloc;
 use crate::scoreboard::Scoreboard;
 use crate::stats::{HeadStateStats, IssueBreakdown, SchedEnergyEvents, SteerStats};
 use crate::uop::SchedUop;
 use ballerino_isa::PhysReg;
-use std::collections::HashSet;
 
 /// Per-cycle context handed to schedulers: the cycle number, register
 /// readiness, and the set of μops currently serialized by the MDP.
@@ -18,20 +18,20 @@ pub struct ReadyCtx<'a> {
     pub scb: &'a Scoreboard,
     /// Sequence numbers of loads/stores still waiting for a predicted
     /// producer store to issue.
-    pub held: &'a HashSet<u64>,
+    pub held: &'a HeldSet,
 }
 
 impl ReadyCtx<'_> {
     /// Whether `u` could issue this cycle: all register sources ready and
     /// no outstanding MDP hold.
     pub fn is_ready(&self, u: &SchedUop) -> bool {
-        self.scb.srcs_ready(&u.srcs, self.cycle) && !self.held.contains(&u.seq)
+        self.scb.srcs_ready(&u.srcs, self.cycle) && !self.held.contains(u.seq)
     }
 
     /// Whether `u`'s register sources are ready but an MDP hold blocks it
     /// (the `StallMdepLoad` head state of Fig. 6a).
     pub fn is_mdp_blocked(&self, u: &SchedUop) -> bool {
-        self.scb.srcs_ready(&u.srcs, self.cycle) && self.held.contains(&u.seq)
+        self.scb.srcs_ready(&u.srcs, self.cycle) && self.held.contains(u.seq)
     }
 }
 
@@ -120,7 +120,7 @@ mod tests {
     fn ready_ctx_checks_scoreboard_and_holds() {
         let mut scb = Scoreboard::new(4);
         scb.allocate(PhysReg(1));
-        let mut held = HashSet::new();
+        let mut held = HeldSet::new();
         held.insert(7u64);
 
         let ctx = ReadyCtx { cycle: 10, scb: &scb, held: &held };

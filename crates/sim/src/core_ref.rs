@@ -1,10 +1,27 @@
-//! The cycle-level core pipeline.
+//! The seed's pipeline-state layout, kept as a reference model.
 //!
-//! Per-cycle stage order (oldest work first, so same-cycle forwarding
-//! flows naturally): writeback → commit → issue → dispatch → fetch.
+//! This is the pre-refactor [`Core`](crate::core::Core): identical cycle
+//! semantics, but in-flight state lives in `HashMap`/`HashSet`
+//! structures and the issue path allocates fresh buffers every cycle.
+//! The production core replaced those with the sequence-indexed
+//! [`SeqSlab`](crate::slab::SeqSlab), a dense taint vector, waiter lists
+//! folded into each store's entry, and reused scratch buffers.
+//!
+//! It exists for exactly two purposes, both exercised by the
+//! `perf_smoke` bench binary:
+//!
+//! 1. **Equivalence**: the refactor is a pure performance change, so the
+//!    reference and production cores must report byte-identical cycle
+//!    counts on every workload.
+//! 2. **Throughput A/B**: the measured speedup of the production core
+//!    over this reference is the data-layout half of the
+//!    `BENCH_simthroughput.json` trajectory.
+//!
+//! Only the adaptations needed to share today's interfaces were made
+//! (the scheduler contract takes [`HeldSet`] and [`SimResult`] carries
+//! `host_wall_s`); the data layout is the seed's.
 
 use crate::config::CoreConfig;
-use crate::slab::SeqSlab;
 use crate::stats::{SimResult, TimingBreakdown, TimingClass};
 use ballerino_energy::{EnergyEvents, StructureSizes};
 use ballerino_frontend::{Btb, Renamer, RenamedOp, Tage};
@@ -16,7 +33,7 @@ use ballerino_sched::{
     DispatchOutcome, FuBusy, HeldSet, PortAlloc, ReadyCtx, SchedUop, Scheduler, Scoreboard,
 };
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// Store-to-load forwarding latency (cycles after AGU).
 const FORWARD_LATENCY: u64 = 3;
@@ -35,12 +52,6 @@ struct Inflight {
     class: TimingClass,
     mispredicted: bool,
     ready_cycle: u64,
-    /// For stores: loads/stores the MDP serialized behind this store,
-    /// released when it issues. Folding the list into the store's own
-    /// entry (instead of a side `HashMap<store, Vec<waiter>>`) makes
-    /// squash cleanup automatic — flushed stores take their waiter lists
-    /// with them.
-    waiters: Vec<u64>,
 }
 
 #[derive(Debug)]
@@ -49,8 +60,8 @@ struct Prepared {
     uop: SchedUop,
 }
 
-/// A simulated core: configuration + scheduler + all pipeline state.
-pub struct Core {
+/// The reference core: seed data layout, production semantics.
+pub struct CoreRef {
     cfg: CoreConfig,
     sched: Box<dyn Scheduler>,
     sizes: StructureSizes,
@@ -61,7 +72,7 @@ pub struct Core {
     renamer: Renamer,
     scb: Scoreboard,
     rob: VecDeque<u64>,
-    inflight: SeqSlab<Inflight>,
+    inflight: HashMap<u64, Inflight>,
     pending: Option<Prepared>,
 
     alloc_q: VecDeque<(usize, u64, bool)>,
@@ -78,16 +89,11 @@ pub struct Core {
     sq: StoreQueue,
     mdp: Option<Mdp>,
     held: HeldSet,
+    waiters: HashMap<u64, Vec<u64>>,
     arbiter: PortArbiter,
     fu_busy: FuBusy,
     events: BinaryHeap<Reverse<(u64, u64)>>,
-    /// Load-taint table indexed by physical-register number: the seq of
-    /// the in-flight load whose value (transitively) feeds the register,
-    /// or 0 for untainted (seqs start at 1). Dense because every rename
-    /// consults it for each source.
-    taint: Vec<u64>,
-    /// Scratch buffer for issued seqs, reused across cycles.
-    issue_buf: Vec<u64>,
+    taint: HashMap<u32, u64>,
 
     committed: u64,
     mispredicts: u64,
@@ -98,7 +104,7 @@ pub struct Core {
     energy: EnergyEvents,
 }
 
-impl Core {
+impl CoreRef {
     /// Builds a core around a scheduler.
     pub fn new(cfg: CoreConfig, sched: Box<dyn Scheduler>, sizes: StructureSizes) -> Self {
         let renamer = Renamer::new(cfg.int_regs, cfg.fp_regs);
@@ -107,9 +113,8 @@ impl Core {
         let lq = LoadQueue::new(cfg.lq_entries);
         let sq = StoreQueue::new(cfg.sq_entries);
         let mdp = if cfg.use_mdp { Some(Mdp::new(MdpConfig::default())) } else { None };
-        let total_phys = renamer.total_phys();
         let arbiter = PortArbiter::new(cfg.port_map.clone());
-        Core {
+        CoreRef {
             cfg,
             sched,
             sizes,
@@ -118,7 +123,7 @@ impl Core {
             renamer,
             scb,
             rob: VecDeque::new(),
-            inflight: SeqSlab::new(),
+            inflight: HashMap::new(),
             pending: None,
             alloc_q: VecDeque::new(),
             fetch_idx: 0,
@@ -132,11 +137,11 @@ impl Core {
             sq,
             mdp,
             held: HeldSet::new(),
+            waiters: HashMap::new(),
             arbiter,
             fu_busy: FuBusy::new(),
             events: BinaryHeap::new(),
-            taint: vec![0; total_phys],
-            issue_buf: Vec::new(),
+            taint: HashMap::new(),
             committed: 0,
             mispredicts: 0,
             stall_reasons: [0; 5],
@@ -161,7 +166,7 @@ impl Core {
             self.step(trace);
             if self.cycle >= max_cycles {
                 let head = self.rob.front().map(|s| {
-                    let i = self.inflight.get(*s).expect("rob head inflight");
+                    let i = &self.inflight[s];
                     format!(
                         "seq={} class={:?} port={} issued={:?} complete={:?} held={} srcs_ready={} mdp_wait={:?}",
                         s, i.uop.class, i.uop.port, i.issue_cycle, i.complete_at,
@@ -198,7 +203,7 @@ impl Core {
                 break;
             }
             self.events.pop();
-            let Some(inf) = self.inflight.get_mut(seq) else { continue };
+            let Some(inf) = self.inflight.get_mut(&seq) else { continue };
             inf.completed = true;
             if let Some(d) = inf.uop.dst {
                 self.energy.prf_writes += 1;
@@ -218,18 +223,18 @@ impl Core {
         for _ in 0..self.cfg.issue_width {
             let Some(&seq) = self.rob.front() else { break };
             let done = {
-                let inf = self.inflight.get(seq).expect("rob head inflight");
+                let inf = &self.inflight[&seq];
                 inf.completed && inf.complete_at.map(|t| t <= self.cycle).unwrap_or(false)
             };
             if !done {
                 break;
             }
             self.rob.pop_front();
-            let inf = self.inflight.remove(seq).expect("committing inflight");
+            let inf = self.inflight.remove(&seq).expect("committing inflight");
             self.energy.rob_reads += 1;
             if let Some(prev) = inf.renamed.prev_dst {
                 self.renamer.release(prev);
-                self.taint[prev.raw() as usize] = 0;
+                self.taint.remove(&prev.raw());
             }
             if inf.op.is_load() {
                 self.lq.release(seq);
@@ -254,8 +259,7 @@ impl Core {
 
     // -------------------------------------------------------------- issue
     fn issue_stage(&mut self) {
-        let mut out = std::mem::take(&mut self.issue_buf);
-        out.clear();
+        let mut out = Vec::new();
         {
             let ctx = ReadyCtx { cycle: self.cycle, scb: &self.scb, held: &self.held };
             let mut ports = PortAlloc::new(
@@ -267,13 +271,12 @@ impl Core {
             self.sched.issue(&ctx, &mut ports, &mut out);
         }
         out.sort_unstable();
-        for &seq in &out {
-            if !self.inflight.contains(seq) {
+        for seq in out {
+            if !self.inflight.contains_key(&seq) {
                 continue; // flushed by an earlier violation in this batch
             }
             self.process_issue(seq);
         }
-        self.issue_buf = out;
     }
 
     /// Executes one issued μop: computes its completion time, updates the
@@ -281,7 +284,7 @@ impl Core {
     fn process_issue(&mut self, seq: u64) {
         let cycle = self.cycle;
         let (op, uop, trace_idx) = {
-            let inf = self.inflight.get_mut(seq).expect("issued inflight");
+            let inf = self.inflight.get_mut(&seq).expect("issued inflight");
             debug_assert!(inf.issue_cycle.is_none(), "double issue of {seq}");
             inf.issue_cycle = Some(cycle);
             (inf.op.clone(), inf.uop, inf.trace_idx)
@@ -326,15 +329,12 @@ impl Core {
                         mdp.on_store_issued(ssid, seq);
                     }
                 }
-                let ws = self
-                    .inflight
-                    .get_mut(seq)
-                    .map(|i| std::mem::take(&mut i.waiters))
-                    .unwrap_or_default();
-                for w in ws {
-                    self.held.remove(w);
-                    if let Some(wi) = self.inflight.get_mut(w) {
-                        wi.ready_cycle = wi.ready_cycle.max(cycle + 1);
+                if let Some(ws) = self.waiters.remove(&seq) {
+                    for w in ws {
+                        self.held.remove(w);
+                        if let Some(wi) = self.inflight.get_mut(&w) {
+                            wi.ready_cycle = wi.ready_cycle.max(cycle + 1);
+                        }
                     }
                 }
 
@@ -348,7 +348,7 @@ impl Core {
 
         // The violation squash may have flushed this store? Never: the
         // squash point is a *younger* load. The store itself survives.
-        let Some(inf) = self.inflight.get_mut(seq) else { return };
+        let Some(inf) = self.inflight.get_mut(&seq) else { return };
         inf.complete_at = Some(completion);
         inf.ready_cycle = inf
             .ready_cycle
@@ -452,12 +452,16 @@ impl Core {
         }
         // Only hold on stores that are still in flight and un-issued.
         if let Some(ws) = mdp_wait {
-            match self.inflight.get_mut(ws) {
-                Some(store) if store.issue_cycle.is_none() => {
-                    self.held.insert(seq);
-                    store.waiters.push(seq);
-                }
-                _ => mdp_wait = None,
+            let store_pending = self
+                .inflight
+                .get(&ws)
+                .map(|i| i.issue_cycle.is_none())
+                .unwrap_or(false);
+            if store_pending {
+                self.held.insert(seq);
+                self.waiters.entry(ws).or_default().push(seq);
+            } else {
+                mdp_wait = None;
             }
         }
 
@@ -466,29 +470,31 @@ impl Core {
             TimingClass::Ld
         } else {
             let tainted = renamed.srcs.iter().flatten().any(|s| {
-                let lseq = self.taint[s.raw() as usize];
-                lseq != 0 && self.inflight.get(lseq).map(|i| !i.completed).unwrap_or(false)
+                self.taint
+                    .get(&s.raw())
+                    .map(|lseq| {
+                        self.inflight.get(lseq).map(|i| !i.completed).unwrap_or(false)
+                    })
+                    .unwrap_or(false)
             });
             if tainted { TimingClass::LdC } else { TimingClass::Rst }
         };
         if let Some(d) = renamed.dst {
             if op.is_load() {
-                self.taint[d.raw() as usize] = seq;
+                self.taint.insert(d.raw(), seq);
             } else if class == TimingClass::LdC {
-                let inherited = renamed
-                    .srcs
-                    .iter()
-                    .flatten()
-                    .map(|s| self.taint[s.raw() as usize])
-                    .find(|&l| l != 0)
-                    .unwrap_or(0);
-                self.taint[d.raw() as usize] = inherited;
+                let inherited = renamed.srcs.iter().flatten().find_map(|s| self.taint.get(&s.raw()).copied());
+                if let Some(l) = inherited {
+                    self.taint.insert(d.raw(), l);
+                } else {
+                    self.taint.remove(&d.raw());
+                }
             } else {
-                self.taint[d.raw() as usize] = 0;
+                self.taint.remove(&d.raw());
             }
         }
 
-        let port = self.arbiter.assign(op.class);
+        let port = self.arbiter.assign_reference(op.class);
         let uop = SchedUop {
             seq,
             pc: op.pc,
@@ -513,7 +519,6 @@ impl Core {
             class,
             mispredicted,
             ready_cycle: 0,
-            waiters: Vec::new(),
         };
         self.inflight.insert(seq, inf);
         Some(Prepared { seq, uop })
@@ -533,7 +538,7 @@ impl Core {
         self.rob.push_back(seq);
         self.energy.rob_writes += 1;
         {
-            let inf = self.inflight.get_mut(seq).expect("prepared inflight");
+            let inf = self.inflight.get_mut(&seq).expect("prepared inflight");
             inf.dispatch_cycle = self.cycle;
             if inf.op.is_load() {
                 let ok = self.lq.allocate(seq, inf.op.pc);
@@ -617,7 +622,7 @@ impl Core {
         // The pending (renamed but un-dispatched) μop is the youngest.
         if let Some(p) = self.pending.take() {
             if p.seq >= first_bad {
-                let inf = self.inflight.remove(p.seq).expect("pending inflight");
+                let inf = self.inflight.remove(&p.seq).expect("pending inflight");
                 self.rollback_one(&inf, &mut dests);
                 refetch_idx = Some(inf.trace_idx);
             } else {
@@ -630,7 +635,7 @@ impl Core {
                 break;
             }
             self.rob.pop_back();
-            let inf = self.inflight.remove(back).expect("rob entry inflight");
+            let inf = self.inflight.remove(&back).expect("rob entry inflight");
             self.rollback_one(&inf, &mut dests);
             refetch_idx = Some(inf.trace_idx);
         }
@@ -643,9 +648,7 @@ impl Core {
             mdp.on_violation(load_pc, store_pc);
             self.energy.mdp_updates += 2;
         }
-        // Flushed stores' MDP waiter lists died with their inflight
-        // entries; surviving stores may still list flushed waiter seqs,
-        // which release as harmless no-ops when the store issues.
+        self.waiters.retain(|store, _| *store <= flush_upto);
 
         self.alloc_q.clear();
         self.fetch_idx = refetch_idx.expect("squash flushed at least the load");
@@ -657,7 +660,7 @@ impl Core {
         self.renamer.rollback(inf.op.dst, &inf.renamed);
         if let Some(d) = inf.renamed.dst {
             self.scb.force_ready(d);
-            self.taint[d.raw() as usize] = 0;
+            self.taint.remove(&d.raw());
             dests.push(d);
         }
         if inf.issue_cycle.is_none() {

@@ -25,10 +25,13 @@
 
 pub mod config;
 pub mod core;
+pub mod core_ref;
 pub mod machine;
+pub mod slab;
 pub mod stats;
 
 pub use crate::core::Core;
 pub use config::{CoreConfig, Width};
-pub use machine::{build_scheduler, run_machine, MachineKind};
+pub use slab::SeqSlab;
+pub use machine::{build_scheduler, run_machine, run_machine_reference, MachineKind};
 pub use stats::{SimResult, TimingBreakdown, TimingClass};

@@ -118,6 +118,17 @@ pub fn build_scheduler(
     kind: MachineKind,
     width: Width,
 ) -> (CoreConfig, Box<dyn Scheduler>, StructureSizes) {
+    build_scheduler_inner(kind, width, false)
+}
+
+/// `reference = true` freezes the seed's allocation-heavy select/issue
+/// paths inside the OoO and Ballerino schedulers (identical grant
+/// decisions) for the `perf_smoke` throughput A/B.
+fn build_scheduler_inner(
+    kind: MachineKind,
+    width: Width,
+    reference: bool,
+) -> (CoreConfig, Box<dyn Scheduler>, StructureSizes) {
     let mut cfg = match kind {
         MachineKind::InOrder => CoreConfig::preset_inorder(width),
         _ => CoreConfig::preset(width),
@@ -148,14 +159,26 @@ pub fn build_scheduler(
                 ..common_sizes
             },
         ),
-        MachineKind::OutOfOrder | MachineKind::OutOfOrderNoMdp => (
-            Box::new(OooIq::new(OooIqConfig { entries, oldest_first: false })),
-            StructureSizes { cam_entries: entries, fifo_entries: 0, ..common_sizes },
-        ),
-        MachineKind::OutOfOrderOldestFirst => (
-            Box::new(OooIq::new(OooIqConfig { entries, oldest_first: true })),
-            StructureSizes { cam_entries: entries, fifo_entries: 0, ..common_sizes },
-        ),
+        MachineKind::OutOfOrder | MachineKind::OutOfOrderNoMdp => {
+            let mut iq = OooIq::new(OooIqConfig { entries, oldest_first: false });
+            if reference {
+                iq = iq.with_reference_select();
+            }
+            (
+                Box::new(iq),
+                StructureSizes { cam_entries: entries, fifo_entries: 0, ..common_sizes },
+            )
+        }
+        MachineKind::OutOfOrderOldestFirst => {
+            let mut iq = OooIq::new(OooIqConfig { entries, oldest_first: true });
+            if reference {
+                iq = iq.with_reference_select();
+            }
+            (
+                Box::new(iq),
+                StructureSizes { cam_entries: entries, fifo_entries: 0, ..common_sizes },
+            )
+        }
         MachineKind::Ces | MachineKind::CesMda => {
             let (n, e) = ces_piqs(width);
             (
@@ -269,8 +292,12 @@ pub fn build_scheduler(
                 _ => {}
             }
             let fifo = c.siq_entries + c.num_piqs * c.piq_entries;
+            let mut b = Ballerino::new(c);
+            if reference {
+                b = b.with_reference_issue();
+            }
             (
-                Box::new(Ballerino::new(c)),
+                Box::new(b),
                 StructureSizes {
                     cam_entries: 0,
                     fifo_entries: fifo,
@@ -287,6 +314,15 @@ pub fn build_scheduler(
 pub fn run_machine(kind: MachineKind, width: Width, trace: &Trace) -> SimResult {
     let (cfg, sched, sizes) = build_scheduler(kind, width);
     Core::new(cfg, sched, sizes).run(trace)
+}
+
+/// Like [`run_machine`], but on the seed-layout
+/// [`CoreRef`](crate::core_ref::CoreRef) reference pipeline. Must report
+/// the same cycles as [`run_machine`] on every input; exists for the
+/// `perf_smoke` equivalence + throughput A/B.
+pub fn run_machine_reference(kind: MachineKind, width: Width, trace: &Trace) -> SimResult {
+    let (cfg, sched, sizes) = build_scheduler_inner(kind, width, true);
+    crate::core_ref::CoreRef::new(cfg, sched, sizes).run(trace)
 }
 
 #[cfg(test)]

@@ -122,6 +122,9 @@ pub struct SimResult {
     pub sizes: StructureSizes,
     /// Core frequency (GHz) the run represents.
     pub freq_ghz: f64,
+    /// Host wall-clock seconds the simulation itself took (throughput
+    /// instrumentation; excludes trace generation).
+    pub host_wall_s: f64,
 }
 
 impl SimResult {
@@ -143,6 +146,24 @@ impl SimResult {
     /// time (accounts for frequency differences).
     pub fn speedup_over(&self, base: &SimResult) -> f64 {
         base.seconds() / self.seconds()
+    }
+
+    /// Simulator throughput: committed μops per host wall-clock second.
+    pub fn sim_uops_per_sec(&self) -> f64 {
+        if self.host_wall_s > 0.0 {
+            self.committed as f64 / self.host_wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Simulator throughput: simulated cycles per host wall-clock second.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        if self.host_wall_s > 0.0 {
+            self.cycles as f64 / self.host_wall_s
+        } else {
+            0.0
+        }
     }
 }
 

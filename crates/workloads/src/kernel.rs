@@ -5,9 +5,8 @@
 //! state, per-stream address cursors, loop counters and a seeded RNG so
 //! the same parameters always produce the same trace.
 
+use ballerino_isa::rng::Rng64;
 use ballerino_isa::{ArchReg, MicroOp, OpClass, Trace};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Memory access pattern of a load/store stream.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -177,7 +176,7 @@ impl Kernel {
 
     /// Unrolls the kernel into `n` dynamic μops.
     pub fn generate(&self, n: usize) -> Trace {
-        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut rng = Rng64::new(self.params.seed);
         let mut trace = Trace::new(self.params.name.clone());
         let chains = self.params.chains;
         let ws = self.params.ws_bytes.max(64);
@@ -234,7 +233,7 @@ impl Kernel {
                                 base + cur
                             }
                             Access::Rand | Access::Chase => {
-                                base + (rng.gen_range(0..region / 8)) * 8
+                                base + rng.below((region / 8).max(1)) * 8
                             }
                         };
                         let dst = Self::int_reg(chain);
@@ -257,7 +256,7 @@ impl Kernel {
                                     (cur as i64 + stride).rem_euclid(region as i64) as u64;
                                 base + cur
                             }
-                            _ => base + (rng.gen_range(0..region / 8)) * 8,
+                            _ => base + rng.below((region / 8).max(1)) * 8,
                         };
                         let data = Self::chain_reg(chain, if chain_is_fp[chain] {
                             OpClass::FpAdd
@@ -285,9 +284,9 @@ impl Kernel {
                                 c + 1 != period.max(1)
                             }
                             BranchBehavior::Biased { taken_prob } => {
-                                rng.gen_bool(taken_prob.clamp(0.0, 1.0))
+                                rng.chance(taken_prob)
                             }
-                            BranchBehavior::Random => rng.gen_bool(0.5),
+                            BranchBehavior::Random => rng.chance(0.5),
                         };
                         let src = Self::chain_reg(chain, if chain_is_fp[chain] {
                             OpClass::FpAdd

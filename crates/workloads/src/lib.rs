@@ -25,8 +25,10 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod kernel;
 pub mod suite;
 
+pub use cache::{cached_workload, TraceCache};
 pub use kernel::{Access, BranchBehavior, Kernel, KernelParams, StaticOp};
 pub use suite::{suite, workload, workload_names};
