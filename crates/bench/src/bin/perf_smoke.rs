@@ -77,6 +77,15 @@ fn main() {
         total_cycles as f64 / new_wall / 1e6
     );
 
+    // Per-workload event-horizon skip ratio (skipped / simulated cycles,
+    // aggregated over kinds on the new side).
+    println!("skip ratio by workload:");
+    for (wi, wl) in names.iter().enumerate() {
+        let skipped: u64 = new.iter().map(|row| row[wi].cycles_skipped).sum();
+        let cycles: u64 = new.iter().map(|row| row[wi].cycles).sum();
+        println!("  {wl:<18} {:.1}%", 100.0 * skipped as f64 / cycles.max(1) as f64);
+    }
+
     let json = render_json(
         &kinds, &names, &base, &new, base_wall, new_wall, speedup, mismatches,
     );
@@ -90,6 +99,41 @@ fn main() {
     }
 }
 
+/// Short commit hash of the working tree, or `"unknown"` outside a git
+/// checkout (e.g. a source tarball).
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Current UTC date (`YYYY-MM-DD`), computed from the system clock
+/// without external crates (civil-from-days, Howard Hinnant's algorithm).
+fn utc_date() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     kinds: &[MachineKind],
@@ -101,12 +145,18 @@ fn render_json(
     speedup: f64,
     mismatches: usize,
 ) -> String {
+    let total_skipped: u64 = new.iter().flatten().map(|r| r.cycles_skipped).sum();
+    let total_cycles: u64 = new.iter().flatten().map(|r| r.cycles).sum();
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"bench\": \"simthroughput\",");
+    let _ = writeln!(s, "  \"git_sha\": \"{}\",", git_sha());
+    let _ = writeln!(s, "  \"date\": \"{}\",", utc_date());
     let _ = writeln!(s, "  \"n\": {},", suite_len());
     let _ = writeln!(s, "  \"seed\": {},", seed());
     let _ = writeln!(s, "  \"threads\": {},", threads());
+    let _ = writeln!(s, "  \"cycles_skipped\": {total_skipped},");
+    let _ = writeln!(s, "  \"total_cycles\": {total_cycles},");
     let _ = writeln!(s, "  \"baseline_wall_s\": {base_wall:.6},");
     let _ = writeln!(s, "  \"new_wall_s\": {new_wall:.6},");
     let _ = writeln!(s, "  \"speedup\": {speedup:.4},");
@@ -124,13 +174,14 @@ fn render_json(
             let _ = write!(
                 s,
                 "    {{\"kind\": \"{}\", \"workload\": \"{}\", \"cycles\": {}, \
-                 \"committed\": {}, \"host_wall_s\": {:.6}, \
+                 \"committed\": {}, \"cycles_skipped\": {}, \"host_wall_s\": {:.6}, \
                  \"baseline_host_wall_s\": {:.6}, \"sim_uops_per_sec\": {:.1}, \
                  \"sim_cycles_per_sec\": {:.1}}}",
                 kind.label(),
                 wl,
                 r.cycles,
                 r.committed,
+                r.cycles_skipped,
                 r.host_wall_s,
                 b.host_wall_s,
                 r.sim_uops_per_sec(),

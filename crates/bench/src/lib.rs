@@ -31,16 +31,20 @@
 //! ```json
 //! {
 //!   "bench": "simthroughput",
+//!   "git_sha": "69f6e61",       // commit of the run ("unknown" outside git)
+//!   "date": "2026-08-06",       // UTC date of the run
 //!   "n": 20000,                 // μops per workload
 //!   "seed": 42,
 //!   "threads": 1,               // pool size used for the "new" side
+//!   "cycles_skipped": 812345,   // event-horizon fast-forwards, new side
+//!   "total_cycles": 2123456,    // simulated cycles, new side
 //!   "baseline_wall_s": 5.317,   // legacy runner × frozen seed pipeline
 //!   "new_wall_s": 2.656,        // work-stealing runner × slab pipeline
 //!   "speedup": 2.0019,          // baseline_wall_s / new_wall_s
 //!   "cycle_mismatches": 0,      // any non-zero ⇒ behavioral drift ⇒ exit 1
 //!   "cells": [                  // one per (kind, workload), kind-major
 //!     {"kind": "OoO", "workload": "stream_triad", "cycles": 9741,
-//!      "committed": 20000, "host_wall_s": 0.0123,
+//!      "committed": 20000, "cycles_skipped": 1234, "host_wall_s": 0.0123,
 //!      "baseline_host_wall_s": 0.0217,
 //!      "sim_uops_per_sec": 1626016.3, "sim_cycles_per_sec": 793495.9}
 //!   ]

@@ -273,6 +273,23 @@ impl Piq {
         }
     }
 
+    /// Replays `k` issue-free [`Piq::end_cycle`] calls in one step: with
+    /// both partitions occupied the active pointer alternates every
+    /// cycle, and with only the other partition occupied it toggles once
+    /// and then stays.
+    pub fn end_idle_cycles(&mut self, k: u64) {
+        if !self.shared || self.ideal || k == 0 {
+            return;
+        }
+        let other = 1 - self.active;
+        if self.parts[other].is_empty() {
+            return;
+        }
+        if self.parts[self.active].is_empty() || k % 2 == 1 {
+            self.active = other;
+        }
+    }
+
     /// Collapses back to normal mode when both partitions drain.
     fn maybe_collapse(&mut self) {
         if self.shared && self.parts[0].is_empty() && self.parts[1].is_empty() {

@@ -124,6 +124,17 @@ fn decode_loc(loc: u16) -> (usize, PartId) {
     ((loc / 2) as usize, PartId((loc % 2) as u8))
 }
 
+/// Per-cycle shape of an idle S-IQ window walk (see
+/// `Ballerino::idle_window_shape`).
+struct IdleWindow {
+    /// Entries that linger in the window (examined, no steer).
+    lingerers: usize,
+    /// Whether a failed-steer blocker terminates the walk.
+    blocker: bool,
+    /// First cycle at which the walk's shape changes.
+    horizon: u64,
+}
+
 /// The Ballerino scheduler.
 #[derive(Debug)]
 pub struct Ballerino {
@@ -303,6 +314,122 @@ impl Ballerino {
             return true;
         }
         false
+    }
+
+    /// Read-only replica of `mda_target`'s table-read charge condition:
+    /// the LFST-steer read is only counted once an entry is present.
+    fn mda_probe_charges(&self, uop: &SchedUop) -> bool {
+        self.cfg.mda_steering
+            && (uop.is_load() || uop.is_store())
+            && uop.ssid.map(|s| self.lfst_steer[s.0 as usize].is_some()).unwrap_or(false)
+    }
+
+    /// Read-only replica of a successful `mda_target`.
+    fn mda_would_target(&self, uop: &SchedUop) -> bool {
+        if !self.cfg.mda_steering || !(uop.is_load() || uop.is_store()) {
+            return false;
+        }
+        let Some(ssid) = uop.ssid else { return false };
+        let Some(e) = self.lfst_steer[ssid.0 as usize] else { return false };
+        if e.reserved {
+            return false;
+        }
+        let (k, part) = (e.piq as usize, PartId(e.part));
+        self.piqs[k].back(part).map(|b| b.seq == e.store_seq).unwrap_or(false)
+            && self.piqs[k].can_push(part)
+    }
+
+    /// Read-only replica of a successful `rdep_target`.
+    fn rdep_would_target(&self, uop: &SchedUop) -> bool {
+        for src in uop.srcs.iter().flatten() {
+            let e = self.loc.peek(*src);
+            let Some(enc) = e.iq_index else { continue };
+            if e.reserved {
+                continue;
+            }
+            let (k, part) = decode_loc(enc);
+            if self.piqs[k].can_push(part) && self.piqs[k].back(part).is_some() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Read-only replica of a successful `alloc_target` (including a
+    /// Step-3 sharing activation).
+    fn alloc_would_target(&self) -> bool {
+        self.piqs
+            .iter()
+            .any(|q| (q.is_empty() && !q.is_shared()) || q.empty_partition().is_some())
+            || (self.cfg.piq_sharing && self.piqs.iter().any(|q| q.shareable()))
+    }
+
+    /// Whether `steer` would move `uop` into a P-IQ, without mutating
+    /// any steering state.
+    fn would_steer(&self, uop: &SchedUop) -> bool {
+        self.mda_would_target(uop) || self.rdep_would_target(uop) || self.alloc_would_target()
+    }
+
+    /// Walks the S-IQ window exactly as an issue-free `issue` call would,
+    /// without mutating anything. Returns `None` when the walk is not
+    /// idle (an entry would issue, fight for a port, or be steered), else
+    /// the walk's per-cycle shape: how many entries linger, whether a
+    /// failed-steer blocker terminates the walk, and the first cycle at
+    /// which the shape itself changes.
+    fn idle_window_shape(&self, ctx: &ReadyCtx<'_>) -> Option<IdleWindow> {
+        let window = self.cfg.siq_window.min(self.siq.len());
+        if window > 16 {
+            return None; // conservative: fixed lingering buffer below
+        }
+        let mut lingering = [PhysReg(0); 16];
+        let mut n_linger = 0usize;
+        let mut horizon = u64::MAX;
+        let mut lingerers = 0usize;
+        for i in 0..window {
+            let u = &self.siq[i];
+            if ctx.is_ready(u) {
+                return None; // would issue or contend for a port now
+            }
+            let held = ctx.held.contains(u.seq);
+            if !held {
+                let mut far_rc_max = 0u64;
+                let mut far = false;
+                for s in u.srcs.iter().flatten() {
+                    let rc = ctx.scb.ready_cycle(*s);
+                    if rc > ctx.cycle + self.cfg.spec_horizon
+                        && !lingering[..n_linger].contains(s)
+                    {
+                        far = true;
+                        far_rc_max = far_rc_max.max(rc);
+                    }
+                }
+                if !far {
+                    // Lingers for back-to-back issue; wakes (and issues)
+                    // once every source is ready.
+                    let rc = ctx.scb.srcs_ready_cycle(&u.srcs);
+                    if rc != u64::MAX {
+                        horizon = horizon.min(rc);
+                    }
+                    if let Some(d) = u.dst {
+                        lingering[n_linger] = d;
+                        n_linger += 1;
+                    }
+                    lingerers += 1;
+                    continue;
+                }
+                // Far blocker: it starts lingering (changing the walk
+                // shape) once its farthest source slides inside the
+                // speculation horizon.
+                if far_rc_max != u64::MAX {
+                    horizon = horizon.min(far_rc_max - self.cfg.spec_horizon);
+                }
+            }
+            if self.would_steer(u) {
+                return None; // steering would move it to a P-IQ
+            }
+            return Some(IdleWindow { lingerers, blocker: true, horizon });
+        }
+        Some(IdleWindow { lingerers, blocker: false, horizon })
     }
 
     fn release_store_lfst(&mut self, u: &SchedUop) {
@@ -681,6 +808,118 @@ impl Scheduler for Ballerino {
 
     fn head_stats(&self) -> HeadStateStats {
         self.heads
+    }
+
+    fn next_event_cycle(&self, ctx: &ReadyCtx<'_>, pending: Option<&SchedUop>) -> Option<u64> {
+        if pending.is_some() && self.siq.len() < self.cfg.siq_entries {
+            return None; // dispatch would be accepted this cycle
+        }
+        let mut horizon = u64::MAX;
+        // P-IQ heads. The single-active-head toggle visits both partitions
+        // of a shared queue across idle cycles, so both heads must hold
+        // still and both bound the horizon: a non-held head issues when
+        // its sources arrive, and a held head's recorded state flips from
+        // StallNonReady to StallMdepLoad at the same point.
+        for q in &self.piqs {
+            for part in [PartId(0), PartId(1)] {
+                let Some(head) = q.front(part) else { continue };
+                if ctx.is_ready(head) {
+                    return None;
+                }
+                let rc = ctx.scb.srcs_ready_cycle(&head.srcs);
+                if rc != u64::MAX && rc > ctx.cycle {
+                    horizon = horizon.min(rc);
+                }
+            }
+        }
+        let shape = self.idle_window_shape(ctx)?;
+        Some(horizon.min(shape.horizon))
+    }
+
+    fn note_idle_cycles(&mut self, ctx: &ReadyCtx<'_>, _pending: Option<&SchedUop>, k: u64) {
+        if k == 0 {
+            return;
+        }
+        // ---- 1. P-IQ heads: replay examinations, head-state records and
+        //         the active-pointer toggle in closed form.
+        for qi in 0..self.piqs.len() {
+            let state_of = |head: &SchedUop| {
+                if ctx.is_mdp_blocked(head) {
+                    HeadState::StallMdepLoad
+                } else {
+                    HeadState::StallNonReady
+                }
+            };
+            // (head examinations, up to two (state, count) records)
+            let (exams, rec0, rec1) = {
+                let q = &self.piqs[qi];
+                if !q.is_shared() {
+                    match q.front(PartId(0)) {
+                        None => (0, Some((HeadState::Empty, k)), None),
+                        Some(h) => (k, Some((state_of(h), k)), None),
+                    }
+                } else if self.cfg.ideal_sharing {
+                    // Both heads examined every cycle; the partition-0
+                    // head is the one recorded.
+                    let mut exams = 0;
+                    let s0 = match q.front(PartId(0)) {
+                        None => HeadState::Empty,
+                        Some(h) => {
+                            exams += k;
+                            state_of(h)
+                        }
+                    };
+                    if q.front(PartId(1)).is_some() {
+                        exams += k;
+                    }
+                    (exams, Some((s0, k)), None)
+                } else {
+                    let a = q.active_part();
+                    let b = PartId(1 - a.0);
+                    match (q.front(a), q.front(b)) {
+                        (Some(ha), Some(hb)) => {
+                            // Period-2 alternation: active head first.
+                            (k, Some((state_of(ha), k - k / 2)), Some((state_of(hb), k / 2)))
+                        }
+                        (Some(ha), None) => (k, Some((state_of(ha), k)), None),
+                        (None, Some(hb)) => {
+                            // One Empty observation, then the pointer
+                            // leaves the drained partition for good.
+                            (k - 1, Some((HeadState::Empty, 1)), Some((state_of(hb), k - 1)))
+                        }
+                        (None, None) => {
+                            debug_assert!(false, "shared P-IQ with both partitions empty");
+                            (0, None, None)
+                        }
+                    }
+                }
+            };
+            self.energy.head_examinations += exams;
+            if let Some((s, n)) = rec0 {
+                self.heads.record_n(s, n);
+            }
+            if let Some((s, n)) = rec1 {
+                self.heads.record_n(s, n);
+            }
+            self.piqs[qi].end_idle_cycles(k);
+        }
+        // ---- 2. S-IQ window: lingering entries cost one examination
+        //         each; a failed-steer blocker re-probes the steering
+        //         tables every cycle.
+        if let Some(shape) = self.idle_window_shape(ctx) {
+            self.energy.head_examinations += k * shape.lingerers as u64;
+            if shape.blocker {
+                let b = self.siq[shape.lingerers];
+                self.energy.head_examinations += k;
+                self.energy.steer_ops += k;
+                if self.mda_probe_charges(&b) {
+                    self.energy.loc_reads += k;
+                }
+                let n_srcs = b.srcs.iter().flatten().count() as u64;
+                self.loc.reads += k * n_srcs;
+                self.steer.record_n(SteerEvent::StallNonReady, k);
+            }
+        }
     }
 }
 

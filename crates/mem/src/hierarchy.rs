@@ -214,6 +214,18 @@ impl Hierarchy {
         self.l3.fill(line, 0);
     }
 
+    /// Earliest MSHR fill completion strictly after `cycle` across every
+    /// cache level, if any miss is outstanding. Used by the simulator's
+    /// event-horizon engine as a defensive bound: all completion cycles
+    /// are resolved at access time and queued by the core, so this can
+    /// only tighten (never extend) a skip window.
+    pub fn next_fill_cycle(&self, cycle: u64) -> Option<u64> {
+        [&self.l1d, &self.l1i, &self.l2, &self.l3]
+            .into_iter()
+            .filter_map(|c| c.mshrs.next_fill_cycle(cycle))
+            .min()
+    }
+
     /// Line size in bytes (fixed).
     pub fn line_bytes(&self) -> u64 {
         LINE_BYTES

@@ -89,6 +89,18 @@ impl MshrFile {
         }
     }
 
+    /// Earliest fill completion strictly after `cycle`, if any miss is
+    /// outstanding. Placeholder entries awaiting [`MshrFile::record_fill`]
+    /// are ignored (their real fill time is always recorded in the same
+    /// hierarchy walk that allocated them).
+    pub fn next_fill_cycle(&self, cycle: u64) -> Option<u64> {
+        self.entries
+            .iter()
+            .map(|&(_, fill)| fill)
+            .filter(|&f| f > cycle && f != u64::MAX)
+            .min()
+    }
+
     /// Drops all entries (used on machine reset).
     pub fn clear(&mut self) {
         self.entries.clear();

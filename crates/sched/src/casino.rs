@@ -230,6 +230,57 @@ impl Scheduler for Casino {
     fn issue_breakdown(&self) -> IssueBreakdown {
         self.breakdown
     }
+
+    fn next_event_cycle(&self, ctx: &ReadyCtx<'_>, pending: Option<&SchedUop>) -> Option<u64> {
+        if pending.is_some() && self.siqs[0].len() < self.cfg.siqs[0].entries {
+            return None; // dispatch would be accepted this cycle
+        }
+        let mut horizon = u64::MAX;
+        if let Some(head) = self.final_iq.front() {
+            let wake = ctx.wake_cycle(head);
+            if wake <= ctx.cycle {
+                return None;
+            }
+            horizon = horizon.min(wake);
+        }
+        for (i, q) in self.siqs.iter().enumerate() {
+            // Cascade-drain requirement: a non-empty stage with space
+            // behind it passes μops downstream every cycle.
+            if !q.is_empty() && self.next_space(i) > 0 {
+                return None;
+            }
+            let window = self.cfg.siqs[i].ports.min(q.len());
+            for u in q.iter().take(window) {
+                let wake = ctx.wake_cycle(u);
+                if wake <= ctx.cycle {
+                    return None; // in-window entry issues speculatively now
+                }
+                horizon = horizon.min(wake);
+            }
+        }
+        Some(horizon)
+    }
+
+    fn note_idle_cycles(&mut self, _ctx: &ReadyCtx<'_>, _pending: Option<&SchedUop>, k: u64) {
+        // A stalled final head is examined once per cycle; each S-IQ
+        // examines its full head window; an occupied cascade drives the
+        // selector every cycle regardless of requests.
+        if !self.final_iq.is_empty() {
+            self.energy.head_examinations += k;
+        }
+        let window_sum: u64 = self
+            .siqs
+            .iter()
+            .enumerate()
+            .map(|(i, q)| self.cfg.siqs[i].ports.min(q.len()) as u64)
+            .sum();
+        self.energy.head_examinations += k * window_sum;
+        if self.occupancy() > 0 {
+            let inputs: usize =
+                self.cfg.siqs.iter().map(|s| s.ports).sum::<usize>() + self.cfg.final_iq.ports;
+            self.energy.select_inputs += k * inputs as u64;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -173,6 +173,46 @@ impl Ces {
             }
         }
     }
+
+    /// Whether the LFST-steer table would be probed for `uop` (the probe
+    /// charges a `loc_reads` whether or not the steer succeeds).
+    fn mda_probes(&self, uop: &SchedUop) -> bool {
+        self.cfg.mda_steering
+            && (uop.is_load() || uop.is_store())
+            && uop
+                .ssid
+                .map(|ssid| self.lfst_steer[ssid.0 as usize].is_some())
+                .unwrap_or(false)
+    }
+
+    /// Side-effect-free replica of the [`Ces::try_dispatch`] decision:
+    /// would `uop` be accepted this cycle?
+    fn would_accept(&self, uop: &SchedUop) -> bool {
+        // MDA steering target available?
+        if self.cfg.mda_steering && (uop.is_load() || uop.is_store()) {
+            if let Some(entry) = uop.ssid.and_then(|s| self.lfst_steer[s.0 as usize]) {
+                if !entry.reserved {
+                    let k = entry.piq as usize;
+                    if self.piqs[k].back().map(|b| b.seq == entry.store_seq).unwrap_or(false)
+                        && self.piqs[k].len() < self.cfg.piq_entries
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+        // Register-dependence steering target available?
+        for src in uop.srcs.iter().flatten() {
+            let e = self.loc.peek(*src);
+            if let Some(k) = e.iq_index {
+                if !e.reserved && self.piqs[k as usize].len() < self.cfg.piq_entries {
+                    return true;
+                }
+            }
+        }
+        // An empty P-IQ to allocate?
+        self.piqs.iter().any(|q| q.is_empty())
+    }
 }
 
 impl Scheduler for Ces {
@@ -315,6 +355,68 @@ impl Scheduler for Ces {
 
     fn head_stats(&self) -> HeadStateStats {
         self.heads
+    }
+
+    fn next_event_cycle(&self, ctx: &ReadyCtx<'_>, pending: Option<&SchedUop>) -> Option<u64> {
+        let mut horizon = u64::MAX;
+        for q in &self.piqs {
+            let Some(head) = q.front() else { continue };
+            let rc = ctx.scb.srcs_ready_cycle(&head.srcs);
+            if rc <= ctx.cycle {
+                if !ctx.held.contains(head.seq) {
+                    return None; // ready head: selects this cycle
+                }
+                // MDP-blocked head: stable StallMdepLoad until a store
+                // issues, which cannot happen while we are quiesced.
+            } else {
+                // The recorded state flips (StallNonReady → issue/MdepLoad)
+                // when the sources arrive, held or not.
+                horizon = horizon.min(rc);
+            }
+        }
+        if let Some(p) = pending {
+            if self.would_accept(p) {
+                return None;
+            }
+            // Refusal persists (steering state is frozen while idle), but
+            // the recorded stall flavor flips when `p` becomes ready.
+            let wake = ctx.wake_cycle(p);
+            if wake > ctx.cycle {
+                horizon = horizon.min(wake);
+            }
+        }
+        Some(horizon)
+    }
+
+    fn note_idle_cycles(&mut self, ctx: &ReadyCtx<'_>, pending: Option<&SchedUop>, k: u64) {
+        // `issue` side: every head is examined and records its (stable)
+        // stall state; no candidate requests, so select stays dark.
+        for i in 0..self.piqs.len() {
+            let state = match self.piqs[i].front() {
+                None => HeadState::Empty,
+                Some(head) => {
+                    self.energy.head_examinations += k;
+                    if ctx.is_mdp_blocked(head) {
+                        HeadState::StallMdepLoad
+                    } else {
+                        HeadState::StallNonReady
+                    }
+                }
+            };
+            self.heads.record_n(state, k);
+        }
+        // `try_dispatch` side: each refused retry walks the same steering
+        // logic — LFST probe, one P-SCB read per source, stall record.
+        if let Some(p) = pending {
+            self.energy.steer_ops += k;
+            if self.mda_probes(p) {
+                self.energy.loc_reads += k;
+            }
+            self.loc.reads += k * p.srcs.iter().flatten().count() as u64;
+            let stall =
+                if ctx.is_ready(p) { SteerEvent::StallReady } else { SteerEvent::StallNonReady };
+            self.steer.record_n(stall, k);
+        }
     }
 }
 

@@ -178,6 +178,51 @@ impl Scheduler for Dnb {
         b.from_siq += own.from_siq;
         b
     }
+
+    fn next_event_cycle(&self, ctx: &ReadyCtx<'_>, pending: Option<&SchedUop>) -> Option<u64> {
+        if !self.bypass.is_empty() {
+            return None; // bypass heads are ready by construction
+        }
+        // Pending routing is DNB-specific, so the inner IQ only answers
+        // for its residents.
+        let mut horizon = self.ooo.next_event_cycle(ctx, None)?;
+        if let Some((release, head)) = self.delay.front() {
+            let eligible = (*release).max(ctx.wake_cycle(head));
+            if eligible <= ctx.cycle {
+                return None; // delay head is issue-eligible right now
+            }
+            horizon = horizon.min(eligible);
+        }
+        if let Some(p) = pending {
+            let wake = ctx.wake_cycle(p);
+            if wake <= ctx.cycle {
+                return None; // would enter the (empty) bypass queue now
+            }
+            if p.load_dep || p.is_load() {
+                if self.ooo.occupancy() < self.cfg.ooo_entries {
+                    return None; // critical route accepts non-ready μops
+                }
+            } else if self.delay.len() < self.cfg.delay_entries {
+                return None; // delay route accepts now
+            }
+            if wake != u64::MAX {
+                // At `wake` the μop classifies as ready and re-routes to
+                // the bypass queue, which has space (it is empty).
+                horizon = horizon.min(wake);
+            }
+        }
+        Some(horizon)
+    }
+
+    fn note_idle_cycles(&mut self, ctx: &ReadyCtx<'_>, pending: Option<&SchedUop>, k: u64) {
+        if pending.is_some() {
+            self.energy.head_examinations += k; // classification per retry
+        }
+        if !self.delay.is_empty() {
+            self.energy.head_examinations += k; // stalled delay head examined
+        }
+        self.ooo.note_idle_cycles(ctx, None, k);
+    }
 }
 
 #[cfg(test)]

@@ -130,6 +130,35 @@ impl Scheduler for Fxa {
         b.from_ixu = self.ixu_issued;
         b
     }
+
+    fn next_event_cycle(&self, ctx: &ReadyCtx<'_>, pending: Option<&SchedUop>) -> Option<u64> {
+        let mut horizon = self.backend.next_event_cycle(ctx, pending)?;
+        if let Some(p) = pending {
+            // Read-only replica of `ixu_accepts`: a fresh cycle always has
+            // IXU slots free, because the lone pending retry is the only
+            // dispatch happening while the frontend is stalled.
+            if Self::ixu_eligible_class(p.class) && !ctx.held.contains(p.seq) {
+                let avail = ctx.scb.srcs_ready_cycle(&p.srcs);
+                if avail != u64::MAX {
+                    if avail <= ctx.cycle + (self.cfg.ixu_stages - 1) {
+                        return None; // IXU would execute it this cycle
+                    }
+                    // The IXU starts accepting once `avail` slides into
+                    // the bypass window.
+                    horizon = horizon.min(avail - (self.cfg.ixu_stages - 1));
+                }
+            }
+        }
+        Some(horizon)
+    }
+
+    fn note_idle_cycles(&mut self, ctx: &ReadyCtx<'_>, pending: Option<&SchedUop>, k: u64) {
+        if pending.is_some() {
+            // Each refused dispatch retry re-examines operand availability.
+            self.energy.head_examinations += k;
+        }
+        self.backend.note_idle_cycles(ctx, pending, k);
+    }
 }
 
 #[cfg(test)]

@@ -107,6 +107,29 @@ impl Scheduler for InOrderIq {
     fn issue_breakdown(&self) -> IssueBreakdown {
         self.breakdown
     }
+
+    fn next_event_cycle(&self, ctx: &ReadyCtx<'_>, pending: Option<&SchedUop>) -> Option<u64> {
+        if pending.is_some() && self.q.len() < self.cfg.entries {
+            return None; // dispatch would be accepted this cycle
+        }
+        match self.q.front() {
+            None => Some(u64::MAX),
+            Some(head) => {
+                let wake = ctx.wake_cycle(head);
+                // A ready head issues (or fights for a port) right now.
+                if wake <= ctx.cycle { None } else { Some(wake) }
+            }
+        }
+    }
+
+    fn note_idle_cycles(&mut self, _ctx: &ReadyCtx<'_>, _pending: Option<&SchedUop>, k: u64) {
+        // Each idle `issue` examines the stalled head once and still
+        // drives the selector; an empty queue touches nothing.
+        if !self.q.is_empty() {
+            self.energy.head_examinations += k;
+            self.energy.select_inputs += k * self.cfg.read_ports as u64;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -268,6 +268,29 @@ impl Scheduler for OooIq {
     fn issue_breakdown(&self) -> IssueBreakdown {
         self.breakdown
     }
+
+    fn next_event_cycle(&self, ctx: &ReadyCtx<'_>, pending: Option<&SchedUop>) -> Option<u64> {
+        if pending.is_some() && self.occupancy < self.cfg.entries {
+            return None; // dispatch would be accepted this cycle
+        }
+        let mut horizon = u64::MAX;
+        for u in self.slots.iter().flatten() {
+            let wake = ctx.wake_cycle(u);
+            if wake <= ctx.cycle {
+                // A ready resident requests select this cycle (even a
+                // port-blocked one: FuBusy frees with time alone).
+                return None;
+            }
+            horizon = horizon.min(wake);
+        }
+        Some(horizon)
+    }
+
+    fn note_idle_cycles(&mut self, _ctx: &ReadyCtx<'_>, _pending: Option<&SchedUop>, k: u64) {
+        // Idle wakeup still evaluates every occupied entry each cycle; no
+        // resident requests, so the select tree never lights up.
+        self.energy.head_examinations += k * self.occupancy as u64;
+    }
 }
 
 #[cfg(test)]

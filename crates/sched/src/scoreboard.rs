@@ -70,6 +70,23 @@ impl Scoreboard {
     pub fn srcs_ready_cycle(&self, srcs: &[Option<PhysReg>; 2]) -> u64 {
         srcs.iter().flatten().map(|p| self.ready_cycle(*p)).max().unwrap_or(0)
     }
+
+    /// Earliest scheduled wakeup strictly after `cycle`: the minimum
+    /// `ready_at` over registers that are neither ready at `cycle` nor
+    /// allocated-but-unscheduled. `None` when no wakeup is scheduled.
+    ///
+    /// Every pending entry was written by `set_ready_at` when its producer
+    /// issued, so this is a (coarse, whole-PRF) lower bound on the first
+    /// cycle any waiting μop anywhere can become ready — the event-horizon
+    /// skip loop uses it as a defensive floor alongside the per-scheduler
+    /// [`next_event_cycle`](crate::Scheduler::next_event_cycle) answers.
+    pub fn min_pending_ready_cycle(&self, cycle: u64) -> Option<u64> {
+        self.ready_at
+            .iter()
+            .copied()
+            .filter(|&t| t > cycle && t != NOT_SCHEDULED)
+            .min()
+    }
 }
 
 #[cfg(test)]

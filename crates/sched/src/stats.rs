@@ -98,6 +98,19 @@ impl SteerStats {
         }
     }
 
+    /// Records `n` identical events (idle-cycle replay).
+    pub fn record_n(&mut self, e: SteerEvent, n: u64) {
+        match e {
+            SteerEvent::SteerDc => self.steer_dc += n,
+            SteerEvent::AllocReady => self.alloc_ready += n,
+            SteerEvent::AllocNonReady => self.alloc_nonready += n,
+            SteerEvent::StallReady => self.stall_ready += n,
+            SteerEvent::StallNonReady => self.stall_nonready += n,
+            SteerEvent::SpeculativeIssue => self.spec_issue += n,
+            SteerEvent::SteerShared => self.steer_shared += n,
+        }
+    }
+
     /// Total recorded events.
     pub fn total(&self) -> u64 {
         self.steer_dc
@@ -149,6 +162,17 @@ impl HeadStateStats {
             HeadState::StallNonReady => self.stall_nonready += 1,
             HeadState::StallPortConflict => self.stall_port_conflict += 1,
             HeadState::Empty => self.empty += 1,
+        }
+    }
+
+    /// Records `n` identical observations (idle-cycle replay).
+    pub fn record_n(&mut self, s: HeadState, n: u64) {
+        match s {
+            HeadState::Issuing => self.issuing += n,
+            HeadState::StallMdepLoad => self.stall_mdep_load += n,
+            HeadState::StallNonReady => self.stall_nonready += n,
+            HeadState::StallPortConflict => self.stall_port_conflict += n,
+            HeadState::Empty => self.empty += n,
         }
     }
 

@@ -33,6 +33,19 @@ impl ReadyCtx<'_> {
     pub fn is_mdp_blocked(&self, u: &SchedUop) -> bool {
         self.scb.srcs_ready(&u.srcs, self.cycle) && self.held.contains(u.seq)
     }
+
+    /// First cycle at which [`ReadyCtx::is_ready`] becomes true for `u`,
+    /// assuming no pipeline activity until then: `u64::MAX` while an MDP
+    /// hold is outstanding (holds release only when a store *issues*,
+    /// which is scheduler activity by definition), otherwise the latest
+    /// source ready cycle (which may be `<= cycle` for a ready μop).
+    pub fn wake_cycle(&self, u: &SchedUop) -> u64 {
+        if self.held.contains(u.seq) {
+            u64::MAX
+        } else {
+            self.scb.srcs_ready_cycle(&u.srcs)
+        }
+    }
 }
 
 /// Why a dispatch was refused this cycle.
@@ -109,6 +122,43 @@ pub trait Scheduler {
     fn head_stats(&self) -> HeadStateStats {
         HeadStateStats::default()
     }
+
+    /// Event-horizon query: if the scheduler is *quiesced* — its per-cycle
+    /// evolution until the next wakeup is a pure function of already-known
+    /// ready times (no issue, no inter-queue movement, no steering
+    /// success, no dispatch acceptance of `pending`) — returns the first
+    /// cycle at which that could change (`u64::MAX` when it never can).
+    /// Returns `None` whenever the scheduler is, or might be, active this
+    /// cycle; the core then simulates cycle by cycle as usual.
+    ///
+    /// The contract (see ARCHITECTURE.md "The quiesce contract"):
+    ///
+    /// * `None` is always safe — it is the mandatory answer whenever any
+    ///   resident the next `issue` call would examine is ready now, when
+    ///   `pending` would be accepted now, or when the design cannot cheaply
+    ///   prove quiescence (the default for third-party schedulers).
+    /// * `Some(t)` with `t > ctx.cycle` promises that every `issue` +
+    ///   refused `try_dispatch(pending)` cycle strictly before `t` only
+    ///   performs deterministic bookkeeping, which
+    ///   [`Scheduler::note_idle_cycles`] must replicate exactly.
+    /// * Cascaded designs (CASINO, Ballerino) must first drain their
+    ///   bounded inter-queue movement before reporting quiescence.
+    fn next_event_cycle(
+        &self,
+        _ctx: &ReadyCtx<'_>,
+        _pending: Option<&SchedUop>,
+    ) -> Option<u64> {
+        None
+    }
+
+    /// Replays the bookkeeping of `k` consecutive idle cycles in one call:
+    /// exactly what `k` calls of `issue` (plus, when `pending` is some, `k`
+    /// refused `try_dispatch` calls) starting at `ctx.cycle` would have
+    /// accumulated — energy micro-events, head-state and steering
+    /// histograms, and any per-cycle pointer rotation. Only called after
+    /// [`Scheduler::next_event_cycle`] returned `Some(t)` with
+    /// `ctx.cycle + k <= t`; never called otherwise.
+    fn note_idle_cycles(&mut self, _ctx: &ReadyCtx<'_>, _pending: Option<&SchedUop>, _k: u64) {}
 }
 
 #[cfg(test)]

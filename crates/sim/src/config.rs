@@ -60,6 +60,11 @@ pub struct CoreConfig {
     pub use_mdp: bool,
     /// Core frequency in GHz (for reporting; timing is in cycles).
     pub freq_ghz: f64,
+    /// Whether the event-horizon engine may fast-forward provably idle
+    /// stretches of cycles (see ARCHITECTURE.md, "The quiesce contract").
+    /// Purely a simulator-throughput knob: results are byte-identical
+    /// either way.
+    pub skip_idle: bool,
 }
 
 impl CoreConfig {
@@ -81,6 +86,7 @@ impl CoreConfig {
                 mem: MemConfig::default(),
                 use_mdp: true,
                 freq_ghz: 3.4,
+                skip_idle: true,
             },
             Width::Ten => CoreConfig {
                 issue_width: 10,
@@ -102,6 +108,7 @@ impl CoreConfig {
                 mem: MemConfig::default(),
                 use_mdp: true,
                 freq_ghz: 2.5,
+                skip_idle: true,
             },
             Width::Two => CoreConfig {
                 front_width: 2,
@@ -121,6 +128,7 @@ impl CoreConfig {
                 mem: MemConfig::default(),
                 use_mdp: true,
                 freq_ghz: 2.0,
+                skip_idle: true,
             },
         }
     }

@@ -91,6 +91,8 @@ pub struct Core {
 
     committed: u64,
     mispredicts: u64,
+    /// Cycles fast-forwarded by the event-horizon engine.
+    cycles_skipped: u64,
     stall_reasons: [u64; 5],
     violations: u64,
     dispatch_stalls: u64,
@@ -139,6 +141,7 @@ impl Core {
             issue_buf: Vec::new(),
             committed: 0,
             mispredicts: 0,
+            cycles_skipped: 0,
             stall_reasons: [0; 5],
             violations: 0,
             dispatch_stalls: 0,
@@ -158,6 +161,9 @@ impl Core {
         let target = trace.len() as u64;
         let max_cycles = 600 * target + 200_000;
         while self.committed < target {
+            if self.cfg.skip_idle {
+                self.try_skip(trace, max_cycles);
+            }
             self.step(trace);
             if self.cycle >= max_cycles {
                 let head = self.rob.front().map(|s| {
@@ -180,6 +186,157 @@ impl Core {
         let mut result = self.finish(trace);
         result.host_wall_s = started.elapsed().as_secs_f64();
         result
+    }
+
+    // ------------------------------------------------------ event horizon
+    /// Fast-forwards `cycle` across a provably idle stretch.
+    ///
+    /// A cycle is *idle* when every stage would do nothing but
+    /// deterministic bookkeeping: no completion event fires, the ROB head
+    /// cannot commit, the scheduler is quiesced (its
+    /// [`Scheduler::next_event_cycle`] contract), dispatch is stalled for
+    /// a reason that cannot clear on its own, and fetch is stalled or
+    /// drained. The earliest cycle at which any of those change is the
+    /// *event horizon*; the skipped cycles' bookkeeping (stall counters,
+    /// scheduler energy/head-state accounting) is replayed in closed form
+    /// via [`Scheduler::note_idle_cycles`], so results are byte-identical
+    /// to stepping every cycle. See ARCHITECTURE.md, "The quiesce
+    /// contract".
+    fn try_skip(&mut self, trace: &Trace, max_cycles: u64) {
+        enum StallKind {
+            /// A prepared μop is retrying dispatch each cycle.
+            Pending,
+            /// The alloc-queue head is blocked on `stall_reasons[i]`.
+            Structural(usize),
+            /// Nothing reaches the dispatch checks (empty or decode-gated).
+            Idle,
+        }
+
+        let c0 = self.cycle;
+        let mut horizon = u64::MAX;
+
+        // Writeback: the earliest queued completion bounds the horizon; a
+        // due event means this cycle is not idle.
+        if let Some(&Reverse((t, _))) = self.events.peek() {
+            if t <= c0 {
+                return;
+            }
+            horizon = t;
+        }
+
+        // Commit: a completed ROB head would retire this cycle. (Completed
+        // implies its event already fired, so the horizon needs no extra
+        // bound here; issued-but-incomplete μops are covered by `events`.)
+        if let Some(&seq) = self.rob.front() {
+            let inf = self.inflight.get(seq).expect("rob head inflight");
+            if inf.completed && inf.complete_at.map(|t| t <= c0).unwrap_or(false) {
+                return;
+            }
+        }
+
+        // Fetch: active fetch means the cycle is not idle; a pending
+        // resume bounds the horizon. Checked before the scheduler because
+        // it is by far the cheaper test — on busy cycles it returns
+        // without paying for the scheduler's window walk.
+        if !self.fetch_stalled
+            && self.alloc_q.len() < self.cfg.alloc_queue
+            && self.fetch_idx < trace.len()
+        {
+            if c0 >= self.fetch_resume_at {
+                return;
+            }
+            horizon = horizon.min(self.fetch_resume_at);
+        }
+
+        // Dispatch: classify why it stalls, mirroring `dispatch` exactly.
+        // Any path that would mutate state (prepare/offer success) aborts.
+        let pending_uop = self.pending.as_ref().map(|p| p.uop);
+        let stall = if pending_uop.is_some() {
+            // Retry refused by the scheduler (it is quiesced with a
+            // pending μop, which the contract defines as "would refuse").
+            StallKind::Pending
+        } else if let Some(&(trace_idx, decode_cycle, _)) = self.alloc_q.front() {
+            if decode_cycle + self.cfg.rename_latency > c0 {
+                horizon = horizon.min(decode_cycle + self.cfg.rename_latency);
+                StallKind::Idle
+            } else {
+                let op = &trace.ops[trace_idx];
+                if self.rob.len() >= self.cfg.rob_entries {
+                    StallKind::Structural(0)
+                } else if op.is_load() && !self.lq.has_space() {
+                    StallKind::Structural(1)
+                } else if op.is_store() && !self.sq.has_space() {
+                    StallKind::Structural(2)
+                } else if op
+                    .dst
+                    .is_some_and(|d| self.renamer.free_count(d.class()) == 0)
+                {
+                    // `prepare` fails on the free-list pop before any
+                    // mutation, so this check is exact and side-effect-free.
+                    StallKind::Structural(3)
+                } else {
+                    return; // dispatch would make progress
+                }
+            }
+        } else {
+            StallKind::Idle
+        };
+
+        // Scheduler (the most expensive test, so it runs last): `None`
+        // means it cannot prove quiescence.
+        {
+            let ctx = ReadyCtx { cycle: c0, scb: &self.scb, held: &self.held };
+            match self.sched.next_event_cycle(&ctx, pending_uop.as_ref()) {
+                None => return,
+                Some(t) => {
+                    if t <= c0 {
+                        return;
+                    }
+                    horizon = horizon.min(t);
+                }
+            }
+        }
+
+        // Defensive floor: every completion is already queued in `events`
+        // (scoreboard ready-at values and inflight `complete_at`s are set
+        // in the same `process_issue` that pushes the event, so separate
+        // scans of those structures would be redundant), but the memory
+        // hierarchy's internal MSHR state is one abstraction boundary
+        // away — bound by it cheaply. Only ever tightens the horizon.
+        if let Some(t) = self.hier.next_fill_cycle(c0) {
+            horizon = horizon.min(t);
+        }
+        debug_assert!(
+            self.scb.min_pending_ready_cycle(c0).map_or(true, |t| t >= horizon),
+            "scoreboard wakeup below the horizon with no covering event"
+        );
+
+        // An unbounded horizon means a genuine deadlock; keep stepping so
+        // the no-forward-progress panic fires with its diagnostics.
+        if horizon == u64::MAX {
+            return;
+        }
+        let x = horizon.min(max_cycles);
+        if x <= c0 {
+            return;
+        }
+        let k = x - c0;
+
+        // Replay the skipped cycles' bookkeeping in closed form.
+        {
+            let ctx = ReadyCtx { cycle: c0, scb: &self.scb, held: &self.held };
+            self.sched.note_idle_cycles(&ctx, pending_uop.as_ref(), k);
+        }
+        match stall {
+            StallKind::Pending => {
+                self.dispatch_stalls += k;
+                self.stall_reasons[4] += k;
+            }
+            StallKind::Structural(i) => self.stall_reasons[i] += k,
+            StallKind::Idle => {}
+        }
+        self.cycles_skipped += k;
+        self.cycle = x;
     }
 
     fn step(&mut self, trace: &Trace) {
@@ -694,6 +851,7 @@ impl Core {
             sizes: self.sizes,
             freq_ghz: self.cfg.freq_ghz,
             host_wall_s: 0.0,
+            cycles_skipped: self.cycles_skipped,
         }
     }
 }

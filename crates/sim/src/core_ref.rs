@@ -697,6 +697,7 @@ impl CoreRef {
             sizes: self.sizes,
             freq_ghz: self.cfg.freq_ghz,
             host_wall_s: 0.0,
+            cycles_skipped: 0,
         }
     }
 }

@@ -136,6 +136,11 @@ fn build_scheduler_inner(
     if kind == MachineKind::OutOfOrderNoMdp {
         cfg.use_mdp = false;
     }
+    // Dev knob for throughput A/Bs of the event-horizon engine itself;
+    // results are identical either way (see tests/skip_equivalence.rs).
+    if std::env::var_os("BALLERINO_NO_SKIP").is_some() {
+        cfg.skip_idle = false;
+    }
     let phys = cfg.total_phys();
     let entries = iq_entries(width);
     let common_sizes = StructureSizes {

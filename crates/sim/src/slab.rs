@@ -97,6 +97,11 @@ impl<T> SeqSlab<T> {
         self.live += 1;
     }
 
+    /// Iterates over live entries in sequence order.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
     /// Removes and returns the entry for `seq`, compacting empty slots at
     /// both ends so the slab tracks the live window.
     pub fn remove(&mut self, seq: u64) -> Option<T> {

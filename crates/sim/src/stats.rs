@@ -125,6 +125,10 @@ pub struct SimResult {
     /// Host wall-clock seconds the simulation itself took (throughput
     /// instrumentation; excludes trace generation).
     pub host_wall_s: f64,
+    /// Cycles the event-horizon engine fast-forwarded instead of stepping
+    /// (throughput instrumentation; a subset of `cycles`). Always zero on
+    /// the reference core and when `skip_idle` is off.
+    pub cycles_skipped: u64,
 }
 
 impl SimResult {
