@@ -85,6 +85,10 @@ fn main() {
         0
     });
 
-    bench("gen_pointer_chase", 20_000, || workload("pointer_chase", 20_000, 42).len() as u64);
-    bench("gen_gemm_blocked", 20_000, || workload("gemm_blocked", 20_000, 42).len() as u64);
+    bench("gen_pointer_chase", 20_000, || {
+        workload("pointer_chase", 20_000, 42).len() as u64
+    });
+    bench("gen_gemm_blocked", 20_000, || {
+        workload("gemm_blocked", 20_000, 42).len() as u64
+    });
 }

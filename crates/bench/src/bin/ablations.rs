@@ -34,25 +34,41 @@ fn run_cfg(bcfg: BallerinoConfig, mem_prefetch: bool) -> f64 {
             prf_entries: cfg.total_phys(),
             has_mdp: cfg.use_mdp,
         };
-        ipcs.push(Core::new(cfg, Box::new(Ballerino::new(b)), sizes).run(&t).ipc());
+        ipcs.push(
+            Core::new(cfg, Box::new(Ballerino::new(b)), sizes)
+                .run(&t)
+                .ipc(),
+        );
     }
     geomean(&ipcs)
 }
 
 fn main() {
     let base = BallerinoConfig::eight_wide();
-    println!("Ballerino ablations (geomean IPC over the suite, n = {})\n", suite_len());
+    println!(
+        "Ballerino ablations (geomean IPC over the suite, n = {})\n",
+        suite_len()
+    );
 
     println!("1. speculative-issue horizon (cycles a consumer may linger in the S-IQ):");
     for h in [0u64, 1, 2, 4] {
-        let ipc = run_cfg(BallerinoConfig { spec_horizon: h, ..base.clone() }, true);
+        let ipc = run_cfg(
+            BallerinoConfig {
+                spec_horizon: h,
+                ..base.clone()
+            },
+            true,
+        );
         println!("   horizon {h}: {ipc:.3}");
     }
 
     println!("\n2. S-IQ size (paper: 2x dispatch width = 8):");
     for s in [4usize, 8, 16, 32] {
         let ipc = run_cfg(
-            BallerinoConfig { siq_entries: s, ..base.clone() },
+            BallerinoConfig {
+                siq_entries: s,
+                ..base.clone()
+            },
             true,
         );
         println!("   {s:>2} entries: {ipc:.3}");
@@ -60,7 +76,13 @@ fn main() {
 
     println!("\n3. S-IQ window (slots examined per cycle, paper: rename width = 4):");
     for w in [2usize, 4, 8] {
-        let ipc = run_cfg(BallerinoConfig { siq_window: w, ..base.clone() }, true);
+        let ipc = run_cfg(
+            BallerinoConfig {
+                siq_window: w,
+                ..base.clone()
+            },
+            true,
+        );
         println!("   window {w}: {ipc:.3}");
     }
 
@@ -68,7 +90,10 @@ fn main() {
     let with = run_cfg(base.clone(), true);
     let without = run_cfg(base.clone(), false);
     println!("   on  : {with:.3}");
-    println!("   off : {without:.3}  ({:+.1}% from prefetching)", 100.0 * (with / without - 1.0));
+    println!(
+        "   off : {without:.3}  ({:+.1}% from prefetching)",
+        100.0 * (with / without - 1.0)
+    );
 
     println!("\n5. MDP interaction (baseline OoO for reference):");
     let mut w_ipc = Vec::new();
@@ -88,7 +113,11 @@ fn main() {
         ("unconstrained (ideal)", true, true),
     ] {
         let ipc = run_cfg(
-            BallerinoConfig { piq_sharing: sharing, ideal_sharing: ideal, ..base.clone() },
+            BallerinoConfig {
+                piq_sharing: sharing,
+                ideal_sharing: ideal,
+                ..base.clone()
+            },
             true,
         );
         println!("   {label}: {ipc:.3}");

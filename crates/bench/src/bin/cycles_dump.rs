@@ -12,8 +12,13 @@ use ballerino_sim::{run_machine, run_machine_reference, MachineKind, Width};
 use ballerino_workloads::{cached_workload, workload_names};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4000);
-    let reference = std::env::var("BALLERINO_REFERENCE").map(|v| v == "1").unwrap_or(false);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4000);
+    let reference = std::env::var("BALLERINO_REFERENCE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     for kind in MachineKind::FIG11 {
         for name in workload_names() {
             let t = cached_workload(name, n, 42);

@@ -12,7 +12,10 @@ use ballerino_workloads::{cached_workload, workload_names};
 
 fn main() {
     println!("Fig. 4 — CES-8 steering outcome breakdown (fractions of steer events)");
-    println!("n = {} μops per workload, sorted by [Stall] Ready\n", suite_len());
+    println!(
+        "n = {} μops per workload, sorted by [Stall] Ready\n",
+        suite_len()
+    );
 
     let mut rows = Vec::new();
     for wl in workload_names() {
@@ -39,9 +42,7 @@ fn main() {
     );
     let mut agg = [0.0f64; 5];
     for (wl, dc, ar, an, sr, sn, sp) in &rows {
-        println!(
-            "{wl:<18}{dc:>9.2}{ar:>9.2}{an:>10.2}{sr:>9.2}{sn:>10.2}{sp:>9.2}"
-        );
+        println!("{wl:<18}{dc:>9.2}{ar:>9.2}{an:>10.2}{sr:>9.2}{sn:>10.2}{sp:>9.2}");
         for (a, v) in agg.iter_mut().zip([dc, ar, an, sr, sn]) {
             *a += *v;
         }

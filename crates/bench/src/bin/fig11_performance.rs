@@ -10,7 +10,10 @@ use ballerino_bench::{
 use ballerino_sim::{MachineKind, Width};
 
 fn main() {
-    println!("Fig. 11 — speedup over InO, 8-wide (n = {} μops/workload)\n", suite_len());
+    println!(
+        "Fig. 11 — speedup over InO, 8-wide (n = {} μops/workload)\n",
+        suite_len()
+    );
     let base = run_suite(MachineKind::InOrder, Width::Eight);
     let cols = workload_cols();
     print_header(&cols, 9);

@@ -12,7 +12,10 @@ use ballerino_bench::{
 use ballerino_sim::{MachineKind, Width};
 
 fn main() {
-    println!("Fig. 13 — step-by-step gains over InO (n = {} μops/workload)\n", suite_len());
+    println!(
+        "Fig. 13 — step-by-step gains over InO (n = {} μops/workload)\n",
+        suite_len()
+    );
     let base = run_suite(MachineKind::InOrder, Width::Eight);
     let cols = workload_cols();
     print_header(&cols, 9);

@@ -15,7 +15,11 @@ fn main() {
     let ooo = run_suite(MachineKind::OutOfOrder, Width::Eight);
     let ooo_total: f64 = ooo
         .iter()
-        .map(|r| EnergyModel::new(r.sizes, DvfsLevel::L4).breakdown(&r.energy).total())
+        .map(|r| {
+            EnergyModel::new(r.sizes, DvfsLevel::L4)
+                .breakdown(&r.energy)
+                .total()
+        })
         .sum();
 
     print!("{:<14}", "design");

@@ -42,8 +42,11 @@ fn part_a() {
         print!("{:<12}", kind.label());
         for width in [Width::Two, Width::Four, Width::Eight, Width::Ten] {
             let runs = suite_runs(kind, width);
-            let sp: Vec<f64> =
-                runs.iter().zip(&base).map(|(r, b)| r.speedup_over(b)).collect();
+            let sp: Vec<f64> = runs
+                .iter()
+                .zip(&base)
+                .map(|(r, b)| r.speedup_over(b))
+                .collect();
             print!("{:>9.2}", geomean(&sp));
         }
         println!();
@@ -56,7 +59,11 @@ fn part_b() {
     let ces_time: f64 = ces.iter().map(|r| r.seconds()).sum();
     let ces_energy: f64 = ces
         .iter()
-        .map(|r| EnergyModel::new(r.sizes, DvfsLevel::L4).breakdown(&r.energy).total())
+        .map(|r| {
+            EnergyModel::new(r.sizes, DvfsLevel::L4)
+                .breakdown(&r.energy)
+                .total()
+        })
         .sum();
 
     println!(
@@ -66,13 +73,14 @@ fn part_b() {
     for kind in [MachineKind::Ballerino, MachineKind::OutOfOrder] {
         let runs = suite_runs(kind, Width::Eight);
         for level in DvfsLevel::ALL {
-            let time: f64 = runs
-                .iter()
-                .map(|r| level.seconds(r.cycles))
-                .sum();
+            let time: f64 = runs.iter().map(|r| level.seconds(r.cycles)).sum();
             let energy: f64 = runs
                 .iter()
-                .map(|r| EnergyModel::new(r.sizes, level).breakdown(&r.energy).total())
+                .map(|r| {
+                    EnergyModel::new(r.sizes, level)
+                        .breakdown(&r.energy)
+                        .total()
+                })
                 .sum();
             let speedup = ces_time / time;
             let rel_e = energy / ces_energy;

@@ -83,7 +83,10 @@ fn main() {
     for (wi, wl) in names.iter().enumerate() {
         let skipped: u64 = new.iter().map(|row| row[wi].cycles_skipped).sum();
         let cycles: u64 = new.iter().map(|row| row[wi].cycles).sum();
-        println!("  {wl:<18} {:.1}%", 100.0 * skipped as f64 / cycles.max(1) as f64);
+        println!(
+            "  {wl:<18} {:.1}%",
+            100.0 * skipped as f64 / cycles.max(1) as f64
+        );
     }
 
     let json = render_json(

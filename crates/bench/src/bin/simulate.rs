@@ -50,7 +50,10 @@ fn parse_width(s: &str) -> Option<Width> {
 }
 
 fn report(r: &SimResult) {
-    println!("── {} on {} ─────────────────────────", r.scheduler, r.workload);
+    println!(
+        "── {} on {} ─────────────────────────",
+        r.scheduler, r.workload
+    );
     println!(
         "  IPC {:.3}   cycles {}   committed {}   time {:.1} µs @ {} GHz",
         r.ipc(),
@@ -85,7 +88,12 @@ fn report(r: &SimResult) {
     );
     let model = EnergyModel::new(r.sizes, DvfsLevel::L4);
     let bd = model.breakdown(&r.energy);
-    println!("  energy {:.1} µJ   avg power {:.2} W   EDP {:.3e}", bd.total() * 1e-6, model.power_w(&r.energy), model.edp(&r.energy));
+    println!(
+        "  energy {:.1} µJ   avg power {:.2} W   EDP {:.3e}",
+        bd.total() * 1e-6,
+        model.power_w(&r.energy),
+        model.edp(&r.energy)
+    );
     print!("  components:");
     for (c, v) in bd.iter() {
         print!(" {} {:.0}%", c.label(), 100.0 * v / bd.total());
@@ -107,10 +115,15 @@ fn main() {
         return;
     };
     let wl = args.get(2).cloned().unwrap_or_else(|| "hash_join".into());
-    let width = args.get(3).map(|s| parse_width(s).unwrap_or_else(|| {
-        eprintln!("bad width {s}");
-        std::process::exit(2)
-    })).unwrap_or(Width::Eight);
+    let width = args
+        .get(3)
+        .map(|s| {
+            parse_width(s).unwrap_or_else(|| {
+                eprintln!("bad width {s}");
+                std::process::exit(2)
+            })
+        })
+        .unwrap_or(Width::Eight);
     let n: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(20_000);
     let seed: u64 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(42);
 

@@ -34,9 +34,18 @@ fn main() {
     println!(
         "\nMemory: L1 {}KiB/{}w/{}cy/{}MSHR, L2 {}KiB/{}w/{}cy/{}MSHR, \
          L3 {}KiB/{}w/{}cy/{}MSHR, stride prefetch x{}",
-        m.l1d.size_bytes / 1024, m.l1d.ways, m.l1d.latency, m.l1d.mshrs,
-        m.l2.size_bytes / 1024, m.l2.ways, m.l2.latency, m.l2.mshrs,
-        m.l3.size_bytes / 1024, m.l3.ways, m.l3.latency, m.l3.mshrs,
+        m.l1d.size_bytes / 1024,
+        m.l1d.ways,
+        m.l1d.latency,
+        m.l1d.mshrs,
+        m.l2.size_bytes / 1024,
+        m.l2.ways,
+        m.l2.latency,
+        m.l2.mshrs,
+        m.l3.size_bytes / 1024,
+        m.l3.ways,
+        m.l3.latency,
+        m.l3.mshrs,
         m.prefetch_degree,
     );
     println!(

@@ -65,12 +65,18 @@ use std::sync::Mutex;
 
 /// μops per workload (env `BALLERINO_N`, default 20 000).
 pub fn suite_len() -> usize {
-    std::env::var("BALLERINO_N").ok().and_then(|s| s.parse().ok()).unwrap_or(20_000)
+    std::env::var("BALLERINO_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000)
 }
 
 /// Workload seed (env `BALLERINO_SEED`, default 42).
 pub fn seed() -> u64 {
-    std::env::var("BALLERINO_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+    std::env::var("BALLERINO_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
 }
 
 /// Worker threads for the matrix runner (env `BALLERINO_THREADS`,
@@ -81,7 +87,9 @@ pub fn threads() -> usize {
         .and_then(|s| s.parse().ok())
         .filter(|&t| t >= 1)
         .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
         })
 }
 
@@ -115,14 +123,15 @@ pub fn run_cells(
         .collect();
 
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<SimResult>>> =
-        cells.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<SimResult>>> = cells.iter().map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..threads.max(1) {
             scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(&(kind, wl)) = cells.get(i) else { break };
+                let Some(&(kind, wl)) = cells.get(i) else {
+                    break;
+                };
                 let t = cached_workload(wl, n, s);
                 let r = run_machine(kind, width, &t);
                 *slots[i].lock().expect("result slot poisoned") = Some(r);
@@ -132,7 +141,11 @@ pub fn run_cells(
 
     let mut out: Vec<SimResult> = slots
         .into_iter()
-        .map(|m| m.into_inner().expect("slot poisoned").expect("cell not simulated"))
+        .map(|m| {
+            m.into_inner()
+                .expect("slot poisoned")
+                .expect("cell not simulated")
+        })
         .collect();
     let mut rows = Vec::with_capacity(kinds.len());
     for _ in kinds {
@@ -192,8 +205,11 @@ pub fn run_matrix_legacy(
 /// followed by the geometric mean as the final element.
 pub fn speedups_with_geomean(results: &[SimResult], base: &[SimResult]) -> Vec<f64> {
     assert_eq!(results.len(), base.len());
-    let mut v: Vec<f64> =
-        results.iter().zip(base).map(|(r, b)| r.speedup_over(b)).collect();
+    let mut v: Vec<f64> = results
+        .iter()
+        .zip(base)
+        .map(|(r, b)| r.speedup_over(b))
+        .collect();
     v.push(geomean(&v));
     v
 }

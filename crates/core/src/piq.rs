@@ -77,7 +77,10 @@ impl Piq {
     ///
     /// Panics unless `cap` is even and at least 2.
     pub fn new(cap: usize, ideal: bool) -> Self {
-        assert!(cap >= 2 && cap % 2 == 0, "P-IQ capacity must be even and >= 2");
+        assert!(
+            cap >= 2 && cap.is_multiple_of(2),
+            "P-IQ capacity must be even and >= 2"
+        );
         Piq {
             cap,
             parts: [VecDeque::new(), VecDeque::new()],
@@ -225,7 +228,9 @@ impl Piq {
         if !self.shared {
             return None;
         }
-        (0..2).find(|&p| self.parts[p].is_empty()).map(|p| PartId(p as u8))
+        (0..2)
+            .find(|&p| self.parts[p].is_empty())
+            .map(|p| PartId(p as u8))
     }
 
     /// Head candidates for issue this cycle: in normal mode the single
@@ -234,12 +239,24 @@ impl Piq {
     /// P-IQ per cycle, so it must not allocate.
     pub fn issue_candidates(&self) -> IssueCandidates {
         if !self.shared {
-            return IssueCandidates { parts: [PartId(0), PartId(0)], len: 1, next: 0 };
+            return IssueCandidates {
+                parts: [PartId(0), PartId(0)],
+                len: 1,
+                next: 0,
+            };
         }
         if self.ideal {
-            return IssueCandidates { parts: [PartId(0), PartId(1)], len: 2, next: 0 };
+            return IssueCandidates {
+                parts: [PartId(0), PartId(1)],
+                len: 2,
+                next: 0,
+            };
         }
-        IssueCandidates { parts: [PartId(self.active as u8), PartId(0)], len: 1, next: 0 }
+        IssueCandidates {
+            parts: [PartId(self.active as u8), PartId(0)],
+            len: 1,
+            next: 0,
+        }
     }
 
     /// Heap-allocating variant of [`Piq::issue_candidates`] (the seed's
@@ -417,7 +434,10 @@ mod tests {
             assert!(q.can_push(p1));
             q.push(p1, u(10 + i));
         }
-        assert!(!q.can_push(p1), "partition 1 holds at most half the entries");
+        assert!(
+            !q.can_push(p1),
+            "partition 1 holds at most half the entries"
+        );
         // Partition 0 is also capped at half now.
         for i in 0..3 {
             q.push(PartId(0), u(2 + i));

@@ -3,10 +3,11 @@
 //! [`Scheduler`] trait.
 
 use crate::piq::{PartId, Piq};
-use ballerino_isa::PhysReg;
+use ballerino_isa::{PhysReg, MAX_PORTS};
 use ballerino_sched::{
     DispatchOutcome, HeadState, HeadStateStats, IssueBreakdown, LocTable, PortAlloc, ReadyCtx,
-    SchedEnergyEvents, SchedUop, Scheduler, StallReason, SteerEvent, SteerStats,
+    SchedEnergyEvents, SchedUop, Scheduler, StallReason, SteerEvent, SteerStats, WakeFabric,
+    WakeState,
 };
 use std::collections::VecDeque;
 
@@ -66,22 +67,35 @@ impl BallerinoConfig {
 
     /// Ballerino-12: 1 S-IQ + 11 P-IQs (§VI-A).
     pub fn twelve() -> Self {
-        BallerinoConfig { num_piqs: 11, ..Self::eight_wide() }
+        BallerinoConfig {
+            num_piqs: 11,
+            ..Self::eight_wide()
+        }
     }
 
     /// Step 1 of Fig. 13: S-IQ + 7 P-IQs, no MDA steering, no sharing.
     pub fn step1() -> Self {
-        BallerinoConfig { mda_steering: false, piq_sharing: false, ..Self::eight_wide() }
+        BallerinoConfig {
+            mda_steering: false,
+            piq_sharing: false,
+            ..Self::eight_wide()
+        }
     }
 
     /// Step 2 of Fig. 13: Step 1 + MDA steering.
     pub fn step2() -> Self {
-        BallerinoConfig { piq_sharing: false, ..Self::eight_wide() }
+        BallerinoConfig {
+            piq_sharing: false,
+            ..Self::eight_wide()
+        }
     }
 
     /// Step 3 without implementation constraints (ideal, Fig. 13).
     pub fn step3_ideal() -> Self {
-        BallerinoConfig { ideal_sharing: true, ..Self::eight_wide() }
+        BallerinoConfig {
+            ideal_sharing: true,
+            ..Self::eight_wide()
+        }
     }
 
     /// 4-wide variant (Table II: 8-entry S-IQ, 3×16-entry P-IQs).
@@ -150,20 +164,29 @@ pub struct Ballerino {
     breakdown: IssueBreakdown,
     /// Sharing-mode activations (diagnostics / Fig. 13 analysis).
     pub sharing_activations: u64,
-    /// Scratch buffers reused across [`Scheduler::issue`] calls so the
-    /// per-cycle hot path allocates nothing.
-    scratch_issued: Vec<PhysReg>,
-    scratch_lingering: Vec<PhysReg>,
-    scratch_remove: Vec<usize>,
+    /// Producer-indexed wakeup lists + ready state. A μop's fabric entry
+    /// is keyed by seq, so it survives the S-IQ → P-IQ steering moves.
+    fabric: WakeFabric,
+    name: String,
     reference_issue: bool,
 }
 
 impl Ballerino {
     /// Builds an empty Ballerino scheduler.
     pub fn new(cfg: BallerinoConfig) -> Self {
-        let piqs = (0..cfg.num_piqs).map(|_| Piq::new(cfg.piq_entries, cfg.ideal_sharing)).collect();
+        let piqs = (0..cfg.num_piqs)
+            .map(|_| Piq::new(cfg.piq_entries, cfg.ideal_sharing))
+            .collect();
         let loc = LocTable::new(cfg.num_phys_regs);
         let lfst_steer = vec![None; cfg.num_ssids];
+        let mut name = format!("ballerino-{}", cfg.num_piqs + 1);
+        if !cfg.mda_steering {
+            name.push_str("-step1");
+        } else if !cfg.piq_sharing {
+            name.push_str("-step2");
+        } else if cfg.ideal_sharing {
+            name.push_str("-ideal");
+        }
         Ballerino {
             cfg,
             piqs,
@@ -175,9 +198,8 @@ impl Ballerino {
             heads: HeadStateStats::default(),
             breakdown: IssueBreakdown::default(),
             sharing_activations: 0,
-            scratch_issued: Vec::new(),
-            scratch_lingering: Vec::new(),
-            scratch_remove: Vec::new(),
+            fabric: WakeFabric::new(),
+            name,
             reference_issue: false,
         }
     }
@@ -234,9 +256,15 @@ impl Ballerino {
             return None;
         }
         let (k, part) = (e.piq as usize, PartId(e.part));
-        let at_tail = self.piqs[k].back(part).map(|b| b.seq == e.store_seq).unwrap_or(false);
+        let at_tail = self.piqs[k]
+            .back(part)
+            .map(|b| b.seq == e.store_seq)
+            .unwrap_or(false);
         if at_tail && self.piqs[k].can_push(part) {
-            self.lfst_steer[ssid.0 as usize].as_mut().expect("checked").reserved = true;
+            self.lfst_steer[ssid.0 as usize]
+                .as_mut()
+                .expect("checked")
+                .reserved = true;
             self.energy.loc_writes += 1;
             Some((k, part))
         } else {
@@ -274,7 +302,11 @@ impl Ballerino {
     /// empty partition of a shared P-IQ, or (Step 3) a freshly shared
     /// partition of an eligible P-IQ.
     fn alloc_target(&mut self) -> Option<(usize, PartId)> {
-        if let Some(k) = self.piqs.iter().position(|q| q.is_empty() && !q.is_shared()) {
+        if let Some(k) = self
+            .piqs
+            .iter()
+            .position(|q| q.is_empty() && !q.is_shared())
+        {
             return Some((k, PartId(0)));
         }
         for (k, q) in self.piqs.iter().enumerate() {
@@ -309,7 +341,11 @@ impl Ballerino {
         }
         if let Some((k, part)) = self.alloc_target() {
             let shared = self.piqs[k].is_shared();
-            self.steer.record(if shared { SteerEvent::SteerShared } else { SteerEvent::AllocNonReady });
+            self.steer.record(if shared {
+                SteerEvent::SteerShared
+            } else {
+                SteerEvent::AllocNonReady
+            });
             self.push_tracked(k, part, *uop);
             return true;
         }
@@ -321,7 +357,10 @@ impl Ballerino {
     fn mda_probe_charges(&self, uop: &SchedUop) -> bool {
         self.cfg.mda_steering
             && (uop.is_load() || uop.is_store())
-            && uop.ssid.map(|s| self.lfst_steer[s.0 as usize].is_some()).unwrap_or(false)
+            && uop
+                .ssid
+                .map(|s| self.lfst_steer[s.0 as usize].is_some())
+                .unwrap_or(false)
     }
 
     /// Read-only replica of a successful `mda_target`.
@@ -330,12 +369,17 @@ impl Ballerino {
             return false;
         }
         let Some(ssid) = uop.ssid else { return false };
-        let Some(e) = self.lfst_steer[ssid.0 as usize] else { return false };
+        let Some(e) = self.lfst_steer[ssid.0 as usize] else {
+            return false;
+        };
         if e.reserved {
             return false;
         }
         let (k, part) = (e.piq as usize, PartId(e.part));
-        self.piqs[k].back(part).map(|b| b.seq == e.store_seq).unwrap_or(false)
+        self.piqs[k]
+            .back(part)
+            .map(|b| b.seq == e.store_seq)
+            .unwrap_or(false)
             && self.piqs[k].can_push(part)
     }
 
@@ -396,8 +440,7 @@ impl Ballerino {
                 let mut far = false;
                 for s in u.srcs.iter().flatten() {
                     let rc = ctx.scb.ready_cycle(*s);
-                    if rc > ctx.cycle + self.cfg.spec_horizon
-                        && !lingering[..n_linger].contains(s)
+                    if rc > ctx.cycle + self.cfg.spec_horizon && !lingering[..n_linger].contains(s)
                     {
                         far = true;
                         far_rc_max = far_rc_max.max(rc);
@@ -427,9 +470,17 @@ impl Ballerino {
             if self.would_steer(u) {
                 return None; // steering would move it to a P-IQ
             }
-            return Some(IdleWindow { lingerers, blocker: true, horizon });
+            return Some(IdleWindow {
+                lingerers,
+                blocker: true,
+                horizon,
+            });
         }
-        Some(IdleWindow { lingerers, blocker: false, horizon })
+        Some(IdleWindow {
+            lingerers,
+            blocker: false,
+            horizon,
+        })
     }
 
     fn release_store_lfst(&mut self, u: &SchedUop) {
@@ -457,7 +508,12 @@ impl Ballerino {
     /// reference baseline: allocates its tracking buffers every cycle
     /// and asks each P-IQ for a heap-allocated candidate list. Grant
     /// decisions are identical to [`Scheduler::issue`].
-    fn issue_reference(&mut self, ctx: &ReadyCtx<'_>, ports: &mut PortAlloc<'_>, out: &mut Vec<u64>) {
+    fn issue_reference(
+        &mut self,
+        ctx: &ReadyCtx<'_>,
+        ports: &mut PortAlloc<'_>,
+        out: &mut Vec<u64>,
+    ) {
         // Destinations of single-cycle μops issued *this very cycle*: the
         // scoreboard is only updated by the pipeline after this call, so
         // the intra-group enable logic (Fig. 8) must track them here to
@@ -503,6 +559,7 @@ impl Ballerino {
                 }
                 if state == HeadState::Issuing {
                     let u = self.piqs[k].pop(part).expect("head present");
+                    self.fabric.remove(u.seq);
                     self.energy.queue_reads += 1;
                     self.breakdown.from_piq += 1;
                     self.release_store_lfst(&u);
@@ -525,6 +582,7 @@ impl Ballerino {
             if ctx.is_ready(&u) {
                 any_candidate = true;
                 if ports.try_claim(u.port, u.class) {
+                    self.fabric.remove(u.seq);
                     self.energy.queue_reads += 1;
                     self.breakdown.from_siq += 1;
                     self.steer.record(SteerEvent::SpeculativeIssue);
@@ -592,27 +650,19 @@ impl Ballerino {
             self.energy.select_inputs += inputs as u64;
         }
     }
-
 }
 
 impl Scheduler for Ballerino {
-    fn name(&self) -> String {
-        let mut n = format!("ballerino-{}", self.cfg.num_piqs + 1);
-        if !self.cfg.mda_steering {
-            n.push_str("-step1");
-        } else if !self.cfg.piq_sharing {
-            n.push_str("-step2");
-        } else if self.cfg.ideal_sharing {
-            n.push_str("-ideal");
-        }
-        n
+    fn name(&self) -> &str {
+        &self.name
     }
 
-    fn try_dispatch(&mut self, uop: SchedUop, _ctx: &ReadyCtx<'_>) -> DispatchOutcome {
+    fn try_dispatch(&mut self, uop: SchedUop, ctx: &ReadyCtx<'_>) -> DispatchOutcome {
         if self.siq.len() >= self.cfg.siq_entries {
             return DispatchOutcome::Stall(StallReason::Full);
         }
         self.energy.queue_writes += 1;
+        self.fabric.insert(&uop, 0, ctx);
         self.siq.push_back(uop);
         DispatchOutcome::Accepted
     }
@@ -621,22 +671,27 @@ impl Scheduler for Ballerino {
         if self.reference_issue {
             return self.issue_reference(ctx, ports, out);
         }
+        self.fabric.poll(ctx);
         // Destinations of single-cycle μops issued *this very cycle*: the
         // scoreboard is only updated by the pipeline after this call, so
         // the intra-group enable logic (Fig. 8) must track them here to
-        // keep their consumers in the S-IQ for back-to-back issue.
-        let mut just_issued = std::mem::take(&mut self.scratch_issued);
-        just_issued.clear();
-        let note_issue = |u: &SchedUop, v: &mut Vec<PhysReg>| {
+        // keep their consumers in the S-IQ for back-to-back issue. Issues
+        // are port claims, so MAX_PORTS bounds them per cycle.
+        let mut just_issued = [PhysReg(0); MAX_PORTS];
+        let mut n_issued = 0usize;
+        fn note_issue(u: &SchedUop, v: &mut [PhysReg; MAX_PORTS], n: &mut usize) {
             if !u.is_load() && u.class.exec_latency() as u64 <= 1 {
                 if let Some(d) = u.dst {
-                    v.push(d);
+                    v[*n] = d;
+                    *n += 1;
                 }
             }
-        };
+        }
 
         // ---- 1. P-IQ heads: highest select priority (prefix-sum order,
-        //         §IV-E), examined via the active head pointer(s).
+        //         §IV-E), examined via the active head pointer(s). The
+        //         fabric's per-entry state replaces the per-head operand
+        //         scan: Ready/Held/Waiting map onto the head-state taxonomy.
         let mut any_candidate = false;
         for k in 0..self.piqs.len() {
             let mut issued_part: Option<PartId> = None;
@@ -646,17 +701,17 @@ impl Scheduler for Ballerino {
                     None => HeadState::Empty,
                     Some(head) => {
                         self.energy.head_examinations += 1;
-                        if ctx.is_ready(head) {
-                            any_candidate = true;
-                            if ports.try_claim(head.port, head.class) {
-                                HeadState::Issuing
-                            } else {
-                                HeadState::StallPortConflict
+                        match self.fabric.state(head.seq) {
+                            WakeState::Ready => {
+                                any_candidate = true;
+                                if ports.try_claim(head.port, head.class) {
+                                    HeadState::Issuing
+                                } else {
+                                    HeadState::StallPortConflict
+                                }
                             }
-                        } else if ctx.is_mdp_blocked(head) {
-                            HeadState::StallMdepLoad
-                        } else {
-                            HeadState::StallNonReady
+                            WakeState::Held => HeadState::StallMdepLoad,
+                            WakeState::Waiting => HeadState::StallNonReady,
                         }
                     }
                 };
@@ -667,10 +722,11 @@ impl Scheduler for Ballerino {
                 }
                 if state == HeadState::Issuing {
                     let u = self.piqs[k].pop(part).expect("head present");
+                    self.fabric.remove(u.seq);
                     self.energy.queue_reads += 1;
                     self.breakdown.from_piq += 1;
                     self.release_store_lfst(&u);
-                    note_issue(&u, &mut just_issued);
+                    note_issue(&u, &mut just_issued, &mut n_issued);
                     out.push(u.seq);
                     issued_part = Some(part);
                 }
@@ -681,26 +737,31 @@ impl Scheduler for Ballerino {
         // ---- 2. S-IQ speculative scheduling window: ready μops issue,
         //         far-from-ready μops are steered to the P-IQs.
         let window = self.cfg.siq_window.min(self.siq.len());
-        let mut remove = std::mem::take(&mut self.scratch_remove);
-        remove.clear();
-        let mut lingering = std::mem::take(&mut self.scratch_lingering);
-        lingering.clear();
+        debug_assert!(
+            window <= 32,
+            "S-IQ window wider than the fixed issue buffers"
+        );
+        let mut remove_mask = 0u32;
+        let mut lingering = [PhysReg(0); 32];
+        let mut n_linger = 0usize;
         for i in 0..window {
             let u = self.siq[i];
             self.energy.head_examinations += 1;
-            if ctx.is_ready(&u) {
+            if self.fabric.state(u.seq) == WakeState::Ready {
                 any_candidate = true;
                 if ports.try_claim(u.port, u.class) {
+                    self.fabric.remove(u.seq);
                     self.energy.queue_reads += 1;
                     self.breakdown.from_siq += 1;
                     self.steer.record(SteerEvent::SpeculativeIssue);
                     self.release_store_lfst(&u);
-                    note_issue(&u, &mut just_issued);
+                    note_issue(&u, &mut just_issued, &mut n_issued);
                     out.push(u.seq);
-                    remove.push(i);
+                    remove_mask |= 1 << i;
                 } else {
                     // Ready but port-denied (§IV-C case 3): steer to a new
-                    // P-IQ head; re-examined there next cycle.
+                    // P-IQ head; re-examined there next cycle. Its fabric
+                    // entry follows the seq, untouched.
                     self.energy.steer_ops += 1;
                     if let Some((k, part)) = self.alloc_target() {
                         let shared = self.piqs[k].is_shared();
@@ -710,7 +771,7 @@ impl Scheduler for Ballerino {
                             SteerEvent::AllocReady
                         });
                         self.push_tracked(k, part, u);
-                        remove.push(i);
+                        remove_mask |= 1 << i;
                     }
                     // No free queue: it simply stays in the S-IQ.
                 }
@@ -729,30 +790,30 @@ impl Scheduler for Ballerino {
                 let far = u.srcs.iter().flatten().any(|s| {
                     let rc = ctx.scb.ready_cycle(*s);
                     rc > ctx.cycle + self.cfg.spec_horizon
-                        && !just_issued.contains(s)
-                        && !lingering.contains(s)
+                        && !just_issued[..n_issued].contains(s)
+                        && !lingering[..n_linger].contains(s)
                 });
                 if !far {
                     if let Some(d) = u.dst {
-                        lingering.push(d);
+                        lingering[n_linger] = d;
+                        n_linger += 1;
                     }
                     continue;
                 }
             }
             if self.steer(&u) {
-                remove.push(i);
+                remove_mask |= 1 << i;
             } else {
                 // Steering stall: the window cannot advance past this μop.
                 self.steer.record(SteerEvent::StallNonReady);
                 break;
             }
         }
-        for &i in remove.iter().rev() {
-            self.siq.remove(i);
+        for i in (0..window).rev() {
+            if remove_mask & (1 << i) != 0 {
+                self.siq.remove(i);
+            }
         }
-        self.scratch_issued = just_issued;
-        self.scratch_lingering = lingering;
-        self.scratch_remove = remove;
 
         if any_candidate {
             // Each port's prefix-sum sees P-IQ head requests above S-IQ
@@ -764,9 +825,11 @@ impl Scheduler for Ballerino {
 
     fn on_complete(&mut self, dst: PhysReg) {
         self.loc.clear(dst);
+        self.fabric.on_complete(dst);
     }
 
     fn flush_after(&mut self, seq: u64, flushed_dests: &[PhysReg]) {
+        self.fabric.flush_after(seq);
         while self.siq.back().map(|u| u.seq > seq).unwrap_or(false) {
             self.siq.pop_back();
         }
@@ -879,13 +942,21 @@ impl Scheduler for Ballerino {
                     match (q.front(a), q.front(b)) {
                         (Some(ha), Some(hb)) => {
                             // Period-2 alternation: active head first.
-                            (k, Some((state_of(ha), k - k / 2)), Some((state_of(hb), k / 2)))
+                            (
+                                k,
+                                Some((state_of(ha), k - k / 2)),
+                                Some((state_of(hb), k / 2)),
+                            )
                         }
                         (Some(ha), None) => (k, Some((state_of(ha), k)), None),
                         (None, Some(hb)) => {
                             // One Empty observation, then the pointer
                             // leaves the drained partition for good.
-                            (k - 1, Some((HeadState::Empty, 1)), Some((state_of(hb), k - 1)))
+                            (
+                                k - 1,
+                                Some((HeadState::Empty, 1)),
+                                Some((state_of(hb), k - 1)),
+                            )
                         }
                         (None, None) => {
                             debug_assert!(false, "shared P-IQ with both partitions empty");
@@ -947,16 +1018,28 @@ mod tests {
 
     impl Rig {
         fn new(cfg: BallerinoConfig) -> Self {
-            Rig { b: Ballerino::new(cfg), scb: Scoreboard::new(348), held: HeldSet::new() }
+            Rig {
+                b: Ballerino::new(cfg),
+                scb: Scoreboard::new(348),
+                held: HeldSet::new(),
+            }
         }
 
         fn dispatch(&mut self, u: SchedUop) -> DispatchOutcome {
-            let ctx = ReadyCtx { cycle: 0, scb: &self.scb, held: &self.held };
+            let ctx = ReadyCtx {
+                cycle: 0,
+                scb: &self.scb,
+                held: &self.held,
+            };
             self.b.try_dispatch(u, &ctx)
         }
 
         fn issue(&mut self, cycle: u64) -> Vec<u64> {
-            let ctx = ReadyCtx { cycle, scb: &self.scb, held: &self.held };
+            let ctx = ReadyCtx {
+                cycle,
+                scb: &self.scb,
+                held: &self.held,
+            };
             let busy = FuBusy::new();
             let mut pa = PortAlloc::new(8, 8, &busy, cycle);
             let mut out = Vec::new();
@@ -969,7 +1052,10 @@ mod tests {
     fn ready_ops_issue_speculatively_without_piq_allocation() {
         let mut r = Rig::new(BallerinoConfig::eight_wide());
         for i in 0..4 {
-            assert_eq!(r.dispatch(op(i, None, [None, None])), DispatchOutcome::Accepted);
+            assert_eq!(
+                r.dispatch(op(i, None, [None, None])),
+                DispatchOutcome::Accepted
+            );
         }
         let out = r.issue(0);
         assert_eq!(out.len(), 4);
@@ -999,11 +1085,12 @@ mod tests {
         r.scb.allocate(PhysReg(10));
         r.dispatch(op(0, Some(10), [None, None])); // ready producer
         r.dispatch(op(1, Some(11), [Some(10), None])); // consumer
-        // Cycle 0: producer issues; consumer is 1 cycle from ready and
-        // must NOT be steered.
+                                                       // Cycle 0: producer issues; consumer is 1 cycle from ready and
+                                                       // must NOT be steered.
         let out = r.issue(0);
         assert_eq!(out, vec![0]);
         r.scb.set_ready_at(PhysReg(10), 1); // pipeline would do this at issue
+        r.b.on_complete(PhysReg(10)); // ...and deliver this edge at writeback
         assert_eq!(r.b.siq_len(), 1);
         assert_eq!(r.b.piq_len(0), 0);
         // Cycle 1: back-to-back issue from the S-IQ.
@@ -1020,6 +1107,7 @@ mod tests {
         let _ = r.issue(0); // steered to P-IQ 0
         assert_eq!(r.b.piq_len(0), 1);
         r.scb.set_ready_at(PhysReg(10), 40);
+        r.b.on_complete(PhysReg(10));
         let out = r.issue(40);
         assert_eq!(out, vec![1]);
         assert_eq!(r.b.issue_breakdown().from_piq, 1);
@@ -1027,7 +1115,10 @@ mod tests {
 
     #[test]
     fn sharing_activates_when_piqs_exhausted() {
-        let mut r = Rig::new(BallerinoConfig { num_piqs: 2, ..BallerinoConfig::eight_wide() });
+        let mut r = Rig::new(BallerinoConfig {
+            num_piqs: 2,
+            ..BallerinoConfig::eight_wide()
+        });
         for p in 10..20 {
             r.scb.allocate(PhysReg(p));
         }
@@ -1074,12 +1165,18 @@ mod tests {
         r.dispatch(op(1, Some(16), [Some(11), None])); // stalls: no queue
         r.dispatch(op(2, None, [None, None])); // ready, behind the stall
         let out = r.issue(0);
-        assert!(out.is_empty(), "blocked head must not let younger μops issue: {out:?}");
+        assert!(
+            out.is_empty(),
+            "blocked head must not let younger μops issue: {out:?}"
+        );
     }
 
     #[test]
     fn shared_partition_issues_out_of_order_wrt_other_partition() {
-        let mut r = Rig::new(BallerinoConfig { num_piqs: 1, ..BallerinoConfig::eight_wide() });
+        let mut r = Rig::new(BallerinoConfig {
+            num_piqs: 1,
+            ..BallerinoConfig::eight_wide()
+        });
         for p in 10..20 {
             r.scb.allocate(PhysReg(p));
         }
@@ -1089,6 +1186,7 @@ mod tests {
         assert!(r.b.piq_shared(0));
         // Chain B's producer completes first.
         r.scb.set_ready_at(PhysReg(11), 10);
+        r.b.on_complete(PhysReg(11));
         // The active head starts at partition 0 (blocked); with no issue
         // it toggles, so within two cycles partition 1 must issue.
         let mut issued = Vec::new();
@@ -1112,6 +1210,7 @@ mod tests {
         r.dispatch(op(1, Some(16), [Some(11), None]));
         let _ = r.issue(0);
         r.scb.set_ready_at(PhysReg(11), 10);
+        r.b.on_complete(PhysReg(11));
         let out = r.issue(10);
         assert_eq!(out, vec![1], "ideal mode examines both heads every cycle");
     }
@@ -1133,7 +1232,11 @@ mod tests {
         r.held.insert(1); // register-ready but MDP-held
         r.dispatch(ld);
         let _ = r.issue(0);
-        assert_eq!(r.b.piq_len(0), 2, "store and its M-dependent load share P-IQ 0");
+        assert_eq!(
+            r.b.piq_len(0),
+            2,
+            "store and its M-dependent load share P-IQ 0"
+        );
         assert_eq!(r.b.steer_stats().steer_dc, 1);
     }
 
@@ -1152,7 +1255,11 @@ mod tests {
         r.dispatch(ld);
         let _ = r.issue(0);
         assert_eq!(r.b.piq_len(0), 1);
-        assert_eq!(r.b.piq_len(1), 1, "Step 1 wastes a P-IQ on the M-dependent load");
+        assert_eq!(
+            r.b.piq_len(1),
+            1,
+            "Step 1 wastes a P-IQ on the M-dependent load"
+        );
     }
 
     #[test]
@@ -1183,8 +1290,9 @@ mod tests {
         old.port = PortId(5);
         r.dispatch(old);
         let _ = r.issue(0); // steered to P-IQ
-        // Make it ready, then race a younger ready S-IQ μop on the port.
+                            // Make it ready, then race a younger ready S-IQ μop on the port.
         r.scb.set_ready_at(PhysReg(10), 5);
+        r.b.on_complete(PhysReg(10));
         let mut young = op(1, None, [None, None]);
         young.port = PortId(5);
         r.dispatch(young);
@@ -1223,7 +1331,10 @@ mod tests {
         let mut r = Rig::new(BallerinoConfig::eight_wide());
         r.scb.allocate(PhysReg(10));
         for i in 0..8 {
-            assert_eq!(r.dispatch(op(i, None, [Some(10), None])), DispatchOutcome::Accepted);
+            assert_eq!(
+                r.dispatch(op(i, None, [Some(10), None])),
+                DispatchOutcome::Accepted
+            );
         }
         assert_eq!(
             r.dispatch(op(8, None, [Some(10), None])),
@@ -1233,10 +1344,25 @@ mod tests {
 
     #[test]
     fn names_encode_steps() {
-        assert_eq!(Ballerino::new(BallerinoConfig::eight_wide()).name(), "ballerino-8");
-        assert_eq!(Ballerino::new(BallerinoConfig::twelve()).name(), "ballerino-12");
-        assert_eq!(Ballerino::new(BallerinoConfig::step1()).name(), "ballerino-8-step1");
-        assert_eq!(Ballerino::new(BallerinoConfig::step2()).name(), "ballerino-8-step2");
-        assert_eq!(Ballerino::new(BallerinoConfig::step3_ideal()).name(), "ballerino-8-ideal");
+        assert_eq!(
+            Ballerino::new(BallerinoConfig::eight_wide()).name(),
+            "ballerino-8"
+        );
+        assert_eq!(
+            Ballerino::new(BallerinoConfig::twelve()).name(),
+            "ballerino-12"
+        );
+        assert_eq!(
+            Ballerino::new(BallerinoConfig::step1()).name(),
+            "ballerino-8-step1"
+        );
+        assert_eq!(
+            Ballerino::new(BallerinoConfig::step2()).name(),
+            "ballerino-8-step2"
+        );
+        assert_eq!(
+            Ballerino::new(BallerinoConfig::step3_ideal()).name(),
+            "ballerino-8-ideal"
+        );
     }
 }

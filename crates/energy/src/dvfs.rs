@@ -13,13 +13,29 @@ pub struct DvfsLevel {
 
 impl DvfsLevel {
     /// L4: 3.4 GHz @ 1.04 V (nominal).
-    pub const L4: DvfsLevel = DvfsLevel { name: "L4", freq_ghz: 3.4, vdd: 1.04 };
+    pub const L4: DvfsLevel = DvfsLevel {
+        name: "L4",
+        freq_ghz: 3.4,
+        vdd: 1.04,
+    };
     /// L3: 3.2 GHz @ 1.01 V.
-    pub const L3: DvfsLevel = DvfsLevel { name: "L3", freq_ghz: 3.2, vdd: 1.01 };
+    pub const L3: DvfsLevel = DvfsLevel {
+        name: "L3",
+        freq_ghz: 3.2,
+        vdd: 1.01,
+    };
     /// L2: 3.0 GHz @ 0.98 V.
-    pub const L2: DvfsLevel = DvfsLevel { name: "L2", freq_ghz: 3.0, vdd: 0.98 };
+    pub const L2: DvfsLevel = DvfsLevel {
+        name: "L2",
+        freq_ghz: 3.0,
+        vdd: 0.98,
+    };
     /// L1: 2.8 GHz @ 0.96 V.
-    pub const L1: DvfsLevel = DvfsLevel { name: "L1", freq_ghz: 2.8, vdd: 0.96 };
+    pub const L1: DvfsLevel = DvfsLevel {
+        name: "L1",
+        freq_ghz: 2.8,
+        vdd: 0.96,
+    };
 
     /// All levels, fastest first.
     pub const ALL: [DvfsLevel; 4] = [Self::L4, Self::L3, Self::L2, Self::L1];

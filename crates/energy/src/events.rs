@@ -41,7 +41,13 @@ impl FuOpCounts {
 
     /// Total FU operations.
     pub fn total(&self) -> u64 {
-        self.ialu + self.imul + self.idiv + self.fadd + self.fmul + self.fdiv + self.agu
+        self.ialu
+            + self.imul
+            + self.idiv
+            + self.fadd
+            + self.fmul
+            + self.fdiv
+            + self.agu
             + self.branch
     }
 }

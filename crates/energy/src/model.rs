@@ -65,11 +65,17 @@ pub struct EnergyBreakdown {
 impl EnergyBreakdown {
     /// Energy of one component, pJ.
     pub fn get(&self, c: Component) -> f64 {
-        self.vals[COMPONENTS.iter().position(|&x| x == c).expect("component listed")]
+        self.vals[COMPONENTS
+            .iter()
+            .position(|&x| x == c)
+            .expect("component listed")]
     }
 
     fn add(&mut self, c: Component, pj: f64) {
-        self.vals[COMPONENTS.iter().position(|&x| x == c).expect("component listed")] += pj;
+        self.vals[COMPONENTS
+            .iter()
+            .position(|&x| x == c)
+            .expect("component listed")] += pj;
     }
 
     /// Total core energy, pJ.
@@ -155,40 +161,63 @@ impl EnergyModel {
         let f = |n: u64| n as f64;
         let ds = self.level.dyn_scale();
 
-        b.add(Component::L1Cache, ds * (f(ev.l1i_accesses) * E_L1I_ACCESS
-            + f(ev.l1d_accesses) * E_L1D_ACCESS
-            + f(ev.l2_accesses) * E_L2_ACCESS
-            + f(ev.l3_accesses) * E_L3_ACCESS
-            + f(ev.dram_accesses) * E_DRAM_ACCESS));
-        b.add(Component::FetchDecode, ds * (f(ev.fetched_uops) * E_FETCH_UOP
-            + f(ev.decoded_uops) * E_DECODE_UOP
-            + f(ev.bp_lookups) * E_BP_LOOKUP));
-        b.add(Component::Rename, ds * (f(ev.rename_lookups) * E_RAT_LOOKUP
-            + f(ev.rename_writes) * E_RAT_WRITE));
-        b.add(Component::Steer, ds * (f(ev.sched.steer_ops) * E_STEER_OP
-            + f(ev.sched.loc_reads + ev.sched.loc_writes) * E_LOC_ACCESS));
-        b.add(Component::Mdp, ds * (f(ev.mdp_lookups) * E_MDP_LOOKUP
-            + f(ev.mdp_updates) * E_MDP_UPDATE));
-        b.add(Component::Schedule, ds * (f(ev.sched.cam_entries_searched) * E_CAM_ENTRY_SEARCH
-            + f(ev.sched.select_inputs) * E_SELECT_INPUT
-            + f(ev.sched.queue_writes) * E_QUEUE_WRITE
-            + f(ev.sched.queue_reads) * E_QUEUE_READ
-            + f(ev.sched.head_examinations) * E_HEAD_EXAM
-            + f(ev.sched.copies) * E_COPY
-            + f(ev.rob_writes) * E_ROB_WRITE
-            + f(ev.rob_reads) * E_ROB_READ));
-        b.add(Component::Lsq, ds * (f(ev.lsq_searches) * E_LSQ_SEARCH
-            + f(ev.lsq_writes) * E_LSQ_WRITE));
-        b.add(Component::Prf, ds * (f(ev.prf_reads) * E_PRF_READ
-            + f(ev.prf_writes) * E_PRF_WRITE));
-        b.add(Component::Fu, ds * (f(ev.fu.ialu) * E_FU_IALU
-            + f(ev.fu.imul) * E_FU_IMUL
-            + f(ev.fu.idiv) * E_FU_IDIV
-            + f(ev.fu.fadd) * E_FU_FADD
-            + f(ev.fu.fmul) * E_FU_FMUL
-            + f(ev.fu.fdiv) * E_FU_FDIV
-            + f(ev.fu.agu) * E_FU_AGU
-            + f(ev.fu.branch) * E_FU_BR));
+        b.add(
+            Component::L1Cache,
+            ds * (f(ev.l1i_accesses) * E_L1I_ACCESS
+                + f(ev.l1d_accesses) * E_L1D_ACCESS
+                + f(ev.l2_accesses) * E_L2_ACCESS
+                + f(ev.l3_accesses) * E_L3_ACCESS
+                + f(ev.dram_accesses) * E_DRAM_ACCESS),
+        );
+        b.add(
+            Component::FetchDecode,
+            ds * (f(ev.fetched_uops) * E_FETCH_UOP
+                + f(ev.decoded_uops) * E_DECODE_UOP
+                + f(ev.bp_lookups) * E_BP_LOOKUP),
+        );
+        b.add(
+            Component::Rename,
+            ds * (f(ev.rename_lookups) * E_RAT_LOOKUP + f(ev.rename_writes) * E_RAT_WRITE),
+        );
+        b.add(
+            Component::Steer,
+            ds * (f(ev.sched.steer_ops) * E_STEER_OP
+                + f(ev.sched.loc_reads + ev.sched.loc_writes) * E_LOC_ACCESS),
+        );
+        b.add(
+            Component::Mdp,
+            ds * (f(ev.mdp_lookups) * E_MDP_LOOKUP + f(ev.mdp_updates) * E_MDP_UPDATE),
+        );
+        b.add(
+            Component::Schedule,
+            ds * (f(ev.sched.cam_entries_searched) * E_CAM_ENTRY_SEARCH
+                + f(ev.sched.select_inputs) * E_SELECT_INPUT
+                + f(ev.sched.queue_writes) * E_QUEUE_WRITE
+                + f(ev.sched.queue_reads) * E_QUEUE_READ
+                + f(ev.sched.head_examinations) * E_HEAD_EXAM
+                + f(ev.sched.copies) * E_COPY
+                + f(ev.rob_writes) * E_ROB_WRITE
+                + f(ev.rob_reads) * E_ROB_READ),
+        );
+        b.add(
+            Component::Lsq,
+            ds * (f(ev.lsq_searches) * E_LSQ_SEARCH + f(ev.lsq_writes) * E_LSQ_WRITE),
+        );
+        b.add(
+            Component::Prf,
+            ds * (f(ev.prf_reads) * E_PRF_READ + f(ev.prf_writes) * E_PRF_WRITE),
+        );
+        b.add(
+            Component::Fu,
+            ds * (f(ev.fu.ialu) * E_FU_IALU
+                + f(ev.fu.imul) * E_FU_IMUL
+                + f(ev.fu.idiv) * E_FU_IDIV
+                + f(ev.fu.fadd) * E_FU_FADD
+                + f(ev.fu.fmul) * E_FU_FMUL
+                + f(ev.fu.fdiv) * E_FU_FDIV
+                + f(ev.fu.agu) * E_FU_AGU
+                + f(ev.fu.branch) * E_FU_BR),
+        );
 
         // Leakage, integrated over cycles and scaled by voltage.
         let ss = self.level.static_scale();
@@ -205,8 +234,14 @@ impl EnergyModel {
                 + self.sizes.fifo_entries as f64 * L_FIFO_ENTRY
                 + self.sizes.rob_entries as f64 * L_ROB_ENTRY),
         );
-        b.add(Component::Lsq, cyc * self.sizes.lsq_entries as f64 * L_LSQ_ENTRY);
-        b.add(Component::Prf, cyc * self.sizes.prf_entries as f64 * L_PRF_ENTRY);
+        b.add(
+            Component::Lsq,
+            cyc * self.sizes.lsq_entries as f64 * L_LSQ_ENTRY,
+        );
+        b.add(
+            Component::Prf,
+            cyc * self.sizes.prf_entries as f64 * L_PRF_ENTRY,
+        );
         if self.sizes.has_steer {
             b.add(Component::Steer, cyc * L_STEER);
         }
@@ -227,7 +262,11 @@ impl EnergyModel {
     pub fn power_w(&self, ev: &EnergyEvents) -> f64 {
         let energy_j = self.breakdown(ev).total() * 1e-12;
         let time_s = self.level.seconds(ev.cycles);
-        if time_s == 0.0 { 0.0 } else { energy_j / time_s }
+        if time_s == 0.0 {
+            0.0
+        } else {
+            energy_j / time_s
+        }
     }
 }
 
@@ -329,13 +368,24 @@ mod tests {
 
     #[test]
     fn steer_and_mdp_leakage_gated_by_presence() {
-        let ev = EnergyEvents { cycles: 1000, ..Default::default() };
+        let ev = EnergyEvents {
+            cycles: 1000,
+            ..Default::default()
+        };
         let with = EnergyModel::new(
-            StructureSizes { has_steer: true, has_mdp: true, ..StructureSizes::default() },
+            StructureSizes {
+                has_steer: true,
+                has_mdp: true,
+                ..StructureSizes::default()
+            },
             DvfsLevel::L4,
         );
         let without = EnergyModel::new(
-            StructureSizes { has_steer: false, has_mdp: false, ..StructureSizes::default() },
+            StructureSizes {
+                has_steer: false,
+                has_mdp: false,
+                ..StructureSizes::default()
+            },
             DvfsLevel::L4,
         );
         assert!(with.breakdown(&ev).get(Component::Steer) > 0.0);

@@ -33,7 +33,12 @@ impl Btb {
     /// Panics if `sets` is zero.
     pub fn new(sets: usize) -> Self {
         assert!(sets > 0, "BTB needs at least one set");
-        Btb { sets: vec![[BtbEntry::default(); 4]; sets], clock: 0, hits: 0, misses: 0 }
+        Btb {
+            sets: vec![[BtbEntry::default(); 4]; sets],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     fn index(&self, pc: u64) -> (usize, u64) {
@@ -70,7 +75,12 @@ impl Btb {
             .iter_mut()
             .min_by_key(|w| if w.valid { w.lru } else { 0 })
             .expect("4 ways");
-        *victim = BtbEntry { valid: true, tag, target, lru: self.clock };
+        *victim = BtbEntry {
+            valid: true,
+            tag,
+            target,
+            lru: self.clock,
+        };
     }
 }
 

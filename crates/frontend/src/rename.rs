@@ -60,8 +60,14 @@ impl Renamer {
     /// registers.
     pub fn new(int_regs: usize, fp_regs: usize) -> Self {
         let arch_per_class = (NUM_ARCH_REGS / 2) as usize;
-        assert!(int_regs > arch_per_class, "need > {arch_per_class} int phys regs");
-        assert!(fp_regs > arch_per_class, "need > {arch_per_class} fp phys regs");
+        assert!(
+            int_regs > arch_per_class,
+            "need > {arch_per_class} int phys regs"
+        );
+        assert!(
+            fp_regs > arch_per_class,
+            "need > {arch_per_class} fp phys regs"
+        );
 
         let mut rat = Vec::with_capacity(NUM_ARCH_REGS as usize);
         for i in 0..arch_per_class {
@@ -70,11 +76,19 @@ impl Renamer {
         for i in 0..arch_per_class {
             rat.push(PhysReg((int_regs + i) as u32));
         }
-        let free_int = (arch_per_class..int_regs).map(|i| PhysReg(i as u32)).collect();
+        let free_int = (arch_per_class..int_regs)
+            .map(|i| PhysReg(i as u32))
+            .collect();
         let free_fp = ((int_regs + arch_per_class)..(int_regs + fp_regs))
             .map(|i| PhysReg(i as u32))
             .collect();
-        Renamer { rat, free_int, free_fp, int_total: int_regs, fp_total: fp_regs }
+        Renamer {
+            rat,
+            free_int,
+            free_fp,
+            int_total: int_regs,
+            fp_total: fp_regs,
+        }
     }
 
     /// Total physical registers across both classes (scoreboard size).
@@ -129,7 +143,11 @@ impl Renamer {
             }
             None => (None, None),
         };
-        Ok(RenamedOp { srcs, dst, prev_dst })
+        Ok(RenamedOp {
+            srcs,
+            dst,
+            prev_dst,
+        })
     }
 
     /// Rolls back one renamed μop during a squash. **Must** be called in
@@ -175,11 +193,19 @@ mod tests {
     #[test]
     fn rename_eliminates_waw_and_war() {
         let mut r = renamer();
-        let w1 = r.rename(&MicroOp::alu(0, ArchReg::int(1), [None, None])).unwrap();
-        let reader = r
-            .rename(&MicroOp::alu(4, ArchReg::int(2), [Some(ArchReg::int(1)), None]))
+        let w1 = r
+            .rename(&MicroOp::alu(0, ArchReg::int(1), [None, None]))
             .unwrap();
-        let w2 = r.rename(&MicroOp::alu(8, ArchReg::int(1), [None, None])).unwrap();
+        let reader = r
+            .rename(&MicroOp::alu(
+                4,
+                ArchReg::int(2),
+                [Some(ArchReg::int(1)), None],
+            ))
+            .unwrap();
+        let w2 = r
+            .rename(&MicroOp::alu(8, ArchReg::int(1), [None, None]))
+            .unwrap();
         // The reader sees the first writer's tag, not the second's.
         assert_eq!(reader.srcs[0], w1.dst);
         assert_ne!(w1.dst, w2.dst);
@@ -247,10 +273,19 @@ mod tests {
     fn fp_and_int_free_lists_are_independent() {
         let mut r = Renamer::new(33, 40);
         // Exhaust int.
-        let _ = r.rename(&MicroOp::alu(0, ArchReg::int(0), [None, None])).unwrap();
-        assert!(r.rename(&MicroOp::alu(0, ArchReg::int(0), [None, None])).is_err());
+        let _ = r
+            .rename(&MicroOp::alu(0, ArchReg::int(0), [None, None]))
+            .unwrap();
+        assert!(r
+            .rename(&MicroOp::alu(0, ArchReg::int(0), [None, None]))
+            .is_err());
         // FP still renames.
-        let fp = MicroOp::compute(0, ballerino_isa::OpClass::FpAdd, ArchReg::fp(0), [None, None]);
+        let fp = MicroOp::compute(
+            0,
+            ballerino_isa::OpClass::FpAdd,
+            ArchReg::fp(0),
+            [None, None],
+        );
         assert!(r.rename(&fp).is_ok());
     }
 }

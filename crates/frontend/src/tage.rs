@@ -78,7 +78,11 @@ impl Tage {
     }
 
     fn fold(ghr: u32, len: u32, bits: u32) -> u32 {
-        let mask = if len >= 32 { u32::MAX } else { (1u32 << len) - 1 };
+        let mask = if len >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << len) - 1
+        };
         let mut h = ghr & mask;
         let mut folded = 0u32;
         while h != 0 {
@@ -120,7 +124,12 @@ impl Tage {
                 provider = t + 1;
             }
         }
-        TagePrediction { taken: pred, provider, alt_taken: alt, ghr: self.ghr }
+        TagePrediction {
+            taken: pred,
+            provider,
+            alt_taken: alt,
+            ghr: self.ghr,
+        }
     }
 
     /// Updates the predictor with the actual outcome; returns whether the
@@ -183,7 +192,11 @@ impl Tage {
 
     /// Misprediction rate so far.
     pub fn mispredict_rate(&self) -> f64 {
-        if self.lookups == 0 { 0.0 } else { self.mispredicts as f64 / self.lookups as f64 }
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.lookups as f64
+        }
     }
 }
 
@@ -251,7 +264,11 @@ mod tests {
         // Interleave two opposite-biased branches.
         let mut wrong = 0;
         for i in 0..2000u64 {
-            let (pc, taken) = if i % 2 == 0 { (0x1000, true) } else { (0x2000, false) };
+            let (pc, taken) = if i % 2 == 0 {
+                (0x1000, true)
+            } else {
+                (0x2000, false)
+            };
             let p = t.predict(pc);
             if !t.update(pc, p, taken) {
                 wrong += 1;

@@ -11,7 +11,11 @@ fn arb_op(rng: &mut Rng64) -> MicroOp {
     let d = rng.below(32) as u16;
     let s1 = rng.below(32) as u16;
     let s2 = rng.below(32) as u16;
-    MicroOp::alu(0x400, ArchReg::int(d), [Some(ArchReg::int(s1)), Some(ArchReg::int(s2))])
+    MicroOp::alu(
+        0x400,
+        ArchReg::int(d),
+        [Some(ArchReg::int(s1)), Some(ArchReg::int(s2))],
+    )
 }
 
 fn arb_ops(rng: &mut Rng64, max: usize) -> Vec<MicroOp> {

@@ -175,13 +175,27 @@ pub struct MicroOp {
 impl MicroOp {
     /// Builds an integer ALU μop.
     pub fn alu(pc: u64, dst: ArchReg, srcs: [Option<ArchReg>; 2]) -> Self {
-        MicroOp { pc, class: OpClass::IntAlu, srcs, dst: Some(dst), mem: None, branch: None }
+        MicroOp {
+            pc,
+            class: OpClass::IntAlu,
+            srcs,
+            dst: Some(dst),
+            mem: None,
+            branch: None,
+        }
     }
 
     /// Builds a compute μop of an arbitrary class.
     pub fn compute(pc: u64, class: OpClass, dst: ArchReg, srcs: [Option<ArchReg>; 2]) -> Self {
         debug_assert!(!class.is_mem() && class != OpClass::Branch);
-        MicroOp { pc, class, srcs, dst: Some(dst), mem: None, branch: None }
+        MicroOp {
+            pc,
+            class,
+            srcs,
+            dst: Some(dst),
+            mem: None,
+            branch: None,
+        }
     }
 
     /// Builds a load μop: `dst = [base]` at `addr`.
@@ -216,7 +230,11 @@ impl MicroOp {
             srcs: [cond_src, None],
             dst: None,
             mem: None,
-            branch: Some(BranchInfo { kind: BranchKind::Conditional, taken, target }),
+            branch: Some(BranchInfo {
+                kind: BranchKind::Conditional,
+                taken,
+                target,
+            }),
         }
     }
 
@@ -256,7 +274,10 @@ mod tests {
     #[test]
     fn only_divides_are_unpipelined() {
         for c in OpClass::ALL {
-            assert_eq!(c.unpipelined(), matches!(c, OpClass::IntDiv | OpClass::FpDiv));
+            assert_eq!(
+                c.unpipelined(),
+                matches!(c, OpClass::IntDiv | OpClass::FpDiv)
+            );
         }
     }
 

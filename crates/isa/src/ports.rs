@@ -237,8 +237,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "no port can execute")]
     fn map_without_agu_panics() {
-        let _ = PortMap::new(vec![vec![FuKind::IntAlu, FuKind::IntMul, FuKind::IntDiv,
-            FuKind::FpAdd, FuKind::FpMul, FuKind::FpDiv, FuKind::Branch]]);
+        let _ = PortMap::new(vec![vec![
+            FuKind::IntAlu,
+            FuKind::IntMul,
+            FuKind::IntDiv,
+            FuKind::FpAdd,
+            FuKind::FpMul,
+            FuKind::FpDiv,
+            FuKind::Branch,
+        ]]);
     }
 
     #[test]

@@ -58,7 +58,10 @@ impl ArchReg {
     ///
     /// Panics if `idx >= 32`.
     pub fn int(idx: u16) -> Self {
-        assert!(idx < ARCH_REGS_PER_CLASS, "int reg index {idx} out of range");
+        assert!(
+            idx < ARCH_REGS_PER_CLASS,
+            "int reg index {idx} out of range"
+        );
         ArchReg(idx)
     }
 

@@ -19,7 +19,10 @@ pub struct Trace {
 impl Trace {
     /// Creates an empty trace with a name.
     pub fn new(name: impl Into<String>) -> Self {
-        Trace { name: name.into(), ops: Vec::new() }
+        Trace {
+            name: name.into(),
+            ops: Vec::new(),
+        }
     }
 
     /// Number of μops.
@@ -49,7 +52,10 @@ impl Trace {
     /// assert_eq!(s.loads, 1);
     /// ```
     pub fn stats(&self) -> TraceStats {
-        let mut s = TraceStats { total: self.ops.len(), ..TraceStats::default() };
+        let mut s = TraceStats {
+            total: self.ops.len(),
+            ..TraceStats::default()
+        };
         for op in &self.ops {
             match op.class {
                 OpClass::Load => s.loads += 1,
@@ -90,12 +96,20 @@ pub struct TraceStats {
 impl TraceStats {
     /// Fraction of μops that are loads.
     pub fn load_frac(&self) -> f64 {
-        if self.total == 0 { 0.0 } else { self.loads as f64 / self.total as f64 }
+        if self.total == 0 {
+            0.0
+        } else {
+            self.loads as f64 / self.total as f64
+        }
     }
 
     /// Fraction of μops that are branches.
     pub fn branch_frac(&self) -> f64 {
-        if self.total == 0 { 0.0 } else { self.branches as f64 / self.total as f64 }
+        if self.total == 0 {
+            0.0
+        } else {
+            self.branches as f64 / self.total as f64
+        }
     }
 }
 
@@ -107,10 +121,20 @@ mod tests {
     fn sample() -> Trace {
         let mut t = Trace::new("sample");
         t.push(MicroOp::alu(0x0, ArchReg::int(1), [None, None]));
-        t.push(MicroOp::load(0x4, ArchReg::int(2), Some(ArchReg::int(1)), 0x1000));
+        t.push(MicroOp::load(
+            0x4,
+            ArchReg::int(2),
+            Some(ArchReg::int(1)),
+            0x1000,
+        ));
         t.push(MicroOp::store(0x8, Some(ArchReg::int(2)), None, 0x2000));
         t.push(MicroOp::branch(0xc, Some(ArchReg::int(2)), true, 0x0));
-        t.push(MicroOp::compute(0x10, OpClass::FpMul, ArchReg::fp(0), [None, None]));
+        t.push(MicroOp::compute(
+            0x10,
+            OpClass::FpMul,
+            ArchReg::fp(0),
+            [None, None],
+        ));
         t
     }
 

@@ -31,7 +31,11 @@ pub struct ParseTraceError {
 
 impl std::fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -157,7 +161,10 @@ pub fn from_text(text: &str) -> Result<Trace, ParseTraceError> {
     let mut trace = Trace::new("imported");
     for (i, line) in text.lines().enumerate() {
         let lineno = i + 1;
-        let err = |message: String| ParseTraceError { line: lineno, message };
+        let err = |message: String| ParseTraceError {
+            line: lineno,
+            message,
+        };
         let line = line.trim();
         if line.is_empty() {
             continue;
@@ -193,8 +200,7 @@ pub fn from_text(text: &str) -> Result<Trace, ParseTraceError> {
                     .ok_or_else(|| err("load needs a destination".into()))?;
                 let base = parse_reg(next("base")?).map_err(&err)?;
                 let addr = parse_u64(next("addr")?).map_err(&err)?;
-                let size: u8 =
-                    next("size")?.parse().map_err(|_| err("bad size".into()))?;
+                let size: u8 = next("size")?.parse().map_err(|_| err("bad size".into()))?;
                 let mut op = MicroOp::load(pc, dst, base, addr);
                 op.mem = Some(MemInfo { addr, size });
                 trace.push(op);
@@ -204,8 +210,7 @@ pub fn from_text(text: &str) -> Result<Trace, ParseTraceError> {
                 let data = parse_reg(next("data")?).map_err(&err)?;
                 let base = parse_reg(next("base")?).map_err(&err)?;
                 let addr = parse_u64(next("addr")?).map_err(&err)?;
-                let size: u8 =
-                    next("size")?.parse().map_err(|_| err("bad size".into()))?;
+                let size: u8 = next("size")?.parse().map_err(|_| err("bad size".into()))?;
                 let mut op = MicroOp::store(pc, data, base, addr);
                 op.mem = Some(MemInfo { addr, size });
                 trace.push(op);
@@ -220,7 +225,11 @@ pub fn from_text(text: &str) -> Result<Trace, ParseTraceError> {
                 };
                 let target = parse_u64(next("target")?).map_err(&err)?;
                 let mut op = MicroOp::branch(pc, src, taken, target);
-                op.branch = Some(BranchInfo { kind: BranchKind::Conditional, taken, target });
+                op.branch = Some(BranchInfo {
+                    kind: BranchKind::Conditional,
+                    taken,
+                    target,
+                });
                 trace.push(op);
             }
             other => return Err(err(format!("unknown record kind {other:?}"))),
@@ -235,9 +244,23 @@ mod tests {
 
     fn sample() -> Trace {
         let mut t = Trace::new("roundtrip");
-        t.push(MicroOp::alu(0x400, ArchReg::int(1), [Some(ArchReg::int(2)), None]));
-        t.push(MicroOp::compute(0x404, OpClass::FpMul, ArchReg::fp(3), [Some(ArchReg::fp(1)), Some(ArchReg::fp(2))]));
-        t.push(MicroOp::load(0x408, ArchReg::int(4), Some(ArchReg::int(1)), 0x1000));
+        t.push(MicroOp::alu(
+            0x400,
+            ArchReg::int(1),
+            [Some(ArchReg::int(2)), None],
+        ));
+        t.push(MicroOp::compute(
+            0x404,
+            OpClass::FpMul,
+            ArchReg::fp(3),
+            [Some(ArchReg::fp(1)), Some(ArchReg::fp(2))],
+        ));
+        t.push(MicroOp::load(
+            0x408,
+            ArchReg::int(4),
+            Some(ArchReg::int(1)),
+            0x1000,
+        ));
         t.push(MicroOp::store(0x40c, Some(ArchReg::int(4)), None, 0x1008));
         t.push(MicroOp::branch(0x410, Some(ArchReg::int(4)), true, 0x400));
         t
@@ -292,9 +315,18 @@ mod tests {
         let mut t = Trace::new("mix");
         for i in 0..500u64 {
             match i % 4 {
-                0 => t.push(MicroOp::alu(0x400 + i, ArchReg::int((i % 30) as u16), [None, None])),
+                0 => t.push(MicroOp::alu(
+                    0x400 + i,
+                    ArchReg::int((i % 30) as u16),
+                    [None, None],
+                )),
                 1 => t.push(MicroOp::load(0x400 + i, ArchReg::int(1), None, i * 8)),
-                2 => t.push(MicroOp::store(0x400 + i, Some(ArchReg::int(1)), None, i * 8)),
+                2 => t.push(MicroOp::store(
+                    0x400 + i,
+                    Some(ArchReg::int(1)),
+                    None,
+                    i * 8,
+                )),
                 _ => t.push(MicroOp::branch(0x400 + i, None, i % 3 == 0, 0x400)),
             }
         }

@@ -18,7 +18,12 @@ struct Line {
     lru: u64,
 }
 
-const INVALID: Line = Line { tag: 0, valid: false, valid_at: 0, lru: 0 };
+const INVALID: Line = Line {
+    tag: 0,
+    valid: false,
+    valid_at: 0,
+    lru: 0,
+};
 
 /// What a lookup found.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +56,14 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = vec![vec![INVALID; cfg.ways]; cfg.num_sets()];
         let mshrs = MshrFile::new(cfg.mshrs);
-        Cache { cfg, sets, lru_clock: 0, mshrs, hits: 0, misses: 0 }
+        Cache {
+            cfg,
+            sets,
+            lru_clock: 0,
+            mshrs,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// The configuration this cache was built with.
@@ -109,13 +121,22 @@ impl Cache {
             .iter_mut()
             .min_by_key(|w| if w.valid { w.lru } else { 0 })
             .expect("cache set has at least one way");
-        *victim = Line { tag: line, valid: true, valid_at, lru: self.lru_clock };
+        *victim = Line {
+            tag: line,
+            valid: true,
+            valid_at,
+            lru: self.lru_clock,
+        };
     }
 
     /// Demand miss ratio so far.
     pub fn miss_ratio(&self) -> f64 {
         let total = self.hits + self.misses;
-        if total == 0 { 0.0 } else { self.misses as f64 / total as f64 }
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
     }
 }
 
@@ -125,7 +146,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets x 2 ways, latency 4, 4 mshrs
-        Cache::new(CacheConfig { size_bytes: 4 * 64, ways: 2, latency: 4, mshrs: 4 })
+        Cache::new(CacheConfig {
+            size_bytes: 4 * 64,
+            ways: 2,
+            latency: 4,
+            mshrs: 4,
+        })
     }
 
     #[test]

@@ -31,17 +31,32 @@ impl CacheConfig {
 
     /// Table I L1 data/instruction cache: 32 KiB, 8-way, 4-cycle, 8 MSHRs.
     pub fn l1() -> Self {
-        CacheConfig { size_bytes: 32 * 1024, ways: 8, latency: 4, mshrs: 8 }
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 8,
+            latency: 4,
+            mshrs: 8,
+        }
     }
 
     /// Table I L2: 256 KiB, 8-way, 12-cycle, 32 MSHRs.
     pub fn l2() -> Self {
-        CacheConfig { size_bytes: 256 * 1024, ways: 8, latency: 12, mshrs: 32 }
+        CacheConfig {
+            size_bytes: 256 * 1024,
+            ways: 8,
+            latency: 12,
+            mshrs: 32,
+        }
     }
 
     /// Table I L3: 1 MiB, 4-way, 42-cycle, 64 MSHRs.
     pub fn l3() -> Self {
-        CacheConfig { size_bytes: 1024 * 1024, ways: 4, latency: 42, mshrs: 64 }
+        CacheConfig {
+            size_bytes: 1024 * 1024,
+            ways: 4,
+            latency: 42,
+            mshrs: 64,
+        }
     }
 }
 
@@ -70,7 +85,14 @@ impl Default for DramConfig {
     fn default() -> Self {
         // DDR4-2400 behind a 3.4GHz core: tCAS ≈ tRCD ≈ tRP ≈ 13.75ns ≈ 47
         // core cycles; burst of 8 @ 1200MHz ≈ 3.3ns ≈ 11 core cycles.
-        DramConfig { banks: 16, row_bytes: 8192, cas: 47, rcd: 47, rp: 47, burst: 11 }
+        DramConfig {
+            banks: 16,
+            row_bytes: 8192,
+            cas: 47,
+            rcd: 47,
+            rp: 47,
+            burst: 11,
+        }
     }
 }
 
@@ -127,7 +149,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "divide evenly")]
     fn bad_geometry_panics() {
-        let c = CacheConfig { size_bytes: 1024, ways: 3, latency: 1, mshrs: 1 };
+        let c = CacheConfig {
+            size_bytes: 1024,
+            ways: 3,
+            latency: 1,
+            mshrs: 1,
+        };
         let _ = c.num_sets();
     }
 }

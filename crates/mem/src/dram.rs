@@ -36,7 +36,13 @@ impl Dram {
     pub fn new(cfg: DramConfig) -> Self {
         assert!(cfg.banks > 0, "DRAM needs at least one bank");
         let banks = vec![Bank::default(); cfg.banks];
-        Dram { cfg, banks, bus_busy_until: 0, row_hits: 0, row_misses: 0 }
+        Dram {
+            cfg,
+            banks,
+            bus_busy_until: 0,
+            row_hits: 0,
+            row_misses: 0,
+        }
     }
 
     /// The configuration this DRAM was built with.
@@ -94,7 +100,11 @@ impl Dram {
     /// Fraction of accesses that hit an open row.
     pub fn row_hit_ratio(&self) -> f64 {
         let total = self.row_hits + self.row_misses;
-        if total == 0 { 0.0 } else { self.row_hits as f64 / total as f64 }
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
     }
 }
 
@@ -163,6 +173,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one bank")]
     fn zero_banks_panics() {
-        let _ = Dram::new(DramConfig { banks: 0, ..DramConfig::default() });
+        let _ = Dram::new(DramConfig {
+            banks: 0,
+            ..DramConfig::default()
+        });
     }
 }

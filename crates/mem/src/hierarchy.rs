@@ -59,7 +59,11 @@ impl MemStats {
     /// Fraction of demand accesses that left the L1.
     pub fn l1_miss_ratio(&self) -> f64 {
         let t = self.total();
-        if t == 0 { 0.0 } else { (t - self.hits_l1) as f64 / t as f64 }
+        if t == 0 {
+            0.0
+        } else {
+            (t - self.hits_l1) as f64 / t as f64
+        }
     }
 }
 
@@ -237,7 +241,10 @@ mod tests {
     use super::*;
 
     fn small_cfg() -> MemConfig {
-        MemConfig { prefetch: false, ..MemConfig::default() }
+        MemConfig {
+            prefetch: false,
+            ..MemConfig::default()
+        }
     }
 
     #[test]
@@ -285,9 +292,11 @@ mod tests {
 
     #[test]
     fn prefetcher_hides_latency_for_streaming() {
-        let mut cfg = MemConfig::default();
-        cfg.prefetch = true;
-        cfg.prefetch_degree = 4;
+        let cfg = MemConfig {
+            prefetch: true,
+            prefetch_degree: 4,
+            ..MemConfig::default()
+        };
         let mut h = Hierarchy::new(&cfg);
         let mut t = 0;
         let mut total_lat = 0u64;
@@ -304,7 +313,10 @@ mod tests {
             t += 50;
         }
         assert!(h.stats.prefetches > 0, "prefetcher never fired");
-        assert!(late < 16, "prefetcher failed to cover the stream: {late} memory-level misses");
+        assert!(
+            late < 16,
+            "prefetcher failed to cover the stream: {late} memory-level misses"
+        );
         let avg = total_lat / 64;
         assert!(avg < 120, "average latency too high: {avg}");
     }

@@ -75,7 +75,11 @@ pub struct StoreQueue {
 impl StoreQueue {
     /// Creates a store queue with `cap` entries.
     pub fn new(cap: usize) -> Self {
-        StoreQueue { cap, entries: VecDeque::new(), forwards: 0 }
+        StoreQueue {
+            cap,
+            entries: VecDeque::new(),
+            forwards: 0,
+        }
     }
 
     /// Current occupancy.
@@ -101,7 +105,12 @@ impl StoreQueue {
             return false;
         }
         debug_assert!(self.entries.back().map(|e| e.seq < seq).unwrap_or(true));
-        self.entries.push_back(StoreEntry { seq, pc, range: None, issued: false });
+        self.entries.push_back(StoreEntry {
+            seq,
+            pc,
+            range: None,
+            issued: false,
+        });
         true
     }
 
@@ -167,7 +176,11 @@ pub struct LoadQueue {
 impl LoadQueue {
     /// Creates a load queue with `cap` entries.
     pub fn new(cap: usize) -> Self {
-        LoadQueue { cap, entries: VecDeque::new(), violations: 0 }
+        LoadQueue {
+            cap,
+            entries: VecDeque::new(),
+            violations: 0,
+        }
     }
 
     /// Current occupancy.
@@ -270,8 +283,14 @@ mod tests {
         sq.set_addr(1, r(100));
         sq.set_addr(3, r(100));
         sq.set_addr(5, r(200));
-        assert_eq!(sq.forward_source(4, r(100)), Forward::FromStore { store_seq: 3 });
-        assert_eq!(sq.forward_source(2, r(100)), Forward::FromStore { store_seq: 1 });
+        assert_eq!(
+            sq.forward_source(4, r(100)),
+            Forward::FromStore { store_seq: 3 }
+        );
+        assert_eq!(
+            sq.forward_source(2, r(100)),
+            Forward::FromStore { store_seq: 1 }
+        );
         assert_eq!(sq.forward_source(6, r(300)), Forward::FromCache);
         assert_eq!(sq.forwards, 2);
     }
@@ -288,7 +307,7 @@ mod tests {
         let mut lq = LoadQueue::new(8);
         lq.allocate(4, 0x20);
         lq.set_executed(4, r(100), None); // read from cache
-        // Store seq 2 later resolves to the same address → violation.
+                                          // Store seq 2 later resolves to the same address → violation.
         assert_eq!(lq.violation_on_store(2, r(100)), Some((4, 0x20)));
         assert_eq!(lq.violations, 1);
     }

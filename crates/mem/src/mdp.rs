@@ -29,7 +29,10 @@ pub struct MdpConfig {
 
 impl Default for MdpConfig {
     fn default() -> Self {
-        MdpConfig { ssit_entries: 1024, num_ssids: 128 }
+        MdpConfig {
+            ssit_entries: 1024,
+            num_ssids: 128,
+        }
     }
 }
 
@@ -63,10 +66,20 @@ impl Mdp {
     ///
     /// Panics if the configuration has zero entries.
     pub fn new(cfg: MdpConfig) -> Self {
-        assert!(cfg.ssit_entries > 0 && cfg.num_ssids > 0, "MDP tables must be non-empty");
+        assert!(
+            cfg.ssit_entries > 0 && cfg.num_ssids > 0,
+            "MDP tables must be non-empty"
+        );
         let ssit = vec![None; cfg.ssit_entries];
         let lfst = vec![None; cfg.num_ssids];
-        Mdp { cfg, ssit, lfst, next_ssid: 0, trainings: 0, serializations: 0 }
+        Mdp {
+            cfg,
+            ssit,
+            lfst,
+            next_ssid: 0,
+            trainings: 0,
+            serializations: 0,
+        }
     }
 
     /// The configuration.
@@ -88,7 +101,10 @@ impl Mdp {
                 if wait_for.is_some() {
                     self.serializations += 1;
                 }
-                MdpAdvice { ssid: Some(ssid), wait_for }
+                MdpAdvice {
+                    ssid: Some(ssid),
+                    wait_for,
+                }
             }
             None => MdpAdvice::default(),
         }
@@ -106,7 +122,10 @@ impl Mdp {
                     self.serializations += 1;
                 }
                 self.lfst[ssid.0 as usize] = Some(seq);
-                MdpAdvice { ssid: Some(ssid), wait_for: prev }
+                MdpAdvice {
+                    ssid: Some(ssid),
+                    wait_for: prev,
+                }
             }
             None => MdpAdvice::default(),
         }
@@ -205,7 +224,7 @@ mod tests {
         let s1 = m.on_rename_store(0x200, 10);
         let s2 = m.on_rename_store(0x200, 20);
         assert_eq!(s2.wait_for, Some(10)); // store-store serialization
-        // Old store issuing must NOT release the entry (20 owns it now).
+                                           // Old store issuing must NOT release the entry (20 owns it now).
         m.on_store_issued(s1.ssid.unwrap(), 10);
         let l = m.on_rename_load(0x100);
         assert_eq!(l.wait_for, Some(20));
@@ -233,7 +252,10 @@ mod tests {
 
     #[test]
     fn ssid_allocation_wraps_within_capacity() {
-        let mut m = Mdp::new(MdpConfig { ssit_entries: 1024, num_ssids: 4 });
+        let mut m = Mdp::new(MdpConfig {
+            ssit_entries: 1024,
+            num_ssids: 4,
+        });
         for i in 0..10u64 {
             m.on_violation(0x1000 + i * 8, 0x8000 + i * 8);
         }

@@ -41,7 +41,12 @@ impl MshrFile {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be positive");
-        MshrFile { capacity, entries: Vec::new(), merges: 0, stall_cycles: 0 }
+        MshrFile {
+            capacity,
+            entries: Vec::new(),
+            merges: 0,
+            stall_cycles: 0,
+        }
     }
 
     /// Number of live entries at `cycle` (after retiring filled ones).

@@ -33,8 +33,18 @@ impl StridePrefetcher {
     /// Panics if `entries` is zero.
     pub fn new(entries: usize, degree: usize) -> Self {
         assert!(entries > 0, "prefetcher table must have entries");
-        let e = Entry { pc: 0, last_addr: 0, stride: 0, confidence: 0, valid: false };
-        StridePrefetcher { table: vec![e; entries], degree, issued: 0 }
+        let e = Entry {
+            pc: 0,
+            last_addr: 0,
+            stride: 0,
+            confidence: 0,
+            valid: false,
+        };
+        StridePrefetcher {
+            table: vec![e; entries],
+            degree,
+            issued: 0,
+        }
     }
 
     /// Observes a demand access `(pc, addr)` and returns the byte addresses
@@ -43,7 +53,13 @@ impl StridePrefetcher {
         let idx = (pc as usize) % self.table.len();
         let e = &mut self.table[idx];
         if !e.valid || e.pc != pc {
-            *e = Entry { pc, last_addr: addr, stride: 0, confidence: 0, valid: true };
+            *e = Entry {
+                pc,
+                last_addr: addr,
+                stride: 0,
+                confidence: 0,
+                valid: true,
+            };
             return Vec::new();
         }
         let stride = addr as i64 - e.last_addr as i64;

@@ -12,8 +12,7 @@ fn forwarding_matches_bruteforce() {
     for case in 0..512u64 {
         let mut rng = Rng64::new(0x15_0001 + case);
         let n = rng.index(19) + 1;
-        let stores: Vec<(u64, bool)> =
-            (0..n).map(|_| (rng.below(64), rng.chance(0.5))).collect();
+        let stores: Vec<(u64, bool)> = (0..n).map(|_| (rng.below(64), rng.chance(0.5))).collect();
         let load_pos = rng.index(20);
         let load_addr = rng.below(64);
 
@@ -23,12 +22,21 @@ fn forwarding_matches_bruteforce() {
             let seq = (i as u64 + 1) * 2;
             sq.allocate(seq, seq * 4);
             if *known {
-                sq.set_addr(seq, MemRange { addr: *addr * 8, size: 8 });
+                sq.set_addr(
+                    seq,
+                    MemRange {
+                        addr: *addr * 8,
+                        size: 8,
+                    },
+                );
             }
             model.push((seq, *addr * 8, *known));
         }
         let load_seq = (load_pos as u64) * 2 + 1; // odd: between stores
-        let range = MemRange { addr: load_addr * 8, size: 8 };
+        let range = MemRange {
+            addr: load_addr * 8,
+            size: 8,
+        };
         let got = sq.forward_source(load_seq, range);
         let want = model
             .iter()
@@ -50,8 +58,7 @@ fn mshr_capacity_and_merging() {
     for case in 0..512u64 {
         let mut rng = Rng64::new(0x15_0002 + case);
         let n = rng.index(39) + 1;
-        let reqs: Vec<(u64, u64)> =
-            (0..n).map(|_| (rng.below(8), rng.below(49) + 1)).collect();
+        let reqs: Vec<(u64, u64)> = (0..n).map(|_| (rng.below(8), rng.below(49) + 1)).collect();
 
         let cap = 4usize;
         let mut m = MshrFile::new(cap);

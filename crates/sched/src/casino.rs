@@ -8,6 +8,7 @@
 //! operation, charged to the energy model exactly as §VI-D discusses).
 //! The final IQ issues its contiguous ready prefix in program order.
 
+use crate::fabric::{WakeFabric, WakeState};
 use crate::ports::PortAlloc;
 use crate::stats::{IssueBreakdown, SchedEnergyEvents};
 use crate::traits::{DispatchOutcome, ReadyCtx, Scheduler, StallReason};
@@ -45,11 +46,23 @@ impl CasinoConfig {
     pub fn eight_wide() -> Self {
         CasinoConfig {
             siqs: vec![
-                StageConfig { entries: 8, ports: 4 },
-                StageConfig { entries: 40, ports: 4 },
-                StageConfig { entries: 40, ports: 4 },
+                StageConfig {
+                    entries: 8,
+                    ports: 4,
+                },
+                StageConfig {
+                    entries: 40,
+                    ports: 4,
+                },
+                StageConfig {
+                    entries: 40,
+                    ports: 4,
+                },
             ],
-            final_iq: StageConfig { entries: 8, ports: 4 },
+            final_iq: StageConfig {
+                entries: 8,
+                ports: 4,
+            },
         }
     }
 
@@ -57,18 +70,33 @@ impl CasinoConfig {
     pub fn four_wide() -> Self {
         CasinoConfig {
             siqs: vec![
-                StageConfig { entries: 6, ports: 3 },
-                StageConfig { entries: 52, ports: 3 },
+                StageConfig {
+                    entries: 6,
+                    ports: 3,
+                },
+                StageConfig {
+                    entries: 52,
+                    ports: 3,
+                },
             ],
-            final_iq: StageConfig { entries: 6, ports: 3 },
+            final_iq: StageConfig {
+                entries: 6,
+                ports: 3,
+            },
         }
     }
 
     /// Table II, 2-wide: 4-entry S-IQ0, 28-entry IQ (2r2w).
     pub fn two_wide() -> Self {
         CasinoConfig {
-            siqs: vec![StageConfig { entries: 4, ports: 2 }],
-            final_iq: StageConfig { entries: 28, ports: 2 },
+            siqs: vec![StageConfig {
+                entries: 4,
+                ports: 2,
+            }],
+            final_iq: StageConfig {
+                entries: 28,
+                ports: 2,
+            },
         }
     }
 
@@ -82,11 +110,10 @@ impl CasinoConfig {
 #[derive(Debug)]
 pub struct Casino {
     cfg: CasinoConfig,
+    name: String,
     siqs: Vec<VecDeque<SchedUop>>,
     final_iq: VecDeque<SchedUop>,
-    /// Scratch for issued window indices, reused across cycles and
-    /// stages so the per-cycle cascade walk never allocates.
-    scratch_issued: Vec<usize>,
+    fabric: WakeFabric,
     energy: SchedEnergyEvents,
     breakdown: IssueBreakdown,
 }
@@ -94,12 +121,14 @@ pub struct Casino {
 impl Casino {
     /// Builds an empty CASINO cascade.
     pub fn new(cfg: CasinoConfig) -> Self {
-        let siqs = cfg.siqs.iter().map(|_| VecDeque::new()).collect();
+        let siqs: Vec<VecDeque<SchedUop>> = cfg.siqs.iter().map(|_| VecDeque::new()).collect();
+        let name = format!("casino{}", siqs.len());
         Casino {
             cfg,
+            name,
             siqs,
             final_iq: VecDeque::new(),
-            scratch_issued: Vec::new(),
+            fabric: WakeFabric::new(),
             energy: SchedEnergyEvents::default(),
             breakdown: IssueBreakdown::default(),
         }
@@ -126,29 +155,36 @@ impl Casino {
 }
 
 impl Scheduler for Casino {
-    fn name(&self) -> String {
-        format!("casino{}", self.siqs.len())
+    fn name(&self) -> &str {
+        &self.name
     }
 
-    fn try_dispatch(&mut self, uop: SchedUop, _ctx: &ReadyCtx<'_>) -> DispatchOutcome {
+    fn try_dispatch(&mut self, uop: SchedUop, ctx: &ReadyCtx<'_>) -> DispatchOutcome {
         if self.siqs[0].len() >= self.cfg.siqs[0].entries {
             return DispatchOutcome::Stall(StallReason::Full);
         }
         self.energy.queue_writes += 1;
+        self.fabric.insert(&uop, 0, ctx);
         self.siqs[0].push_back(uop);
         DispatchOutcome::Accepted
     }
 
     fn issue(&mut self, ctx: &ReadyCtx<'_>, ports: &mut PortAlloc<'_>, out: &mut Vec<u64>) {
+        self.fabric.poll(ctx);
         // 1. Final in-order IQ: contiguous ready prefix, oldest first.
         let final_window = self.cfg.final_iq.ports;
         for _ in 0..final_window {
-            let Some(head) = self.final_iq.front() else { break };
+            let Some(head) = self.final_iq.front() else {
+                break;
+            };
             self.energy.head_examinations += 1;
-            if !ctx.is_ready(head) || !ports.try_claim(head.port, head.class) {
+            if self.fabric.state(head.seq) != WakeState::Ready
+                || !ports.try_claim(head.port, head.class)
+            {
                 break;
             }
             let u = self.final_iq.pop_front().expect("head");
+            self.fabric.remove(u.seq);
             self.energy.queue_reads += 1;
             self.breakdown.from_inorder += 1;
             out.push(u.seq);
@@ -158,18 +194,25 @@ impl Scheduler for Casino {
         //    moves at most one stage per cycle.
         for i in (0..self.siqs.len()).rev() {
             let window = self.cfg.siqs[i].ports.min(self.siqs[i].len());
-            let mut issued_idx = std::mem::take(&mut self.scratch_issued);
-            issued_idx.clear();
+            // Issued window indices as a bitmask (windows are the S-IQ
+            // port count, well under 64).
+            debug_assert!(window <= 64);
+            let mut issued_mask: u64 = 0;
             for k in 0..window {
                 let u = &self.siqs[i][k];
                 self.energy.head_examinations += 1;
-                if ctx.is_ready(u) && ports.try_claim(u.port, u.class) {
-                    issued_idx.push(k);
+                if self.fabric.state(u.seq) == WakeState::Ready && ports.try_claim(u.port, u.class)
+                {
+                    issued_mask |= 1 << k;
                 }
             }
             // Remove issued (back to front to keep indices valid).
-            for &k in issued_idx.iter().rev() {
+            for k in (0..window).rev() {
+                if issued_mask & (1 << k) == 0 {
+                    continue;
+                }
                 let u = self.siqs[i].remove(k).expect("indexed");
+                self.fabric.remove(u.seq);
                 self.energy.queue_reads += 1;
                 self.breakdown.from_siq += 1;
                 out.push(u.seq);
@@ -177,15 +220,18 @@ impl Scheduler for Casino {
             // Pass the (formerly preceding) non-ready μops to the next
             // queue. Issues and passes share the S-IQ's read ports, so a
             // queue that issued k μops can pass at most ports-k more.
-            let ports_left = self.cfg.siqs[i].ports.saturating_sub(issued_idx.len());
-            self.scratch_issued = issued_idx;
+            let ports_left = self.cfg.siqs[i]
+                .ports
+                .saturating_sub(issued_mask.count_ones() as usize);
             let budget = ports_left.min(self.next_space(i));
             let passes = budget.min(self.siqs[i].len());
             for _ in 0..passes {
                 // Only pass μops that were inside the examined window and
                 // are still non-ready (they sit at the head now).
-                let Some(front) = self.siqs[i].front() else { break };
-                if ctx.is_ready(front) {
+                let Some(front) = self.siqs[i].front() else {
+                    break;
+                };
+                if self.fabric.state(front.seq) == WakeState::Ready {
                     break; // became issuable; keep it for next cycle
                 }
                 let u = self.siqs[i].pop_front().expect("head");
@@ -207,12 +253,19 @@ impl Scheduler for Casino {
         }
     }
 
-    fn on_complete(&mut self, _dst: PhysReg) {}
+    fn on_complete(&mut self, dst: PhysReg) {
+        self.fabric.on_complete(dst);
+    }
 
     fn flush_after(&mut self, seq: u64, _flushed_dests: &[PhysReg]) {
-        for q in self.siqs.iter_mut().chain(std::iter::once(&mut self.final_iq)) {
+        for q in self
+            .siqs
+            .iter_mut()
+            .chain(std::iter::once(&mut self.final_iq))
+        {
             q.retain(|u| u.seq <= seq);
         }
+        self.fabric.flush_after(seq);
     }
 
     fn occupancy(&self) -> usize {
@@ -286,18 +339,26 @@ impl Scheduler for Casino {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::held::HeldSet;
     use crate::ports::FuBusy;
     use crate::scoreboard::Scoreboard;
     use ballerino_isa::PortId;
-    use crate::held::HeldSet;
 
     fn op(seq: u64, port: u8, src: Option<u32>) -> SchedUop {
-        SchedUop { port: PortId(port), srcs: [src.map(PhysReg), None], ..SchedUop::test_op(seq) }
+        SchedUop {
+            port: PortId(port),
+            srcs: [src.map(PhysReg), None],
+            ..SchedUop::test_op(seq)
+        }
     }
 
     fn issue_once(c: &mut Casino, scb: &Scoreboard, cycle: u64) -> Vec<u64> {
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle, scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle,
+            scb,
+            held: &held,
+        };
         let busy = FuBusy::new();
         let mut pa = PortAlloc::new(8, 8, &busy, cycle);
         let mut out = Vec::new();
@@ -310,7 +371,11 @@ mod tests {
         let mut c = Casino::new(CasinoConfig::eight_wide());
         let scb = Scoreboard::new(16);
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         for i in 0..4 {
             c.try_dispatch(op(i, i as u8, None), &ctx);
         }
@@ -325,7 +390,11 @@ mod tests {
         let mut scb = Scoreboard::new(16);
         scb.allocate(PhysReg(1));
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         for i in 0..4 {
             c.try_dispatch(op(i, i as u8, Some(1)), &ctx);
         }
@@ -348,7 +417,11 @@ mod tests {
         scb.allocate(PhysReg(1));
         scb.allocate(PhysReg(2));
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         c.try_dispatch(op(0, 0, Some(1)), &ctx);
         c.try_dispatch(op(1, 1, Some(2)), &ctx);
         // Ripple to final IQ.
@@ -358,10 +431,15 @@ mod tests {
         assert_eq!(c.final_len(), 2);
         // Make the *younger* one ready: in-order final IQ must not issue it.
         scb.set_ready_at(PhysReg(2), 3);
+        c.on_complete(PhysReg(2));
         let out = issue_once(&mut c, &scb, 3);
-        assert!(out.is_empty(), "younger op must wait behind stalled head, got {out:?}");
+        assert!(
+            out.is_empty(),
+            "younger op must wait behind stalled head, got {out:?}"
+        );
         // Now the older becomes ready: both drain in order.
         scb.set_ready_at(PhysReg(1), 4);
+        c.on_complete(PhysReg(1));
         let out = issue_once(&mut c, &scb, 4);
         assert_eq!(out, vec![0, 1]);
     }
@@ -372,11 +450,16 @@ mod tests {
         let mut scb = Scoreboard::new(16);
         scb.allocate(PhysReg(1));
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         c.try_dispatch(op(0, 0, Some(1)), &ctx);
         let _ = issue_once(&mut c, &scb, 0); // moved to S-IQ1
         assert_eq!(c.siq_len(1), 1);
         scb.set_ready_at(PhysReg(1), 1);
+        c.on_complete(PhysReg(1));
         let out = issue_once(&mut c, &scb, 1);
         assert_eq!(out, vec![0]);
         assert_eq!(c.issue_breakdown().from_siq, 1);
@@ -388,7 +471,11 @@ mod tests {
         let mut scb = Scoreboard::new(16);
         scb.allocate(PhysReg(1));
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         c.try_dispatch(op(0, 0, Some(1)), &ctx);
         let _ = issue_once(&mut c, &scb, 0);
         assert_eq!(c.energy_events().copies, 1);
@@ -400,23 +487,43 @@ mod tests {
         let mut scb = Scoreboard::new(16);
         scb.allocate(PhysReg(1));
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         for i in 0..8 {
-            assert_eq!(c.try_dispatch(op(i, 0, Some(1)), &ctx), DispatchOutcome::Accepted);
+            assert_eq!(
+                c.try_dispatch(op(i, 0, Some(1)), &ctx),
+                DispatchOutcome::Accepted
+            );
         }
-        assert_eq!(c.try_dispatch(op(8, 0, Some(1)), &ctx), DispatchOutcome::Stall(StallReason::Full));
+        assert_eq!(
+            c.try_dispatch(op(8, 0, Some(1)), &ctx),
+            DispatchOutcome::Stall(StallReason::Full)
+        );
     }
 
     #[test]
     fn full_final_iq_backpressures_cascade() {
         let mut c = Casino::new(CasinoConfig {
-            siqs: vec![StageConfig { entries: 8, ports: 4 }],
-            final_iq: StageConfig { entries: 2, ports: 4 },
+            siqs: vec![StageConfig {
+                entries: 8,
+                ports: 4,
+            }],
+            final_iq: StageConfig {
+                entries: 2,
+                ports: 4,
+            },
         });
         let mut scb = Scoreboard::new(16);
         scb.allocate(PhysReg(1));
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         for i in 0..6 {
             c.try_dispatch(op(i, 0, Some(1)), &ctx);
         }
@@ -434,7 +541,11 @@ mod tests {
         let mut scb = Scoreboard::new(16);
         scb.allocate(PhysReg(1));
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         for i in 0..4 {
             c.try_dispatch(op(i, 0, Some(1)), &ctx);
         }

@@ -14,6 +14,7 @@
 //! CES in Fig. 13) steers a predicted M-dependent load behind its producer
 //! store, overriding register-dependence steering.
 
+use crate::fabric::{WakeFabric, WakeState};
 use crate::loc::LocTable;
 use crate::ports::PortAlloc;
 use crate::stats::{
@@ -62,9 +63,11 @@ struct LfstSteer {
 #[derive(Debug)]
 pub struct Ces {
     cfg: CesConfig,
+    name: String,
     piqs: Vec<VecDeque<SchedUop>>,
     loc: LocTable,
     lfst_steer: Vec<Option<LfstSteer>>,
+    fabric: WakeFabric,
     energy: SchedEnergyEvents,
     steer: SteerStats,
     heads: HeadStateStats,
@@ -77,11 +80,18 @@ impl Ces {
         let piqs = (0..cfg.num_piqs).map(|_| VecDeque::new()).collect();
         let loc = LocTable::new(cfg.num_phys_regs);
         let lfst_steer = vec![None; cfg.num_ssids];
+        let name = if cfg.mda_steering {
+            format!("ces{}-mda", cfg.num_piqs)
+        } else {
+            format!("ces{}", cfg.num_piqs)
+        };
         Ces {
             cfg,
+            name,
             piqs,
             loc,
             lfst_steer,
+            fabric: WakeFabric::new(),
             energy: SchedEnergyEvents::default(),
             steer: SteerStats::default(),
             heads: HeadStateStats::default(),
@@ -94,11 +104,12 @@ impl Ces {
         self.piqs[i].len()
     }
 
-    fn push_and_track(&mut self, piq: usize, uop: SchedUop) {
+    fn push_and_track(&mut self, piq: usize, uop: SchedUop, ctx: &ReadyCtx<'_>) {
         if let Some(d) = uop.dst {
             self.loc.set_location(d, piq as u16);
         }
         self.energy.queue_writes += 1;
+        self.fabric.insert(&uop, piq as u32, ctx);
         self.piqs[piq].push_back(uop);
     }
 
@@ -119,10 +130,16 @@ impl Ces {
         }
         let k = entry.piq as usize;
         // The producer store must still sit at the tail of that P-IQ.
-        if self.piqs[k].back().map(|b| b.seq == entry.store_seq).unwrap_or(false)
+        if self.piqs[k]
+            .back()
+            .map(|b| b.seq == entry.store_seq)
+            .unwrap_or(false)
             && self.piqs[k].len() < self.cfg.piq_entries
         {
-            self.lfst_steer[ssid.0 as usize].as_mut().expect("checked").reserved = true;
+            self.lfst_steer[ssid.0 as usize]
+                .as_mut()
+                .expect("checked")
+                .reserved = true;
             self.energy.loc_writes += 1;
             Some(k)
         } else {
@@ -167,8 +184,11 @@ impl Ces {
     fn record_store_lfst(&mut self, uop: &SchedUop, piq: usize) {
         if self.cfg.mda_steering && uop.is_store() {
             if let Some(ssid) = uop.ssid {
-                self.lfst_steer[ssid.0 as usize] =
-                    Some(LfstSteer { piq: piq as u16, reserved: false, store_seq: uop.seq });
+                self.lfst_steer[ssid.0 as usize] = Some(LfstSteer {
+                    piq: piq as u16,
+                    reserved: false,
+                    store_seq: uop.seq,
+                });
                 self.energy.loc_writes += 1;
             }
         }
@@ -193,7 +213,10 @@ impl Ces {
             if let Some(entry) = uop.ssid.and_then(|s| self.lfst_steer[s.0 as usize]) {
                 if !entry.reserved {
                     let k = entry.piq as usize;
-                    if self.piqs[k].back().map(|b| b.seq == entry.store_seq).unwrap_or(false)
+                    if self.piqs[k]
+                        .back()
+                        .map(|b| b.seq == entry.store_seq)
+                        .unwrap_or(false)
                         && self.piqs[k].len() < self.cfg.piq_entries
                     {
                         return true;
@@ -216,12 +239,8 @@ impl Ces {
 }
 
 impl Scheduler for Ces {
-    fn name(&self) -> String {
-        if self.cfg.mda_steering {
-            format!("ces{}-mda", self.cfg.num_piqs)
-        } else {
-            format!("ces{}", self.cfg.num_piqs)
-        }
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn try_dispatch(&mut self, uop: SchedUop, ctx: &ReadyCtx<'_>) -> DispatchOutcome {
@@ -232,7 +251,7 @@ impl Scheduler for Ces {
         if let Some(k) = self.mda_target(&uop) {
             self.steer.record(SteerEvent::SteerDc);
             self.record_store_lfst(&uop, k);
-            self.push_and_track(k, uop);
+            self.push_and_track(k, uop, ctx);
             return DispatchOutcome::Accepted;
         }
 
@@ -241,7 +260,7 @@ impl Scheduler for Ces {
             self.reserve_src_of(&uop, k);
             self.steer.record(SteerEvent::SteerDc);
             self.record_store_lfst(&uop, k);
-            self.push_and_track(k, uop);
+            self.push_and_track(k, uop, ctx);
             return DispatchOutcome::Accepted;
         }
 
@@ -253,38 +272,44 @@ impl Scheduler for Ces {
                 SteerEvent::AllocNonReady
             });
             self.record_store_lfst(&uop, k);
-            self.push_and_track(k, uop);
+            self.push_and_track(k, uop, ctx);
             return DispatchOutcome::Accepted;
         }
 
-        self.steer.record(if ready { SteerEvent::StallReady } else { SteerEvent::StallNonReady });
+        self.steer.record(if ready {
+            SteerEvent::StallReady
+        } else {
+            SteerEvent::StallNonReady
+        });
         DispatchOutcome::Stall(StallReason::NoFreeQueue)
     }
 
     fn issue(&mut self, ctx: &ReadyCtx<'_>, ports: &mut PortAlloc<'_>, out: &mut Vec<u64>) {
+        self.fabric.poll(ctx);
         let mut any_candidate = false;
         for i in 0..self.piqs.len() {
             let state = match self.piqs[i].front() {
                 None => HeadState::Empty,
                 Some(head) => {
                     self.energy.head_examinations += 1;
-                    if ctx.is_ready(head) {
-                        any_candidate = true;
-                        if ports.try_claim(head.port, head.class) {
-                            HeadState::Issuing
-                        } else {
-                            HeadState::StallPortConflict
+                    match self.fabric.state(head.seq) {
+                        WakeState::Ready => {
+                            any_candidate = true;
+                            if ports.try_claim(head.port, head.class) {
+                                HeadState::Issuing
+                            } else {
+                                HeadState::StallPortConflict
+                            }
                         }
-                    } else if ctx.is_mdp_blocked(head) {
-                        HeadState::StallMdepLoad
-                    } else {
-                        HeadState::StallNonReady
+                        WakeState::Held => HeadState::StallMdepLoad,
+                        WakeState::Waiting => HeadState::StallNonReady,
                     }
                 }
             };
             self.heads.record(state);
             if state == HeadState::Issuing {
                 let u = self.piqs[i].pop_front().expect("head present");
+                self.fabric.remove(u.seq);
                 self.energy.queue_reads += 1;
                 self.breakdown.from_piq += 1;
                 // A store's issue releases its LFST-steer entry.
@@ -308,6 +333,7 @@ impl Scheduler for Ces {
 
     fn on_complete(&mut self, dst: PhysReg) {
         self.loc.clear(dst);
+        self.fabric.on_complete(dst);
     }
 
     fn flush_after(&mut self, seq: u64, flushed_dests: &[PhysReg]) {
@@ -320,6 +346,7 @@ impl Scheduler for Ces {
                 }
             }
         }
+        self.fabric.flush_after(seq);
         for d in flushed_dests {
             self.loc.clear(*d);
         }
@@ -413,8 +440,11 @@ impl Scheduler for Ces {
                 self.energy.loc_reads += k;
             }
             self.loc.reads += k * p.srcs.iter().flatten().count() as u64;
-            let stall =
-                if ctx.is_ready(p) { SteerEvent::StallReady } else { SteerEvent::StallNonReady };
+            let stall = if ctx.is_ready(p) {
+                SteerEvent::StallReady
+            } else {
+                SteerEvent::StallNonReady
+            };
             self.steer.record_n(stall, k);
         }
     }
@@ -423,11 +453,11 @@ impl Scheduler for Ces {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::held::HeldSet;
     use crate::ports::FuBusy;
     use crate::scoreboard::Scoreboard;
     use ballerino_isa::{OpClass, PortId};
     use ballerino_mem::SsId;
-    use crate::held::HeldSet;
 
     fn op(seq: u64, dst: Option<u32>, srcs: [Option<u32>; 2]) -> SchedUop {
         SchedUop {
@@ -440,7 +470,11 @@ mod tests {
 
     fn issue_once(ces: &mut Ces, scb: &Scoreboard, cycle: u64) -> Vec<u64> {
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle, scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle,
+            scb,
+            held: &held,
+        };
         let busy = FuBusy::new();
         let mut pa = PortAlloc::new(8, 8, &busy, cycle);
         let mut out = Vec::new();
@@ -456,7 +490,11 @@ mod tests {
             scb.allocate(PhysReg(p));
         }
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         // chain: 0 -> 1 -> 2 via regs 10, 11; all non-ready (src 9 missing? no:
         // op0 reads nothing but writes 10, and 10 is allocated → not ready for
         // consumers until complete).
@@ -474,7 +512,11 @@ mod tests {
         let mut scb = Scoreboard::new(348);
         scb.allocate(PhysReg(10));
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         ces.try_dispatch(op(0, Some(10), [None, None]), &ctx);
         ces.try_dispatch(op(1, Some(11), [Some(10), None]), &ctx); // consumer 1
         ces.try_dispatch(op(2, Some(12), [Some(10), None]), &ctx); // split!
@@ -484,12 +526,25 @@ mod tests {
 
     #[test]
     fn ready_ops_allocate_their_own_piqs_until_stall() {
-        let mut ces = Ces::new(CesConfig { num_piqs: 2, ..CesConfig::default() });
+        let mut ces = Ces::new(CesConfig {
+            num_piqs: 2,
+            ..CesConfig::default()
+        });
         let scb = Scoreboard::new(348);
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
-        assert_eq!(ces.try_dispatch(op(0, None, [None, None]), &ctx), DispatchOutcome::Accepted);
-        assert_eq!(ces.try_dispatch(op(1, None, [None, None]), &ctx), DispatchOutcome::Accepted);
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
+        assert_eq!(
+            ces.try_dispatch(op(0, None, [None, None]), &ctx),
+            DispatchOutcome::Accepted
+        );
+        assert_eq!(
+            ces.try_dispatch(op(1, None, [None, None]), &ctx),
+            DispatchOutcome::Accepted
+        );
         assert_eq!(
             ces.try_dispatch(op(2, None, [None, None]), &ctx),
             DispatchOutcome::Stall(StallReason::NoFreeQueue)
@@ -504,26 +559,38 @@ mod tests {
         let mut scb = Scoreboard::new(348);
         scb.allocate(PhysReg(10)); // chain 0 blocked
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         ces.try_dispatch(op(0, Some(11), [Some(10), None]), &ctx); // blocked chain
         ces.try_dispatch(op(1, None, [None, None]), &ctx); // ready chain
         let out = issue_once(&mut ces, &scb, 0);
         assert_eq!(out, vec![1]);
-        // Unblock chain 0.
+        // Unblock chain 0 (writeback edge paired with the scoreboard write).
         scb.set_ready_at(PhysReg(10), 5);
+        ces.on_complete(PhysReg(10));
         let out2 = issue_once(&mut ces, &scb, 5);
         assert_eq!(out2, vec![0]);
     }
 
     #[test]
     fn full_piq_redirects_consumer_to_new_queue() {
-        let mut ces = Ces::new(CesConfig { piq_entries: 2, ..CesConfig::default() });
+        let mut ces = Ces::new(CesConfig {
+            piq_entries: 2,
+            ..CesConfig::default()
+        });
         let mut scb = Scoreboard::new(348);
         for p in 10..16 {
             scb.allocate(PhysReg(p));
         }
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         ces.try_dispatch(op(0, Some(10), [None, None]), &ctx);
         ces.try_dispatch(op(1, Some(11), [Some(10), None]), &ctx);
         // P-IQ 0 now full (2 entries); consumer of 11 must go elsewhere.
@@ -538,24 +605,39 @@ mod tests {
         let mut scb = Scoreboard::new(348);
         scb.allocate(PhysReg(10));
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         ces.try_dispatch(op(0, Some(10), [None, None]), &ctx);
         let _ = issue_once(&mut ces, &scb, 0);
         scb.set_ready_at(PhysReg(10), 1);
         ces.on_complete(PhysReg(10));
         // Consumer arrives after completion: producer not in any P-IQ.
-        let ctx1 = ReadyCtx { cycle: 1, scb: &scb, held: &held };
+        let ctx1 = ReadyCtx {
+            cycle: 1,
+            scb: &scb,
+            held: &held,
+        };
         ces.try_dispatch(op(1, Some(11), [Some(10), None]), &ctx1);
         assert_eq!(ces.steer_stats().alloc_ready, 2); // both allocations
     }
 
     #[test]
     fn mda_steers_load_behind_producer_store() {
-        let mut ces = Ces::new(CesConfig { mda_steering: true, ..CesConfig::default() });
+        let mut ces = Ces::new(CesConfig {
+            mda_steering: true,
+            ..CesConfig::default()
+        });
         let mut scb = Scoreboard::new(348);
         scb.allocate(PhysReg(20));
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         // Store in a chain (non-ready), with ssid 5.
         let mut st = op(0, None, [Some(20), None]);
         st.class = OpClass::Store;
@@ -583,7 +665,11 @@ mod tests {
         let mut scb = Scoreboard::new(348);
         scb.allocate(PhysReg(20));
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         let mut st = op(0, None, [Some(20), None]);
         st.class = OpClass::Store;
         st.ssid = Some(SsId(5));
@@ -598,10 +684,17 @@ mod tests {
 
     #[test]
     fn store_issue_releases_lfst_steer() {
-        let mut ces = Ces::new(CesConfig { mda_steering: true, ..CesConfig::default() });
+        let mut ces = Ces::new(CesConfig {
+            mda_steering: true,
+            ..CesConfig::default()
+        });
         let scb = Scoreboard::new(348);
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         let mut st = op(0, None, [None, None]);
         st.class = OpClass::Store;
         st.ssid = Some(SsId(5));
@@ -615,8 +708,15 @@ mod tests {
         ld.class = OpClass::Load;
         ld.ssid = Some(SsId(5));
         ces.try_dispatch(ld, &ctx);
-        assert_eq!(ces.steer_stats().steer_dc, 0, "stale LFST info must not steer");
-        assert_eq!(ces.steer_stats().alloc_ready + ces.steer_stats().alloc_nonready, 2);
+        assert_eq!(
+            ces.steer_stats().steer_dc,
+            0,
+            "stale LFST info must not steer"
+        );
+        assert_eq!(
+            ces.steer_stats().alloc_ready + ces.steer_stats().alloc_nonready,
+            2
+        );
     }
 
     #[test]
@@ -625,7 +725,11 @@ mod tests {
         let scb = Scoreboard::new(348);
         let mut held = HeldSet::new();
         held.insert(0u64);
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         let mut ld = op(0, Some(30), [None, None]);
         ld.class = OpClass::Load;
         ld.port = PortId(2);
@@ -645,7 +749,11 @@ mod tests {
         scb.allocate(PhysReg(10));
         scb.allocate(PhysReg(11));
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         ces.try_dispatch(op(0, Some(10), [None, None]), &ctx);
         ces.try_dispatch(op(1, Some(11), [Some(10), None]), &ctx);
         ces.flush_after(0, &[PhysReg(11)]);
@@ -663,7 +771,11 @@ mod tests {
         let mut ces = Ces::new(CesConfig::default());
         let scb = Scoreboard::new(348);
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         ces.try_dispatch(op(0, None, [None, None]), &ctx);
         let _ = issue_once(&mut ces, &scb, 0);
         assert_eq!(ces.issue_breakdown().from_piq, 1);

@@ -13,6 +13,7 @@
 //! * **non-ready, critical** μops (dependent on in-flight loads) get the
 //!   real out-of-order IQ.
 
+use crate::fabric::{WakeFabric, WakeState};
 use crate::ooo::{OooIq, OooIqConfig};
 use crate::ports::PortAlloc;
 use crate::stats::{IssueBreakdown, SchedEnergyEvents};
@@ -56,6 +57,10 @@ pub struct Dnb {
     bypass: VecDeque<SchedUop>,
     /// (release cycle, μop)
     delay: VecDeque<(u64, SchedUop)>,
+    /// Wakeup state for the in-order structures (the embedded OoO IQ
+    /// keeps its own fabric; its seqs leave gaps here, which the
+    /// seq-indexed slab tolerates).
+    fabric: WakeFabric,
     energy: SchedEnergyEvents,
     breakdown: IssueBreakdown,
 }
@@ -63,12 +68,16 @@ pub struct Dnb {
 impl Dnb {
     /// Builds an empty DNB scheduler.
     pub fn new(cfg: DnbConfig) -> Self {
-        let ooo = OooIq::new(OooIqConfig { entries: cfg.ooo_entries, oldest_first: false });
+        let ooo = OooIq::new(OooIqConfig {
+            entries: cfg.ooo_entries,
+            oldest_first: false,
+        });
         Dnb {
             cfg,
             ooo,
             bypass: VecDeque::new(),
             delay: VecDeque::new(),
+            fabric: WakeFabric::new(),
             energy: SchedEnergyEvents::default(),
             breakdown: IssueBreakdown::default(),
         }
@@ -81,8 +90,8 @@ impl Dnb {
 }
 
 impl Scheduler for Dnb {
-    fn name(&self) -> String {
-        "dnb".to_string()
+    fn name(&self) -> &str {
+        "dnb"
     }
 
     fn try_dispatch(&mut self, uop: SchedUop, ctx: &ReadyCtx<'_>) -> DispatchOutcome {
@@ -92,6 +101,7 @@ impl Scheduler for Dnb {
                 return DispatchOutcome::Stall(StallReason::Full);
             }
             self.energy.queue_writes += 1;
+            self.fabric.insert(&uop, 0, ctx);
             self.bypass.push_back(uop);
             return DispatchOutcome::Accepted;
         }
@@ -104,7 +114,9 @@ impl Scheduler for Dnb {
             return DispatchOutcome::Stall(StallReason::Full);
         }
         self.energy.queue_writes += 1;
-        self.delay.push_back((ctx.cycle + self.cfg.delay_cycles, uop));
+        self.fabric.insert(&uop, 0, ctx);
+        self.delay
+            .push_back((ctx.cycle + self.cfg.delay_cycles, uop));
         DispatchOutcome::Accepted
     }
 
@@ -112,30 +124,39 @@ impl Scheduler for Dnb {
         // Small OoO IQ has priority (it holds the critical slices).
         self.ooo.issue(ctx, ports, out);
 
+        self.fabric.poll(ctx);
         // In-order structures share a port budget.
         let mut grants = self.cfg.inorder_ports;
         while grants > 0 {
-            let Some(head) = self.bypass.front() else { break };
+            let Some(head) = self.bypass.front() else {
+                break;
+            };
             self.energy.head_examinations += 1;
-            if !ctx.is_ready(head) || !ports.try_claim(head.port, head.class) {
+            if self.fabric.state(head.seq) != WakeState::Ready
+                || !ports.try_claim(head.port, head.class)
+            {
                 break;
             }
             let u = self.bypass.pop_front().expect("head");
+            self.fabric.remove(u.seq);
             self.energy.queue_reads += 1;
             self.breakdown.from_inorder += 1;
             out.push(u.seq);
             grants -= 1;
         }
         while grants > 0 {
-            let Some((release, head)) = self.delay.front() else { break };
+            let Some((release, head)) = self.delay.front() else {
+                break;
+            };
             self.energy.head_examinations += 1;
-            if *release > ctx.cycle || !ctx.is_ready(head) {
+            if *release > ctx.cycle || self.fabric.state(head.seq) != WakeState::Ready {
                 break;
             }
             if !ports.try_claim(head.port, head.class) {
                 break;
             }
             let (_, u) = self.delay.pop_front().expect("head");
+            self.fabric.remove(u.seq);
             self.energy.queue_reads += 1;
             self.breakdown.from_siq += 1; // delay-queue issues
             out.push(u.seq);
@@ -145,6 +166,7 @@ impl Scheduler for Dnb {
 
     fn on_complete(&mut self, dst: PhysReg) {
         self.ooo.on_complete(dst);
+        self.fabric.on_complete(dst);
     }
 
     fn flush_after(&mut self, seq: u64, flushed_dests: &[PhysReg]) {
@@ -155,6 +177,7 @@ impl Scheduler for Dnb {
         while self.delay.back().map(|(_, u)| u.seq > seq).unwrap_or(false) {
             self.delay.pop_back();
         }
+        self.fabric.flush_after(seq);
     }
 
     fn occupancy(&self) -> usize {
@@ -228,18 +251,26 @@ impl Scheduler for Dnb {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::held::HeldSet;
     use crate::ports::FuBusy;
     use crate::scoreboard::Scoreboard;
     use ballerino_isa::{OpClass, PortId};
-    use crate::held::HeldSet;
 
     fn op(seq: u64, port: u8, src: Option<u32>) -> SchedUop {
-        SchedUop { port: PortId(port), srcs: [src.map(PhysReg), None], ..SchedUop::test_op(seq) }
+        SchedUop {
+            port: PortId(port),
+            srcs: [src.map(PhysReg), None],
+            ..SchedUop::test_op(seq)
+        }
     }
 
     fn issue_once(d: &mut Dnb, scb: &Scoreboard, cycle: u64) -> Vec<u64> {
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle, scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle,
+            scb,
+            held: &held,
+        };
         let busy = FuBusy::new();
         let mut pa = PortAlloc::new(8, 8, &busy, cycle);
         let mut out = Vec::new();
@@ -252,7 +283,11 @@ mod tests {
         let mut d = Dnb::new(DnbConfig::default());
         let scb = Scoreboard::new(64);
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         d.try_dispatch(op(1, 0, None), &ctx);
         assert_eq!(d.ooo_len(), 0);
         let out = issue_once(&mut d, &scb, 0);
@@ -266,12 +301,17 @@ mod tests {
         let mut scb = Scoreboard::new(64);
         scb.allocate(PhysReg(10));
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         let mut u = op(1, 0, Some(10));
         u.load_dep = true;
         d.try_dispatch(u, &ctx);
         assert_eq!(d.ooo_len(), 1);
         scb.set_ready_at(PhysReg(10), 30);
+        d.on_complete(PhysReg(10));
         let out = issue_once(&mut d, &scb, 30);
         assert_eq!(out, vec![1]);
         assert_eq!(d.issue_breakdown().from_ooo, 1);
@@ -284,8 +324,13 @@ mod tests {
         scb.allocate(PhysReg(10));
         scb.set_ready_at(PhysReg(10), 1); // short-latency producer
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         d.try_dispatch(op(1, 0, Some(10)), &ctx);
+        d.on_complete(PhysReg(10)); // writeback edge at the producer's ready cycle
         assert_eq!(d.ooo_len(), 0);
         // Not issuable before the fixed delay expires.
         assert!(issue_once(&mut d, &scb, 1).is_empty());
@@ -300,10 +345,17 @@ mod tests {
         scb.allocate(PhysReg(11));
         scb.set_ready_at(PhysReg(11), 1);
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         d.try_dispatch(op(1, 0, Some(10)), &ctx);
         d.try_dispatch(op(2, 1, Some(11)), &ctx);
-        assert!(issue_once(&mut d, &scb, 10).is_empty(), "head blocks the delay queue");
+        assert!(
+            issue_once(&mut d, &scb, 10).is_empty(),
+            "head blocks the delay queue"
+        );
     }
 
     #[test]
@@ -312,7 +364,11 @@ mod tests {
         let mut scb = Scoreboard::new(64);
         scb.allocate(PhysReg(10));
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         let mut ld = op(1, 2, Some(10));
         ld.class = OpClass::Load;
         d.try_dispatch(ld, &ctx);
@@ -327,7 +383,11 @@ mod tests {
         scb.allocate(PhysReg(11));
         scb.set_ready_at(PhysReg(11), 1);
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         d.try_dispatch(op(1, 0, None), &ctx); // bypass
         let mut crit = op(2, 1, Some(10));
         crit.load_dep = true;

@@ -29,7 +29,12 @@ pub struct FxaConfig {
 
 impl Default for FxaConfig {
     fn default() -> Self {
-        FxaConfig { ixu_stages: 3, ixu_width: 4, backend_entries: 48, backend_width: 4 }
+        FxaConfig {
+            ixu_stages: 3,
+            ixu_width: 4,
+            backend_entries: 48,
+            backend_width: 4,
+        }
     }
 }
 
@@ -47,12 +52,25 @@ pub struct Fxa {
 impl Fxa {
     /// Builds an FXA front-end + back-end pair.
     pub fn new(cfg: FxaConfig) -> Self {
-        let backend = OooIq::new(OooIqConfig { entries: cfg.backend_entries, oldest_first: false });
-        Fxa { cfg, backend, ixu_cycle: 0, ixu_used: 0, ixu_issued: 0, energy: SchedEnergyEvents::default() }
+        let backend = OooIq::new(OooIqConfig {
+            entries: cfg.backend_entries,
+            oldest_first: false,
+        });
+        Fxa {
+            cfg,
+            backend,
+            ixu_cycle: 0,
+            ixu_used: 0,
+            ixu_issued: 0,
+            energy: SchedEnergyEvents::default(),
+        }
     }
 
     fn ixu_eligible_class(class: OpClass) -> bool {
-        matches!(class, OpClass::IntAlu | OpClass::Branch | OpClass::Load | OpClass::Store)
+        matches!(
+            class,
+            OpClass::IntAlu | OpClass::Branch | OpClass::Load | OpClass::Store
+        )
     }
 
     /// Whether the μop can execute inside the IXU: operands available by
@@ -82,8 +100,8 @@ impl Fxa {
 }
 
 impl Scheduler for Fxa {
-    fn name(&self) -> String {
-        "fxa".to_string()
+    fn name(&self) -> &str {
+        "fxa"
     }
 
     fn try_dispatch(&mut self, uop: SchedUop, ctx: &ReadyCtx<'_>) -> DispatchOutcome {
@@ -164,10 +182,10 @@ impl Scheduler for Fxa {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::held::HeldSet;
     use crate::ports::FuBusy;
     use crate::scoreboard::Scoreboard;
     use ballerino_isa::PortId;
-    use crate::held::HeldSet;
 
     fn op(seq: u64, class: OpClass, src: Option<u32>) -> SchedUop {
         SchedUop {
@@ -183,7 +201,11 @@ mod tests {
         let mut f = Fxa::new(FxaConfig::default());
         let scb = Scoreboard::new(16);
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         assert_eq!(
             f.try_dispatch(op(0, OpClass::IntAlu, None), &ctx),
             DispatchOutcome::AcceptedIssued
@@ -200,7 +222,11 @@ mod tests {
         scb.allocate(PhysReg(1));
         scb.set_ready_at(PhysReg(1), 1);
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         assert_eq!(
             f.try_dispatch(op(1, OpClass::IntAlu, Some(1)), &ctx),
             DispatchOutcome::AcceptedIssued
@@ -215,7 +241,11 @@ mod tests {
         scb.allocate(PhysReg(1));
         scb.set_ready_at(PhysReg(1), 50);
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         assert_eq!(
             f.try_dispatch(op(1, OpClass::IntAlu, Some(1)), &ctx),
             DispatchOutcome::Accepted
@@ -228,8 +258,15 @@ mod tests {
         let mut f = Fxa::new(FxaConfig::default());
         let scb = Scoreboard::new(16);
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
-        assert_eq!(f.try_dispatch(op(0, OpClass::FpMul, None), &ctx), DispatchOutcome::Accepted);
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
+        assert_eq!(
+            f.try_dispatch(op(0, OpClass::FpMul, None), &ctx),
+            DispatchOutcome::Accepted
+        );
     }
 
     #[test]
@@ -237,7 +274,11 @@ mod tests {
         let mut f = Fxa::new(FxaConfig::default());
         let scb = Scoreboard::new(16);
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         for i in 0..4 {
             assert_eq!(
                 f.try_dispatch(op(i, OpClass::IntAlu, None), &ctx),
@@ -245,9 +286,16 @@ mod tests {
             );
         }
         // Fifth in the same cycle overflows the IXU.
-        assert_eq!(f.try_dispatch(op(4, OpClass::IntAlu, None), &ctx), DispatchOutcome::Accepted);
+        assert_eq!(
+            f.try_dispatch(op(4, OpClass::IntAlu, None), &ctx),
+            DispatchOutcome::Accepted
+        );
         // New cycle: IXU slots recycle.
-        let ctx1 = ReadyCtx { cycle: 1, scb: &scb, held: &held };
+        let ctx1 = ReadyCtx {
+            cycle: 1,
+            scb: &scb,
+            held: &held,
+        };
         assert_eq!(
             f.try_dispatch(op(5, OpClass::IntAlu, None), &ctx1),
             DispatchOutcome::AcceptedIssued
@@ -260,8 +308,15 @@ mod tests {
         let scb = Scoreboard::new(16);
         let mut held = HeldSet::new();
         held.insert(0u64);
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
-        assert_eq!(f.try_dispatch(op(0, OpClass::Load, None), &ctx), DispatchOutcome::Accepted);
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
+        assert_eq!(
+            f.try_dispatch(op(0, OpClass::Load, None), &ctx),
+            DispatchOutcome::Accepted
+        );
     }
 
     #[test]
@@ -271,10 +326,19 @@ mod tests {
         scb.allocate(PhysReg(1));
         scb.set_ready_at(PhysReg(1), 50);
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         f.try_dispatch(op(1, OpClass::IntAlu, Some(1)), &ctx);
+        f.on_complete(PhysReg(1)); // writeback edge the pipeline delivers at ready_at
         let busy = FuBusy::new();
-        let ctx50 = ReadyCtx { cycle: 50, scb: &scb, held: &held };
+        let ctx50 = ReadyCtx {
+            cycle: 50,
+            scb: &scb,
+            held: &held,
+        };
         let mut pa = PortAlloc::new(8, 8, &busy, 50);
         let mut out = Vec::new();
         f.issue(&ctx50, &mut pa, &mut out);

@@ -5,6 +5,7 @@
 //! classic stall-on-use in-order scheduling — the first non-ready μop
 //! blocks everything behind it.
 
+use crate::fabric::{WakeFabric, WakeState};
 use crate::ports::PortAlloc;
 use crate::stats::{IssueBreakdown, SchedEnergyEvents};
 use crate::traits::{DispatchOutcome, ReadyCtx, Scheduler, StallReason};
@@ -23,7 +24,10 @@ pub struct InOrderIqConfig {
 
 impl Default for InOrderIqConfig {
     fn default() -> Self {
-        InOrderIqConfig { entries: 96, read_ports: 8 }
+        InOrderIqConfig {
+            entries: 96,
+            read_ports: 8,
+        }
     }
 }
 
@@ -32,6 +36,7 @@ impl Default for InOrderIqConfig {
 pub struct InOrderIq {
     cfg: InOrderIqConfig,
     q: VecDeque<SchedUop>,
+    fabric: WakeFabric,
     energy: SchedEnergyEvents,
     breakdown: IssueBreakdown,
 }
@@ -39,37 +44,46 @@ pub struct InOrderIq {
 impl InOrderIq {
     /// Builds an empty queue.
     pub fn new(cfg: InOrderIqConfig) -> Self {
-        InOrderIq { cfg, q: VecDeque::new(), energy: SchedEnergyEvents::default(), breakdown: IssueBreakdown::default() }
+        InOrderIq {
+            cfg,
+            q: VecDeque::new(),
+            fabric: WakeFabric::new(),
+            energy: SchedEnergyEvents::default(),
+            breakdown: IssueBreakdown::default(),
+        }
     }
 }
 
 impl Scheduler for InOrderIq {
-    fn name(&self) -> String {
-        "ino".to_string()
+    fn name(&self) -> &str {
+        "ino"
     }
 
-    fn try_dispatch(&mut self, uop: SchedUop, _ctx: &ReadyCtx<'_>) -> DispatchOutcome {
+    fn try_dispatch(&mut self, uop: SchedUop, ctx: &ReadyCtx<'_>) -> DispatchOutcome {
         if self.q.len() >= self.cfg.entries {
             return DispatchOutcome::Stall(StallReason::Full);
         }
         self.energy.queue_writes += 1;
+        self.fabric.insert(&uop, 0, ctx);
         self.q.push_back(uop);
         DispatchOutcome::Accepted
     }
 
     fn issue(&mut self, ctx: &ReadyCtx<'_>, ports: &mut PortAlloc<'_>, out: &mut Vec<u64>) {
+        self.fabric.poll(ctx);
         let window = self.cfg.read_ports.min(self.q.len());
         let mut issued = 0;
         for _ in 0..window {
             let Some(head) = self.q.front() else { break };
             self.energy.head_examinations += 1;
-            if !ctx.is_ready(head) {
+            if self.fabric.state(head.seq) != WakeState::Ready {
                 break; // stall-on-use: in-order issue only
             }
             if !ports.try_claim(head.port, head.class) {
                 break; // port conflict also blocks, order must be kept
             }
             let u = self.q.pop_front().expect("nonempty");
+            self.fabric.remove(u.seq);
             self.energy.queue_reads += 1;
             self.breakdown.from_inorder += 1;
             out.push(u.seq);
@@ -80,7 +94,9 @@ impl Scheduler for InOrderIq {
         }
     }
 
-    fn on_complete(&mut self, _dst: PhysReg) {}
+    fn on_complete(&mut self, dst: PhysReg) {
+        self.fabric.on_complete(dst);
+    }
 
     fn flush_after(&mut self, seq: u64, _flushed_dests: &[PhysReg]) {
         while let Some(back) = self.q.back() {
@@ -90,6 +106,7 @@ impl Scheduler for InOrderIq {
                 break;
             }
         }
+        self.fabric.flush_after(seq);
     }
 
     fn occupancy(&self) -> usize {
@@ -117,7 +134,11 @@ impl Scheduler for InOrderIq {
             Some(head) => {
                 let wake = ctx.wake_cycle(head);
                 // A ready head issues (or fights for a port) right now.
-                if wake <= ctx.cycle { None } else { Some(wake) }
+                if wake <= ctx.cycle {
+                    None
+                } else {
+                    Some(wake)
+                }
             }
         }
     }
@@ -135,17 +156,21 @@ impl Scheduler for InOrderIq {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::held::HeldSet;
     use crate::ports::FuBusy;
     use crate::scoreboard::Scoreboard;
     use ballerino_isa::{OpClass, PortId};
-    use crate::held::HeldSet;
 
     fn ctx<'a>(scb: &'a Scoreboard, held: &'a HeldSet, cycle: u64) -> ReadyCtx<'a> {
         ReadyCtx { cycle, scb, held }
     }
 
     fn op(seq: u64, port: u8, src: Option<PhysReg>) -> SchedUop {
-        SchedUop { port: PortId(port), srcs: [src, None], ..SchedUop::test_op(seq) }
+        SchedUop {
+            port: PortId(port),
+            srcs: [src, None],
+            ..SchedUop::test_op(seq)
+        }
     }
 
     #[test]
@@ -155,7 +180,10 @@ mod tests {
         let held = HeldSet::new();
         let c = ctx(&scb, &held, 0);
         for i in 0..4 {
-            assert_eq!(iq.try_dispatch(op(i, i as u8, None), &c), DispatchOutcome::Accepted);
+            assert_eq!(
+                iq.try_dispatch(op(i, i as u8, None), &c),
+                DispatchOutcome::Accepted
+            );
         }
         let busy = FuBusy::new();
         let mut pa = PortAlloc::new(8, 8, &busy, 0);
@@ -201,12 +229,21 @@ mod tests {
 
     #[test]
     fn capacity_stalls_dispatch() {
-        let mut iq = InOrderIq::new(InOrderIqConfig { entries: 2, read_ports: 2 });
+        let mut iq = InOrderIq::new(InOrderIqConfig {
+            entries: 2,
+            read_ports: 2,
+        });
         let scb = Scoreboard::new(8);
         let held = HeldSet::new();
         let c = ctx(&scb, &held, 0);
-        assert_eq!(iq.try_dispatch(op(0, 0, None), &c), DispatchOutcome::Accepted);
-        assert_eq!(iq.try_dispatch(op(1, 0, None), &c), DispatchOutcome::Accepted);
+        assert_eq!(
+            iq.try_dispatch(op(0, 0, None), &c),
+            DispatchOutcome::Accepted
+        );
+        assert_eq!(
+            iq.try_dispatch(op(1, 0, None), &c),
+            DispatchOutcome::Accepted
+        );
         assert_eq!(
             iq.try_dispatch(op(2, 0, None), &c),
             DispatchOutcome::Stall(StallReason::Full)
@@ -243,7 +280,10 @@ mod tests {
 
     #[test]
     fn issue_width_bounded_by_read_ports() {
-        let mut iq = InOrderIq::new(InOrderIqConfig { entries: 96, read_ports: 2 });
+        let mut iq = InOrderIq::new(InOrderIqConfig {
+            entries: 96,
+            read_ports: 2,
+        });
         let scb = Scoreboard::new(8);
         let held = HeldSet::new();
         let c = ctx(&scb, &held, 0);
@@ -263,7 +303,10 @@ mod tests {
         let scb = Scoreboard::new(8);
         let held = HeldSet::new();
         let c = ctx(&scb, &held, 10);
-        let div = SchedUop { class: OpClass::IntDiv, ..op(0, 0, None) };
+        let div = SchedUop {
+            class: OpClass::IntDiv,
+            ..op(0, 0, None)
+        };
         iq.try_dispatch(div, &c);
         let mut busy = FuBusy::new();
         busy.reserve(PortId(0), OpClass::IntDiv, 30);

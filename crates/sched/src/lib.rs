@@ -33,6 +33,7 @@
 pub mod casino;
 pub mod ces;
 pub mod dnb;
+pub mod fabric;
 pub mod fxa;
 pub mod held;
 pub mod ino;
@@ -48,6 +49,7 @@ pub mod uop;
 pub use casino::{Casino, CasinoConfig};
 pub use ces::{Ces, CesConfig};
 pub use dnb::{Dnb, DnbConfig};
+pub use fabric::{WakeFabric, WakeState};
 pub use fxa::{Fxa, FxaConfig};
 pub use held::HeldSet;
 pub use ino::{InOrderIq, InOrderIqConfig};

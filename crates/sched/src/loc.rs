@@ -32,7 +32,11 @@ pub struct LocTable {
 impl LocTable {
     /// Creates a table for `n` physical registers.
     pub fn new(n: usize) -> Self {
-        LocTable { entries: vec![LocEntry::default(); n], reads: 0, writes: 0 }
+        LocTable {
+            entries: vec![LocEntry::default(); n],
+            reads: 0,
+            writes: 0,
+        }
     }
 
     /// Reads the entry for `p`.
@@ -49,7 +53,10 @@ impl LocTable {
     /// Records that `p`'s producer sits at the tail of P-IQ `iq`.
     pub fn set_location(&mut self, p: PhysReg, iq: u16) {
         self.writes += 1;
-        self.entries[p.index()] = LocEntry { iq_index: Some(iq), reserved: false };
+        self.entries[p.index()] = LocEntry {
+            iq_index: Some(iq),
+            reserved: false,
+        };
     }
 
     /// Marks that a consumer was steered behind `p`'s producer.
@@ -75,7 +82,13 @@ mod tests {
         let p = PhysReg(2);
         assert_eq!(t.get(p), LocEntry::default());
         t.set_location(p, 3);
-        assert_eq!(t.get(p), LocEntry { iq_index: Some(3), reserved: false });
+        assert_eq!(
+            t.get(p),
+            LocEntry {
+                iq_index: Some(3),
+                reserved: false
+            }
+        );
         t.reserve(p);
         assert!(t.get(p).reserved);
         t.clear(p);

@@ -35,7 +35,12 @@ pub struct LscConfig {
 impl Default for LscConfig {
     fn default() -> Self {
         // Split the baseline 96-entry window between the two queues.
-        LscConfig { bypass_entries: 32, main_entries: 64, ist_entries: 1024, ports_per_queue: 4 }
+        LscConfig {
+            bypass_entries: 32,
+            main_entries: 64,
+            ist_entries: 1024,
+            ports_per_queue: 4,
+        }
     }
 }
 
@@ -105,8 +110,8 @@ impl Lsc {
 }
 
 impl Scheduler for Lsc {
-    fn name(&self) -> String {
-        "lsc".to_string()
+    fn name(&self) -> &str {
+        "lsc"
     }
 
     fn try_dispatch(&mut self, uop: SchedUop, _ctx: &ReadyCtx<'_>) -> DispatchOutcome {
@@ -211,10 +216,10 @@ impl Scheduler for Lsc {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::held::HeldSet;
     use crate::ports::FuBusy;
     use crate::scoreboard::Scoreboard;
     use ballerino_isa::{OpClass, PortId};
-    use crate::held::HeldSet;
 
     fn op(seq: u64, pc: u64, class: OpClass, dst: Option<u32>, src: Option<u32>) -> SchedUop {
         SchedUop {
@@ -232,7 +237,11 @@ mod tests {
 
     fn issue_once(l: &mut Lsc, scb: &Scoreboard, cycle: u64) -> Vec<u64> {
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle, scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle,
+            scb,
+            held: &held,
+        };
         let busy = FuBusy::new();
         let mut pa = PortAlloc::new(8, 8, &busy, cycle);
         let mut out = Vec::new();
@@ -245,7 +254,11 @@ mod tests {
         let mut l = Lsc::new(LscConfig::default());
         let scb = Scoreboard::new(64);
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         l.try_dispatch(op(1, 0x400, OpClass::Load, Some(10), None), &ctx);
         assert_eq!(l.bypassed, 1);
     }
@@ -255,7 +268,11 @@ mod tests {
         let mut l = Lsc::new(LscConfig::default());
         let scb = Scoreboard::new(64);
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         // Iteration 1: ALU at 0x400 produces p10; load at 0x404 uses it.
         l.try_dispatch(op(1, 0x400, OpClass::IntAlu, Some(10), None), &ctx);
         assert_eq!(l.bypassed, 0, "first instance not yet known to be a slice");
@@ -272,7 +289,11 @@ mod tests {
         let mut scb = Scoreboard::new(64);
         scb.allocate(PhysReg(20)); // main-queue head depends on this
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         l.try_dispatch(op(1, 0x500, OpClass::IntAlu, Some(21), Some(20)), &ctx); // main, blocked
         l.try_dispatch(op(2, 0x504, OpClass::Load, Some(22), None), &ctx); // bypass, ready
         let out = issue_once(&mut l, &scb, 0);
@@ -285,12 +306,19 @@ mod tests {
         let mut scb = Scoreboard::new(64);
         scb.allocate(PhysReg(20));
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         // Two bypass loads; the first blocked on its base register.
         l.try_dispatch(op(1, 0x500, OpClass::Load, Some(21), Some(20)), &ctx);
         l.try_dispatch(op(2, 0x504, OpClass::Load, Some(22), None), &ctx);
         let out = issue_once(&mut l, &scb, 0);
-        assert!(out.is_empty(), "in-order bypass queue must stall behind its head");
+        assert!(
+            out.is_empty(),
+            "in-order bypass queue must stall behind its head"
+        );
     }
 
     #[test]
@@ -299,7 +327,11 @@ mod tests {
         let mut scb = Scoreboard::new(64);
         scb.allocate(PhysReg(20));
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         l.try_dispatch(op(1, 0x500, OpClass::IntAlu, Some(21), Some(20)), &ctx);
         l.try_dispatch(op(2, 0x504, OpClass::Load, Some(22), Some(20)), &ctx);
         l.try_dispatch(op(3, 0x508, OpClass::Load, Some(23), Some(20)), &ctx);
@@ -309,11 +341,18 @@ mod tests {
 
     #[test]
     fn full_queues_stall_dispatch() {
-        let mut l = Lsc::new(LscConfig { bypass_entries: 1, ..LscConfig::default() });
+        let mut l = Lsc::new(LscConfig {
+            bypass_entries: 1,
+            ..LscConfig::default()
+        });
         let mut scb = Scoreboard::new(64);
         scb.allocate(PhysReg(20));
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         assert_eq!(
             l.try_dispatch(op(1, 0x500, OpClass::Load, Some(21), Some(20)), &ctx),
             DispatchOutcome::Accepted

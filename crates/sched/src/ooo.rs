@@ -5,7 +5,17 @@
 //! prefix-sum select giving priority to the lowest-numbered slot. The
 //! optional *oldest-first* policy (age matrices / compaction, §II-A and
 //! Fig. 11's rightmost bars) grants the oldest ready requester instead.
+//!
+//! Wakeup and select run through the shared [`WakeFabric`]: completions
+//! touch only the consumers of the completing register, and select walks
+//! the fabric's ready set instead of every slot. The modelled hardware
+//! events (CAM broadcast energy, per-entry head examinations) are charged
+//! exactly as before — the *hardware* still broadcasts; only the
+//! simulator stopped scanning. `BALLERINO_BROADCAST_WAKEUP=1` (or
+//! [`OooIq::with_broadcast_wakeup`]) keeps the legacy O(window) scan
+//! decision path for A/B debugging.
 
+use crate::fabric::WakeFabric;
 use crate::ports::PortAlloc;
 use crate::stats::{IssueBreakdown, SchedEnergyEvents};
 use crate::traits::{DispatchOutcome, ReadyCtx, Scheduler, StallReason};
@@ -26,7 +36,10 @@ pub struct OooIqConfig {
 
 impl Default for OooIqConfig {
     fn default() -> Self {
-        OooIqConfig { entries: 96, oldest_first: false }
+        OooIqConfig {
+            entries: 96,
+            oldest_first: false,
+        }
     }
 }
 
@@ -40,16 +53,24 @@ pub struct OooIq {
     /// lowest-numbered free slot (position is the select priority), and
     /// popping a heap beats rescanning the whole slot array.
     free_slots: BinaryHeap<Reverse<usize>>,
-    /// Scratch for granted slot indices, reused across cycles.
-    grant_buf: Vec<usize>,
+    /// Producer-indexed wakeup state; the entry tag is the slot index
+    /// (the select priority).
+    fabric: WakeFabric,
+    /// A/B knob: decide issue/quiesce from the legacy O(window) scan
+    /// instead of the fabric (`BALLERINO_BROADCAST_WAKEUP=1`).
+    broadcast_wakeup: bool,
     reference_select: bool,
     energy: SchedEnergyEvents,
     breakdown: IssueBreakdown,
 }
 
 impl OooIq {
-    /// Builds an empty IQ.
+    /// Builds an empty IQ. Honours the `BALLERINO_BROADCAST_WAKEUP=1`
+    /// environment knob (see [`OooIq::with_broadcast_wakeup`]).
     pub fn new(cfg: OooIqConfig) -> Self {
+        let broadcast_wakeup = std::env::var_os("BALLERINO_BROADCAST_WAKEUP")
+            .map(|v| v == "1")
+            .unwrap_or(false);
         let slots = vec![None; cfg.entries];
         let free_slots = (0..cfg.entries).map(Reverse).collect();
         OooIq {
@@ -57,7 +78,8 @@ impl OooIq {
             slots,
             occupancy: 0,
             free_slots,
-            grant_buf: Vec::new(),
+            fabric: WakeFabric::new(),
+            broadcast_wakeup,
             reference_select: false,
             energy: SchedEnergyEvents::default(),
             breakdown: IssueBreakdown::default(),
@@ -73,11 +95,27 @@ impl OooIq {
         self
     }
 
-    /// Single-pass select: one scan computes the best requester per
-    /// port, then grants flow in the same global priority order the
-    /// seed's rescan loop produced (lowest slot, or oldest when
-    /// configured), so the issued set is identical.
-    fn select_single_pass(&mut self, ctx: &ReadyCtx<'_>, ports: &mut PortAlloc<'_>) -> bool {
+    /// Keeps the legacy broadcast-scan decision path (the fabric is
+    /// still maintained, just not consulted) for A/B debugging. The env
+    /// knob `BALLERINO_BROADCAST_WAKEUP=1` sets the same flag; this
+    /// builder exists so tests can flip it without mutating the
+    /// process environment.
+    pub fn with_broadcast_wakeup(mut self) -> Self {
+        self.broadcast_wakeup = true;
+        self
+    }
+
+    /// Single-pass select over all slots (the legacy A/B path): one scan
+    /// computes the best requester per port, then grants flow in the
+    /// same global priority order the seed's rescan loop produced
+    /// (lowest slot, or oldest when configured), so the issued set is
+    /// identical. Fills `grants` and returns `(any_request, count)`.
+    fn select_single_pass(
+        &self,
+        ctx: &ReadyCtx<'_>,
+        ports: &mut PortAlloc<'_>,
+        grants: &mut [usize; MAX_PORTS],
+    ) -> (bool, usize) {
         let mut any_request = false;
         let mut best_per_port: [Option<usize>; MAX_PORTS] = [None; MAX_PORTS];
         for (i, s) in self.slots.iter().enumerate() {
@@ -108,6 +146,7 @@ impl OooIq {
         // Grant the per-port winners in global priority order until the
         // width budget runs out (ports are independent, so removing one
         // port's winner never changes another port's).
+        let mut n = 0;
         while ports.remaining() > 0 {
             let mut best: Option<usize> = None;
             for cand in best_per_port.iter().flatten() {
@@ -132,14 +171,22 @@ impl OooIq {
             let claimed = ports.try_claim(u.port, u.class);
             debug_assert!(claimed);
             best_per_port[u.port.index()] = None;
-            self.grant_buf.push(i);
+            grants[n] = i;
+            n += 1;
         }
-        any_request
+        (any_request, n)
     }
 
-    /// The seed's select loop: rescan all slots once per grant.
-    fn select_reference(&mut self, ctx: &ReadyCtx<'_>, ports: &mut PortAlloc<'_>) -> bool {
+    /// The seed's select loop: rescan all slots once per grant. Fills
+    /// `grants` and returns `(any_request, count)`.
+    fn select_reference(
+        &self,
+        ctx: &ReadyCtx<'_>,
+        ports: &mut PortAlloc<'_>,
+        grants: &mut [usize; MAX_PORTS],
+    ) -> (bool, usize) {
         let mut any_request = false;
+        let mut n = 0;
         let mut claimed_ports = [false; MAX_PORTS];
         loop {
             let mut best: Option<usize> = None;
@@ -175,24 +222,30 @@ impl OooIq {
             let claimed = ports.try_claim(u.port, u.class);
             debug_assert!(claimed);
             claimed_ports[u.port.index()] = true;
-            self.grant_buf.push(i);
+            grants[n] = i;
+            n += 1;
             if ports.remaining() == 0 {
                 break;
             }
         }
-        any_request
+        (any_request, n)
     }
 }
 
 impl Scheduler for OooIq {
-    fn name(&self) -> String {
-        if self.cfg.oldest_first { "ooo-oldest".to_string() } else { "ooo".to_string() }
+    fn name(&self) -> &str {
+        if self.cfg.oldest_first {
+            "ooo-oldest"
+        } else {
+            "ooo"
+        }
     }
 
-    fn try_dispatch(&mut self, uop: SchedUop, _ctx: &ReadyCtx<'_>) -> DispatchOutcome {
+    fn try_dispatch(&mut self, uop: SchedUop, ctx: &ReadyCtx<'_>) -> DispatchOutcome {
         match self.free_slots.pop() {
             Some(Reverse(i)) => {
                 debug_assert!(self.slots[i].is_none(), "free list out of sync");
+                self.fabric.insert(&uop, i as u32, ctx);
                 self.slots[i] = Some(uop);
                 self.occupancy += 1;
                 self.energy.queue_writes += 1;
@@ -207,40 +260,65 @@ impl Scheduler for OooIq {
             return;
         }
         // The wakeup logic evaluates readiness for every occupied entry
-        // every cycle (here: scoreboard reads).
+        // every cycle — a modelled hardware event, charged whether or
+        // not the simulator performs the scan.
         self.energy.head_examinations += self.occupancy as u64;
 
-        let mut grants = std::mem::take(&mut self.grant_buf);
-        grants.clear();
-        self.grant_buf = grants;
-        let any_request = if self.reference_select {
-            self.select_reference(ctx, ports)
-        } else {
-            self.select_single_pass(ctx, ports)
-        };
+        if self.reference_select || self.broadcast_wakeup {
+            // Legacy level-triggered scan paths (frozen reference and
+            // the A/B knob). The fabric stays maintained so switching
+            // paths mid-run is sound; only the decision source differs.
+            let mut grants = [0usize; MAX_PORTS];
+            let (any_request, n) = if self.reference_select {
+                self.select_reference(ctx, ports, &mut grants)
+            } else {
+                self.select_single_pass(ctx, ports, &mut grants)
+            };
+            if any_request {
+                // Every port's prefix-sum circuit spans all IQ entries
+                // (Fig. 2).
+                self.energy.select_inputs += (self.cfg.entries * MAX_PORTS.min(8)) as u64;
+            }
+            for &i in &grants[..n] {
+                let u = self.slots[i].take().expect("granted slot");
+                self.free_slots.push(Reverse(i));
+                self.occupancy -= 1;
+                self.energy.queue_reads += 1;
+                self.breakdown.from_ooo += 1;
+                self.fabric.remove(u.seq);
+                out.push(u.seq);
+            }
+            return;
+        }
 
+        self.fabric.poll(ctx);
+        let any_request = self.fabric.select(ports, self.cfg.oldest_first);
         if any_request {
             // Every port's prefix-sum circuit spans all IQ entries (Fig. 2).
             self.energy.select_inputs += (self.cfg.entries * MAX_PORTS.min(8)) as u64;
         }
-
-        let mut grants = std::mem::take(&mut self.grant_buf);
-        for &i in &grants {
+        for k in 0..self.fabric.grant_count() {
+            let seq = self.fabric.grant(k);
+            let i = self.fabric.tag_of(seq) as usize;
             let u = self.slots[i].take().expect("granted slot");
+            debug_assert_eq!(u.seq, seq);
             self.free_slots.push(Reverse(i));
             self.occupancy -= 1;
             self.energy.queue_reads += 1;
             self.breakdown.from_ooo += 1;
-            out.push(u.seq);
+            out.push(seq);
+            self.fabric.remove(seq);
         }
-        grants.clear();
-        self.grant_buf = grants;
     }
 
-    fn on_complete(&mut self, _dst: PhysReg) {
-        // Destination tag broadcast across the CAM wakeup array.
+    fn on_complete(&mut self, dst: PhysReg) {
+        // Destination tag broadcast across the CAM wakeup array: the
+        // modelled hardware searches every entry, so the energy charge
+        // spans the whole window even though the fabric only touches the
+        // consumers of `dst`.
         self.energy.cam_broadcasts += 1;
         self.energy.cam_entries_searched += self.cfg.entries as u64;
+        self.fabric.on_complete(dst);
     }
 
     fn flush_after(&mut self, seq: u64, _flushed_dests: &[PhysReg]) {
@@ -251,6 +329,7 @@ impl Scheduler for OooIq {
                 self.occupancy -= 1;
             }
         }
+        self.fabric.flush_after(seq);
     }
 
     fn occupancy(&self) -> usize {
@@ -273,17 +352,21 @@ impl Scheduler for OooIq {
         if pending.is_some() && self.occupancy < self.cfg.entries {
             return None; // dispatch would be accepted this cycle
         }
-        let mut horizon = u64::MAX;
-        for u in self.slots.iter().flatten() {
-            let wake = ctx.wake_cycle(u);
-            if wake <= ctx.cycle {
-                // A ready resident requests select this cycle (even a
-                // port-blocked one: FuBusy frees with time alone).
-                return None;
+        if self.reference_select || self.broadcast_wakeup {
+            // Legacy O(window) quiesce scan (A/B knob path).
+            let mut horizon = u64::MAX;
+            for u in self.slots.iter().flatten() {
+                let wake = ctx.wake_cycle(u);
+                if wake <= ctx.cycle {
+                    // A ready resident requests select this cycle (even a
+                    // port-blocked one: FuBusy frees with time alone).
+                    return None;
+                }
+                horizon = horizon.min(wake);
             }
-            horizon = horizon.min(wake);
+            return Some(horizon);
         }
-        Some(horizon)
+        self.fabric.min_wake(ctx)
     }
 
     fn note_idle_cycles(&mut self, _ctx: &ReadyCtx<'_>, _pending: Option<&SchedUop>, k: u64) {
@@ -296,18 +379,26 @@ impl Scheduler for OooIq {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::held::HeldSet;
     use crate::ports::FuBusy;
     use crate::scoreboard::Scoreboard;
     use ballerino_isa::{OpClass, PortId};
-    use crate::held::HeldSet;
 
     fn op(seq: u64, port: u8, src: Option<PhysReg>) -> SchedUop {
-        SchedUop { port: PortId(port), srcs: [src, None], ..SchedUop::test_op(seq) }
+        SchedUop {
+            port: PortId(port),
+            srcs: [src, None],
+            ..SchedUop::test_op(seq)
+        }
     }
 
     fn issue_once(iq: &mut OooIq, scb: &Scoreboard, cycle: u64) -> Vec<u64> {
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle, scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle,
+            scb,
+            held: &held,
+        };
         let busy = FuBusy::new();
         let mut pa = PortAlloc::new(8, 8, &busy, cycle);
         let mut out = Vec::new();
@@ -321,7 +412,11 @@ mod tests {
         let mut scb = Scoreboard::new(8);
         scb.allocate(PhysReg(1)); // op 0's source never ready
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         iq.try_dispatch(op(0, 0, Some(PhysReg(1))), &ctx);
         iq.try_dispatch(op(1, 1, None), &ctx);
         iq.try_dispatch(op(2, 2, None), &ctx);
@@ -335,7 +430,11 @@ mod tests {
         let mut iq = OooIq::new(OooIqConfig::default());
         let scb = Scoreboard::new(8);
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         iq.try_dispatch(op(0, 3, None), &ctx);
         iq.try_dispatch(op(1, 3, None), &ctx);
         let out = issue_once(&mut iq, &scb, 0);
@@ -346,10 +445,17 @@ mod tests {
 
     #[test]
     fn slot_priority_without_oldest_first() {
-        let mut iq = OooIq::new(OooIqConfig { entries: 4, oldest_first: false });
+        let mut iq = OooIq::new(OooIqConfig {
+            entries: 4,
+            oldest_first: false,
+        });
         let scb = Scoreboard::new(8);
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         // Fill slots 0..3 with seqs 0..3, issue all, then refill slot 0
         // with a *younger* op: slot order, not age, decides priority.
         for i in 0..4 {
@@ -358,17 +464,24 @@ mod tests {
         let _ = issue_once(&mut iq, &scb, 0);
         iq.try_dispatch(op(10, 0, None), &ctx); // goes to slot 0
         iq.try_dispatch(op(4, 0, None), &ctx); // older... wait, 4 < 10
-        // Same port: slot 0 (seq 10) wins over slot 1 (seq 4).
+                                               // Same port: slot 0 (seq 10) wins over slot 1 (seq 4).
         let out = issue_once(&mut iq, &scb, 1);
         assert_eq!(out, vec![10]);
     }
 
     #[test]
     fn oldest_first_grants_by_age() {
-        let mut iq = OooIq::new(OooIqConfig { entries: 4, oldest_first: true });
+        let mut iq = OooIq::new(OooIqConfig {
+            entries: 4,
+            oldest_first: true,
+        });
         let scb = Scoreboard::new(8);
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         for i in 0..4 {
             iq.try_dispatch(op(i, i as u8, None), &ctx);
         }
@@ -381,17 +494,31 @@ mod tests {
 
     #[test]
     fn full_queue_stalls() {
-        let mut iq = OooIq::new(OooIqConfig { entries: 1, oldest_first: false });
+        let mut iq = OooIq::new(OooIqConfig {
+            entries: 1,
+            oldest_first: false,
+        });
         let scb = Scoreboard::new(8);
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         let mut blocked = op(0, 0, Some(PhysReg(1)));
         blocked.srcs = [Some(PhysReg(1)), None];
         let mut scb2 = Scoreboard::new(8);
         scb2.allocate(PhysReg(1));
-        let ctx2 = ReadyCtx { cycle: 0, scb: &scb2, held: &held };
+        let ctx2 = ReadyCtx {
+            cycle: 0,
+            scb: &scb2,
+            held: &held,
+        };
         assert_eq!(iq.try_dispatch(blocked, &ctx2), DispatchOutcome::Accepted);
-        assert_eq!(iq.try_dispatch(op(1, 1, None), &ctx), DispatchOutcome::Stall(StallReason::Full));
+        assert_eq!(
+            iq.try_dispatch(op(1, 1, None), &ctx),
+            DispatchOutcome::Stall(StallReason::Full)
+        );
     }
 
     #[test]
@@ -410,7 +537,11 @@ mod tests {
         let mut scb = Scoreboard::new(8);
         scb.allocate(PhysReg(1));
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         for i in 0..5 {
             iq.try_dispatch(op(i, i as u8, Some(PhysReg(1))), &ctx);
         }
@@ -423,7 +554,11 @@ mod tests {
         let mut iq = OooIq::new(OooIqConfig::default());
         let scb = Scoreboard::new(8);
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
         for i in 0..8 {
             iq.try_dispatch(op(i, i as u8, None), &ctx);
         }
@@ -439,8 +574,15 @@ mod tests {
         let mut iq = OooIq::new(OooIqConfig::default());
         let scb = Scoreboard::new(8);
         let held = HeldSet::new();
-        let ctx = ReadyCtx { cycle: 0, scb: &scb, held: &held };
-        let div = SchedUop { class: OpClass::IntDiv, ..op(0, 0, None) };
+        let ctx = ReadyCtx {
+            cycle: 0,
+            scb: &scb,
+            held: &held,
+        };
+        let div = SchedUop {
+            class: OpClass::IntDiv,
+            ..op(0, 0, None)
+        };
         iq.try_dispatch(div, &ctx);
         let mut busy = FuBusy::new();
         busy.reserve(PortId(0), OpClass::IntDiv, 100);

@@ -21,7 +21,10 @@ impl FuBusy {
             return true;
         }
         let fu = FuKind::for_class(class);
-        self.busy_until.get(&(port.0, fu)).map(|&t| t <= cycle).unwrap_or(true)
+        self.busy_until
+            .get(&(port.0, fu))
+            .map(|&t| t <= cycle)
+            .unwrap_or(true)
     }
 
     /// Reserves the unit for `class` on `port` until `until`.
@@ -39,7 +42,8 @@ impl FuBusy {
 /// additionally gate their port for the duration of the operation.
 #[derive(Debug)]
 pub struct PortAlloc<'a> {
-    free: [bool; MAX_PORTS],
+    /// Bit `i` set ⟺ port `i` is still free this cycle.
+    free_mask: u32,
     fu_busy: &'a FuBusy,
     cycle: u64,
     granted: usize,
@@ -50,24 +54,28 @@ impl<'a> PortAlloc<'a> {
     /// Begins a cycle with all `num_ports` ports free and a total grant
     /// budget of `width` (equal to `num_ports` in every paper config).
     pub fn new(num_ports: usize, width: usize, fu_busy: &'a FuBusy, cycle: u64) -> Self {
-        let mut free = [false; MAX_PORTS];
-        for f in free.iter_mut().take(num_ports) {
-            *f = true;
+        debug_assert!(num_ports <= MAX_PORTS && MAX_PORTS <= 32);
+        let free_mask = ((1u64 << num_ports) - 1) as u32;
+        PortAlloc {
+            free_mask,
+            fu_busy,
+            cycle,
+            granted: 0,
+            width,
         }
-        PortAlloc { free, fu_busy, cycle, granted: 0, width }
     }
 
     /// Whether `port` could be claimed for `class` right now.
     pub fn can_claim(&self, port: PortId, class: OpClass) -> bool {
         self.granted < self.width
-            && self.free[port.index()]
+            && self.free_mask & (1 << port.index()) != 0
             && self.fu_busy.is_free(port, class, self.cycle)
     }
 
     /// Attempts to claim `port` for `class`; returns whether it succeeded.
     pub fn try_claim(&mut self, port: PortId, class: OpClass) -> bool {
         if self.can_claim(port, class) {
-            self.free[port.index()] = false;
+            self.free_mask &= !(1 << port.index());
             self.granted += 1;
             true
         } else {
@@ -129,7 +137,11 @@ impl PortArbiter {
                 *n = (k + 1) as u8;
             }
         }
-        PortArbiter { map, inflight: [0; MAX_PORTS], by_fu }
+        PortArbiter {
+            map,
+            inflight: [0; MAX_PORTS],
+            by_fu,
+        }
     }
 
     /// The underlying port map.

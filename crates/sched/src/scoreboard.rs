@@ -21,7 +21,9 @@ impl Scoreboard {
     /// Creates a scoreboard for `n` physical registers, all ready
     /// (architectural state).
     pub fn new(n: usize) -> Self {
-        Scoreboard { ready_at: vec![0; n] }
+        Scoreboard {
+            ready_at: vec![0; n],
+        }
     }
 
     /// Number of tracked registers.
@@ -68,7 +70,11 @@ impl Scoreboard {
     /// Latest ready cycle across present sources (0 when sourceless,
     /// `u64::MAX` if any is unscheduled).
     pub fn srcs_ready_cycle(&self, srcs: &[Option<PhysReg>; 2]) -> u64 {
-        srcs.iter().flatten().map(|p| self.ready_cycle(*p)).max().unwrap_or(0)
+        srcs.iter()
+            .flatten()
+            .map(|p| self.ready_cycle(*p))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Earliest scheduled wakeup strictly after `cycle`: the minimum

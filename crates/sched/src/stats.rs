@@ -178,7 +178,10 @@ impl HeadStateStats {
 
     /// Total observations.
     pub fn total(&self) -> u64 {
-        self.issuing + self.stall_mdep_load + self.stall_nonready + self.stall_port_conflict
+        self.issuing
+            + self.stall_mdep_load
+            + self.stall_nonready
+            + self.stall_port_conflict
             + self.empty
     }
 }
@@ -233,8 +236,15 @@ mod tests {
 
     #[test]
     fn energy_events_accumulate() {
-        let mut a = SchedEnergyEvents { cam_broadcasts: 1, ..Default::default() };
-        let b = SchedEnergyEvents { cam_broadcasts: 2, queue_writes: 5, ..Default::default() };
+        let mut a = SchedEnergyEvents {
+            cam_broadcasts: 1,
+            ..Default::default()
+        };
+        let b = SchedEnergyEvents {
+            cam_broadcasts: 2,
+            queue_writes: 5,
+            ..Default::default()
+        };
         a.add(&b);
         assert_eq!(a.cam_broadcasts, 3);
         assert_eq!(a.queue_writes, 5);
@@ -242,7 +252,11 @@ mod tests {
 
     #[test]
     fn issue_breakdown_total() {
-        let ib = IssueBreakdown { from_siq: 2, from_piq: 3, ..Default::default() };
+        let ib = IssueBreakdown {
+            from_siq: 2,
+            from_piq: 3,
+            ..Default::default()
+        };
         assert_eq!(ib.total(), 5);
     }
 }

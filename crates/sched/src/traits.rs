@@ -82,7 +82,9 @@ pub enum DispatchOutcome {
 /// Squashes may happen at any point via [`Scheduler::flush_after`].
 pub trait Scheduler {
     /// Short identifier (e.g. `"ooo"`, `"ces"`, `"ballerino-12"`).
-    fn name(&self) -> String;
+    /// Borrowed (static or cached at construction): reporting paths call
+    /// this per row, so it must not allocate.
+    fn name(&self) -> &str;
 
     /// Offers one μop for dispatch.
     fn try_dispatch(&mut self, uop: SchedUop, ctx: &ReadyCtx<'_>) -> DispatchOutcome;
@@ -143,11 +145,7 @@ pub trait Scheduler {
     ///   [`Scheduler::note_idle_cycles`] must replicate exactly.
     /// * Cascaded designs (CASINO, Ballerino) must first drain their
     ///   bounded inter-queue movement before reporting quiescence.
-    fn next_event_cycle(
-        &self,
-        _ctx: &ReadyCtx<'_>,
-        _pending: Option<&SchedUop>,
-    ) -> Option<u64> {
+    fn next_event_cycle(&self, _ctx: &ReadyCtx<'_>, _pending: Option<&SchedUop>) -> Option<u64> {
         None
     }
 
@@ -173,7 +171,11 @@ mod tests {
         let mut held = HeldSet::new();
         held.insert(7u64);
 
-        let ctx = ReadyCtx { cycle: 10, scb: &scb, held: &held };
+        let ctx = ReadyCtx {
+            cycle: 10,
+            scb: &scb,
+            held: &held,
+        };
 
         let mut u = SchedUop::test_op(3);
         u.srcs = [Some(PhysReg(0)), None];

@@ -7,7 +7,7 @@ use crate::config::CoreConfig;
 use crate::slab::SeqSlab;
 use crate::stats::{SimResult, TimingBreakdown, TimingClass};
 use ballerino_energy::{EnergyEvents, StructureSizes};
-use ballerino_frontend::{Btb, Renamer, RenamedOp, Tage};
+use ballerino_frontend::{Btb, RenamedOp, Renamer, Tage};
 use ballerino_isa::{MicroOp, OpClass, Trace};
 use ballerino_mem::lsq::{Forward, MemRange};
 use ballerino_mem::{AccessKind, Hierarchy, LoadQueue, Mdp, MdpConfig, StoreQueue};
@@ -108,7 +108,11 @@ impl Core {
         let hier = Hierarchy::new(&cfg.mem);
         let lq = LoadQueue::new(cfg.lq_entries);
         let sq = StoreQueue::new(cfg.sq_entries);
-        let mdp = if cfg.use_mdp { Some(Mdp::new(MdpConfig::default())) } else { None };
+        let mdp = if cfg.use_mdp {
+            Some(Mdp::new(MdpConfig::default()))
+        } else {
+            None
+        };
         let total_phys = renamer.total_phys();
         let arbiter = PortArbiter::new(cfg.port_map.clone());
         Core {
@@ -285,7 +289,11 @@ impl Core {
         // Scheduler (the most expensive test, so it runs last): `None`
         // means it cannot prove quiescence.
         {
-            let ctx = ReadyCtx { cycle: c0, scb: &self.scb, held: &self.held };
+            let ctx = ReadyCtx {
+                cycle: c0,
+                scb: &self.scb,
+                held: &self.held,
+            };
             match self.sched.next_event_cycle(&ctx, pending_uop.as_ref()) {
                 None => return,
                 Some(t) => {
@@ -307,7 +315,9 @@ impl Core {
             horizon = horizon.min(t);
         }
         debug_assert!(
-            self.scb.min_pending_ready_cycle(c0).map_or(true, |t| t >= horizon),
+            self.scb
+                .min_pending_ready_cycle(c0)
+                .is_none_or(|t| t >= horizon),
             "scoreboard wakeup below the horizon with no covering event"
         );
 
@@ -324,7 +334,11 @@ impl Core {
 
         // Replay the skipped cycles' bookkeeping in closed form.
         {
-            let ctx = ReadyCtx { cycle: c0, scb: &self.scb, held: &self.held };
+            let ctx = ReadyCtx {
+                cycle: c0,
+                scb: &self.scb,
+                held: &self.held,
+            };
             self.sched.note_idle_cycles(&ctx, pending_uop.as_ref(), k);
         }
         match stall {
@@ -355,7 +369,9 @@ impl Core {
                 break;
             }
             self.events.pop();
-            let Some(inf) = self.inflight.get_mut(seq) else { continue };
+            let Some(inf) = self.inflight.get_mut(seq) else {
+                continue;
+            };
             inf.completed = true;
             if let Some(d) = inf.uop.dst {
                 self.energy.prf_writes += 1;
@@ -395,7 +411,9 @@ impl Core {
                 self.sq.release(seq);
                 // The store writes the cache at commit.
                 if let Some(m) = inf.op.mem {
-                    let _ = self.hier.access(m.addr, inf.op.pc, self.cycle, AccessKind::Store);
+                    let _ = self
+                        .hier
+                        .access(m.addr, inf.op.pc, self.cycle, AccessKind::Store);
                 }
             }
             self.timing.record(
@@ -414,7 +432,11 @@ impl Core {
         let mut out = std::mem::take(&mut self.issue_buf);
         out.clear();
         {
-            let ctx = ReadyCtx { cycle: self.cycle, scb: &self.scb, held: &self.held };
+            let ctx = ReadyCtx {
+                cycle: self.cycle,
+                scb: &self.scb,
+                held: &self.held,
+            };
             let mut ports = PortAlloc::new(
                 self.cfg.port_map.num_ports(),
                 self.cfg.issue_width,
@@ -451,13 +473,17 @@ impl Core {
         let completion = match uop.class {
             OpClass::Load => {
                 let m = op.mem.expect("load has mem info");
-                let range = MemRange { addr: m.addr, size: m.size };
+                let range = MemRange {
+                    addr: m.addr,
+                    size: m.size,
+                };
                 self.energy.lsq_searches += 1;
                 let fwd = self.sq.forward_source(seq, range);
                 let done = match fwd {
                     Forward::FromStore { .. } => cycle + 1 + FORWARD_LATENCY,
                     Forward::FromCache => {
-                        let (done, _) = self.hier.access(m.addr, op.pc, cycle + 1, AccessKind::Load);
+                        let (done, _) =
+                            self.hier.access(m.addr, op.pc, cycle + 1, AccessKind::Load);
                         done
                     }
                 };
@@ -471,7 +497,10 @@ impl Core {
             }
             OpClass::Store => {
                 let m = op.mem.expect("store has mem info");
-                let range = MemRange { addr: m.addr, size: m.size };
+                let range = MemRange {
+                    addr: m.addr,
+                    size: m.size,
+                };
                 self.sq.set_addr(seq, range);
                 self.energy.lsq_writes += 1;
                 self.energy.lsq_searches += 1;
@@ -505,13 +534,16 @@ impl Core {
 
         // The violation squash may have flushed this store? Never: the
         // squash point is a *younger* load. The store itself survives.
-        let Some(inf) = self.inflight.get_mut(seq) else { return };
+        let Some(inf) = self.inflight.get_mut(seq) else {
+            return;
+        };
         inf.complete_at = Some(completion);
         inf.ready_cycle = inf
             .ready_cycle
             .max(self.scb.srcs_ready_cycle(&uop.srcs).min(cycle));
         if uop.class.unpipelined() {
-            self.fu_busy.reserve(uop.port, uop.class, cycle + uop.class.exec_latency() as u64);
+            self.fu_busy
+                .reserve(uop.port, uop.class, cycle + uop.class.exec_latency() as u64);
         }
         if let Some(d) = uop.dst {
             self.scb.set_ready_at(d, completion);
@@ -534,7 +566,9 @@ impl Core {
                     None => continue,
                 }
             }
-            let Some(&(trace_idx, decode_cycle, mispred)) = self.alloc_q.front() else { return };
+            let Some(&(trace_idx, decode_cycle, mispred)) = self.alloc_q.front() else {
+                return;
+            };
             if decode_cycle + self.cfg.rename_latency > self.cycle {
                 return;
             }
@@ -557,13 +591,10 @@ impl Core {
                 return; // out of physical registers; retry next cycle
             };
             self.alloc_q.pop_front();
-            match self.offer(prepared) {
-                Some(p) => {
-                    self.pending = Some(p);
-                    self.dispatch_stalls += 1;
-                    return;
-                }
-                None => {}
+            if let Some(p) = self.offer(prepared) {
+                self.pending = Some(p);
+                self.dispatch_stalls += 1;
+                return;
             }
         }
     }
@@ -624,9 +655,18 @@ impl Core {
         } else {
             let tainted = renamed.srcs.iter().flatten().any(|s| {
                 let lseq = self.taint[s.raw() as usize];
-                lseq != 0 && self.inflight.get(lseq).map(|i| !i.completed).unwrap_or(false)
+                lseq != 0
+                    && self
+                        .inflight
+                        .get(lseq)
+                        .map(|i| !i.completed)
+                        .unwrap_or(false)
             });
-            if tainted { TimingClass::LdC } else { TimingClass::Rst }
+            if tainted {
+                TimingClass::LdC
+            } else {
+                TimingClass::Rst
+            }
         };
         if let Some(d) = renamed.dst {
             if op.is_load() {
@@ -679,7 +719,11 @@ impl Core {
     /// Offers a prepared μop to the scheduler; returns it back on stall.
     fn offer(&mut self, p: Prepared) -> Option<Prepared> {
         let outcome = {
-            let ctx = ReadyCtx { cycle: self.cycle, scb: &self.scb, held: &self.held };
+            let ctx = ReadyCtx {
+                cycle: self.cycle,
+                scb: &self.scb,
+                held: &self.held,
+            };
             self.sched.try_dispatch(p.uop, &ctx)
         };
         match outcome {
@@ -743,7 +787,8 @@ impl Core {
                     self.mispredicts += 1;
                 }
             }
-            self.alloc_q.push_back((self.fetch_idx, self.cycle, mispred));
+            self.alloc_q
+                .push_back((self.fetch_idx, self.cycle, mispred));
             self.energy.fetched_uops += 1;
             self.energy.decoded_uops += 1;
             self.fetch_idx += 1;
@@ -834,7 +879,7 @@ impl Core {
         self.energy.dram_accesses = self.hier.dram.row_hits + self.hier.dram.row_misses;
 
         SimResult {
-            scheduler: self.sched.name(),
+            scheduler: self.sched.name().to_string(),
             workload: trace.name.clone(),
             cycles: self.cycle,
             committed: self.committed,

@@ -24,7 +24,7 @@
 use crate::config::CoreConfig;
 use crate::stats::{SimResult, TimingBreakdown, TimingClass};
 use ballerino_energy::{EnergyEvents, StructureSizes};
-use ballerino_frontend::{Btb, Renamer, RenamedOp, Tage};
+use ballerino_frontend::{Btb, RenamedOp, Renamer, Tage};
 use ballerino_isa::{MicroOp, OpClass, Trace};
 use ballerino_mem::lsq::{Forward, MemRange};
 use ballerino_mem::{AccessKind, Hierarchy, LoadQueue, Mdp, MdpConfig, StoreQueue};
@@ -112,7 +112,11 @@ impl CoreRef {
         let hier = Hierarchy::new(&cfg.mem);
         let lq = LoadQueue::new(cfg.lq_entries);
         let sq = StoreQueue::new(cfg.sq_entries);
-        let mdp = if cfg.use_mdp { Some(Mdp::new(MdpConfig::default())) } else { None };
+        let mdp = if cfg.use_mdp {
+            Some(Mdp::new(MdpConfig::default()))
+        } else {
+            None
+        };
         let arbiter = PortArbiter::new(cfg.port_map.clone());
         CoreRef {
             cfg,
@@ -203,7 +207,9 @@ impl CoreRef {
                 break;
             }
             self.events.pop();
-            let Some(inf) = self.inflight.get_mut(&seq) else { continue };
+            let Some(inf) = self.inflight.get_mut(&seq) else {
+                continue;
+            };
             inf.completed = true;
             if let Some(d) = inf.uop.dst {
                 self.energy.prf_writes += 1;
@@ -243,7 +249,9 @@ impl CoreRef {
                 self.sq.release(seq);
                 // The store writes the cache at commit.
                 if let Some(m) = inf.op.mem {
-                    let _ = self.hier.access(m.addr, inf.op.pc, self.cycle, AccessKind::Store);
+                    let _ = self
+                        .hier
+                        .access(m.addr, inf.op.pc, self.cycle, AccessKind::Store);
                 }
             }
             self.timing.record(
@@ -261,7 +269,11 @@ impl CoreRef {
     fn issue_stage(&mut self) {
         let mut out = Vec::new();
         {
-            let ctx = ReadyCtx { cycle: self.cycle, scb: &self.scb, held: &self.held };
+            let ctx = ReadyCtx {
+                cycle: self.cycle,
+                scb: &self.scb,
+                held: &self.held,
+            };
             let mut ports = PortAlloc::new(
                 self.cfg.port_map.num_ports(),
                 self.cfg.issue_width,
@@ -297,13 +309,17 @@ impl CoreRef {
         let completion = match uop.class {
             OpClass::Load => {
                 let m = op.mem.expect("load has mem info");
-                let range = MemRange { addr: m.addr, size: m.size };
+                let range = MemRange {
+                    addr: m.addr,
+                    size: m.size,
+                };
                 self.energy.lsq_searches += 1;
                 let fwd = self.sq.forward_source(seq, range);
                 let done = match fwd {
                     Forward::FromStore { .. } => cycle + 1 + FORWARD_LATENCY,
                     Forward::FromCache => {
-                        let (done, _) = self.hier.access(m.addr, op.pc, cycle + 1, AccessKind::Load);
+                        let (done, _) =
+                            self.hier.access(m.addr, op.pc, cycle + 1, AccessKind::Load);
                         done
                     }
                 };
@@ -317,7 +333,10 @@ impl CoreRef {
             }
             OpClass::Store => {
                 let m = op.mem.expect("store has mem info");
-                let range = MemRange { addr: m.addr, size: m.size };
+                let range = MemRange {
+                    addr: m.addr,
+                    size: m.size,
+                };
                 self.sq.set_addr(seq, range);
                 self.energy.lsq_writes += 1;
                 self.energy.lsq_searches += 1;
@@ -348,13 +367,16 @@ impl CoreRef {
 
         // The violation squash may have flushed this store? Never: the
         // squash point is a *younger* load. The store itself survives.
-        let Some(inf) = self.inflight.get_mut(&seq) else { return };
+        let Some(inf) = self.inflight.get_mut(&seq) else {
+            return;
+        };
         inf.complete_at = Some(completion);
         inf.ready_cycle = inf
             .ready_cycle
             .max(self.scb.srcs_ready_cycle(&uop.srcs).min(cycle));
         if uop.class.unpipelined() {
-            self.fu_busy.reserve(uop.port, uop.class, cycle + uop.class.exec_latency() as u64);
+            self.fu_busy
+                .reserve(uop.port, uop.class, cycle + uop.class.exec_latency() as u64);
         }
         if let Some(d) = uop.dst {
             self.scb.set_ready_at(d, completion);
@@ -377,7 +399,9 @@ impl CoreRef {
                     None => continue,
                 }
             }
-            let Some(&(trace_idx, decode_cycle, mispred)) = self.alloc_q.front() else { return };
+            let Some(&(trace_idx, decode_cycle, mispred)) = self.alloc_q.front() else {
+                return;
+            };
             if decode_cycle + self.cfg.rename_latency > self.cycle {
                 return;
             }
@@ -400,6 +424,9 @@ impl CoreRef {
                 return; // out of physical registers; retry next cycle
             };
             self.alloc_q.pop_front();
+            // Frozen reference path: kept verbatim rather than reshaped
+            // into `if let`.
+            #[allow(clippy::single_match)]
             match self.offer(prepared) {
                 Some(p) => {
                     self.pending = Some(p);
@@ -473,17 +500,28 @@ impl CoreRef {
                 self.taint
                     .get(&s.raw())
                     .map(|lseq| {
-                        self.inflight.get(lseq).map(|i| !i.completed).unwrap_or(false)
+                        self.inflight
+                            .get(lseq)
+                            .map(|i| !i.completed)
+                            .unwrap_or(false)
                     })
                     .unwrap_or(false)
             });
-            if tainted { TimingClass::LdC } else { TimingClass::Rst }
+            if tainted {
+                TimingClass::LdC
+            } else {
+                TimingClass::Rst
+            }
         };
         if let Some(d) = renamed.dst {
             if op.is_load() {
                 self.taint.insert(d.raw(), seq);
             } else if class == TimingClass::LdC {
-                let inherited = renamed.srcs.iter().flatten().find_map(|s| self.taint.get(&s.raw()).copied());
+                let inherited = renamed
+                    .srcs
+                    .iter()
+                    .flatten()
+                    .find_map(|s| self.taint.get(&s.raw()).copied());
                 if let Some(l) = inherited {
                     self.taint.insert(d.raw(), l);
                 } else {
@@ -527,7 +565,11 @@ impl CoreRef {
     /// Offers a prepared μop to the scheduler; returns it back on stall.
     fn offer(&mut self, p: Prepared) -> Option<Prepared> {
         let outcome = {
-            let ctx = ReadyCtx { cycle: self.cycle, scb: &self.scb, held: &self.held };
+            let ctx = ReadyCtx {
+                cycle: self.cycle,
+                scb: &self.scb,
+                held: &self.held,
+            };
             self.sched.try_dispatch(p.uop, &ctx)
         };
         match outcome {
@@ -591,7 +633,8 @@ impl CoreRef {
                     self.mispredicts += 1;
                 }
             }
-            self.alloc_q.push_back((self.fetch_idx, self.cycle, mispred));
+            self.alloc_q
+                .push_back((self.fetch_idx, self.cycle, mispred));
             self.energy.fetched_uops += 1;
             self.energy.decoded_uops += 1;
             self.fetch_idx += 1;
@@ -680,7 +723,7 @@ impl CoreRef {
         self.energy.dram_accesses = self.hier.dram.row_hits + self.hier.dram.row_misses;
 
         SimResult {
-            scheduler: self.sched.name(),
+            scheduler: self.sched.name().to_string(),
             workload: trace.name.clone(),
             cycles: self.cycle,
             committed: self.committed,

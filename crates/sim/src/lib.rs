@@ -32,6 +32,6 @@ pub mod stats;
 
 pub use crate::core::Core;
 pub use config::{CoreConfig, Width};
-pub use slab::SeqSlab;
 pub use machine::{build_scheduler, run_machine, run_machine_reference, MachineKind};
+pub use slab::SeqSlab;
 pub use stats::{SimResult, TimingBreakdown, TimingClass};

@@ -106,7 +106,10 @@ fn ballerino_cfg(width: Width, total_phys: usize) -> BallerinoConfig {
         Width::Two => BallerinoConfig::two_wide(),
         Width::Four => BallerinoConfig::four_wide(),
         Width::Eight => BallerinoConfig::eight_wide(),
-        Width::Ten => BallerinoConfig { num_piqs: 9, ..BallerinoConfig::eight_wide() },
+        Width::Ten => BallerinoConfig {
+            num_piqs: 9,
+            ..BallerinoConfig::eight_wide()
+        },
     };
     c.num_phys_regs = total_phys;
     c
@@ -165,23 +168,37 @@ fn build_scheduler_inner(
             },
         ),
         MachineKind::OutOfOrder | MachineKind::OutOfOrderNoMdp => {
-            let mut iq = OooIq::new(OooIqConfig { entries, oldest_first: false });
+            let mut iq = OooIq::new(OooIqConfig {
+                entries,
+                oldest_first: false,
+            });
             if reference {
                 iq = iq.with_reference_select();
             }
             (
                 Box::new(iq),
-                StructureSizes { cam_entries: entries, fifo_entries: 0, ..common_sizes },
+                StructureSizes {
+                    cam_entries: entries,
+                    fifo_entries: 0,
+                    ..common_sizes
+                },
             )
         }
         MachineKind::OutOfOrderOldestFirst => {
-            let mut iq = OooIq::new(OooIqConfig { entries, oldest_first: true });
+            let mut iq = OooIq::new(OooIqConfig {
+                entries,
+                oldest_first: true,
+            });
             if reference {
                 iq = iq.with_reference_select();
             }
             (
                 Box::new(iq),
-                StructureSizes { cam_entries: entries, fifo_entries: 0, ..common_sizes },
+                StructureSizes {
+                    cam_entries: entries,
+                    fifo_entries: 0,
+                    ..common_sizes
+                },
             )
         }
         MachineKind::Ces | MachineKind::CesMda => {
@@ -233,7 +250,10 @@ fn build_scheduler_inner(
                     ..FxaConfig::default()
                 },
                 Width::Eight => FxaConfig::default(),
-                Width::Ten => FxaConfig { backend_width: 5, ..FxaConfig::default() },
+                Width::Ten => FxaConfig {
+                    backend_width: 5,
+                    ..FxaConfig::default()
+                },
             };
             let cam = c.backend_entries;
             (
@@ -247,8 +267,18 @@ fn build_scheduler_inner(
         }
         MachineKind::LoadSliceCore => {
             let c = match width {
-                Width::Two => LscConfig { bypass_entries: 12, main_entries: 20, ports_per_queue: 2, ..LscConfig::default() },
-                Width::Four => LscConfig { bypass_entries: 24, main_entries: 40, ports_per_queue: 3, ..LscConfig::default() },
+                Width::Two => LscConfig {
+                    bypass_entries: 12,
+                    main_entries: 20,
+                    ports_per_queue: 2,
+                    ..LscConfig::default()
+                },
+                Width::Four => LscConfig {
+                    bypass_entries: 24,
+                    main_entries: 40,
+                    ports_per_queue: 3,
+                    ..LscConfig::default()
+                },
                 _ => LscConfig::default(),
             };
             let fifo = c.bypass_entries + c.main_entries;
@@ -264,8 +294,20 @@ fn build_scheduler_inner(
         }
         MachineKind::DelayAndBypass => {
             let c = match width {
-                Width::Two => DnbConfig { ooo_entries: 12, bypass_entries: 10, delay_entries: 10, inorder_ports: 2, ..DnbConfig::default() },
-                Width::Four => DnbConfig { ooo_entries: 24, bypass_entries: 20, delay_entries: 20, inorder_ports: 3, ..DnbConfig::default() },
+                Width::Two => DnbConfig {
+                    ooo_entries: 12,
+                    bypass_entries: 10,
+                    delay_entries: 10,
+                    inorder_ports: 2,
+                    ..DnbConfig::default()
+                },
+                Width::Four => DnbConfig {
+                    ooo_entries: 24,
+                    bypass_entries: 20,
+                    delay_entries: 20,
+                    inorder_ports: 3,
+                    ..DnbConfig::default()
+                },
                 _ => DnbConfig::default(),
             };
             let (cam, fifo) = (c.ooo_entries, c.bypass_entries + c.delay_entries);
@@ -390,8 +432,7 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let labels: Vec<String> =
-            MachineKind::FIG11.iter().map(|k| k.label()).collect();
+        let labels: Vec<String> = MachineKind::FIG11.iter().map(|k| k.label()).collect();
         let mut dedup = labels.clone();
         dedup.dedup();
         assert_eq!(labels.len(), dedup.len());

@@ -35,7 +35,11 @@ pub struct SeqSlab<T> {
 impl<T> SeqSlab<T> {
     /// Creates an empty slab.
     pub fn new() -> Self {
-        SeqSlab { base: 0, slots: VecDeque::new(), live: 0 }
+        SeqSlab {
+            base: 0,
+            slots: VecDeque::new(),
+            live: 0,
+        }
     }
 
     /// Number of live entries.
@@ -88,7 +92,10 @@ impl<T> SeqSlab<T> {
             self.base = seq;
         }
         let next = self.base + self.slots.len() as u64;
-        assert!(seq >= next, "SeqSlab insert out of order: seq {seq} < next {next}");
+        assert!(
+            seq >= next,
+            "SeqSlab insert out of order: seq {seq} < next {next}"
+        );
         // Back-fill the post-squash gap (flushed seqs are never reused).
         for _ in next..seq {
             self.slots.push_back(None);

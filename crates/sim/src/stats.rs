@@ -48,7 +48,14 @@ impl TimingBreakdown {
     }
 
     /// Records one committed μop's delays.
-    pub fn record(&mut self, class: TimingClass, decode: u64, dispatch: u64, ready: u64, issue: u64) {
+    pub fn record(
+        &mut self,
+        class: TimingClass,
+        decode: u64,
+        dispatch: u64,
+        ready: u64,
+        issue: u64,
+    ) {
         let i = Self::idx(class);
         debug_assert!(decode <= dispatch && dispatch <= issue);
         let ready = ready.clamp(dispatch, issue);
@@ -74,9 +81,7 @@ impl TimingBreakdown {
     pub fn avg_all(&self) -> (f64, f64, f64) {
         let n: u64 = self.counts.iter().sum();
         let n = n.max(1) as f64;
-        let seg = |s: usize| {
-            self.sums.iter().map(|row| row[s]).sum::<u64>() as f64 / n
-        };
+        let seg = |s: usize| self.sums.iter().map(|row| row[s]).sum::<u64>() as f64 / n;
         (seg(0), seg(1), seg(2))
     }
 

@@ -9,7 +9,11 @@ const N: usize = 6_000;
 fn ipc(kind: MachineKind, wl: &str) -> f64 {
     let t = workload(wl, N, 42);
     let r = run_machine(kind, Width::Eight, &t);
-    assert_eq!(r.committed, t.len() as u64, "{kind:?} on {wl} must commit everything");
+    assert_eq!(
+        r.committed,
+        t.len() as u64,
+        "{kind:?} on {wl} must commit everything"
+    );
     r.ipc()
 }
 
@@ -104,7 +108,10 @@ fn mdp_slashes_violations_and_helps_high_ilp_code() {
 #[test]
 fn pointer_chase_is_slow_everywhere() {
     let ooo = ipc(MachineKind::OutOfOrder, "pointer_chase");
-    assert!(ooo < 1.5, "dependent DRAM misses cannot run fast, got {ooo}");
+    assert!(
+        ooo < 1.5,
+        "dependent DRAM misses cannot run fast, got {ooo}"
+    );
 }
 
 #[test]
@@ -143,8 +150,14 @@ fn energy_events_are_populated() {
 fn ballerino_issues_from_both_siq_and_piqs() {
     let t = workload("hash_join", N, 2);
     let r = run_machine(MachineKind::Ballerino, Width::Eight, &t);
-    assert!(r.issue_breakdown.from_siq > 0, "S-IQ must filter ready μops");
-    assert!(r.issue_breakdown.from_piq > 0, "P-IQs must issue chain μops");
+    assert!(
+        r.issue_breakdown.from_siq > 0,
+        "S-IQ must filter ready μops"
+    );
+    assert!(
+        r.issue_breakdown.from_piq > 0,
+        "P-IQs must issue chain μops"
+    );
 }
 
 #[test]
@@ -159,7 +172,11 @@ fn fxa_executes_a_large_fraction_in_ixu() {
 fn branch_mispredictions_are_observed_on_random_branches() {
     let t = workload("compress_lz", N, 4);
     let r = run_machine(MachineKind::OutOfOrder, Width::Eight, &t);
-    assert!(r.mispredicts > 50, "random branches must mispredict, got {}", r.mispredicts);
+    assert!(
+        r.mispredicts > 50,
+        "random branches must mispredict, got {}",
+        r.mispredicts
+    );
 }
 
 #[test]
@@ -183,7 +200,11 @@ fn all_machines_complete_at_every_width() {
                 Width::Four => 4.0,
                 _ => 8.0,
             };
-            assert!(r.ipc() <= cap, "{kind:?} at {width:?}: IPC {} over cap", r.ipc());
+            assert!(
+                r.ipc() <= cap,
+                "{kind:?} at {width:?}: IPC {} over cap",
+                r.ipc()
+            );
         }
     }
 }

@@ -19,7 +19,12 @@ fn store_load_forwarding_is_fast_and_clean() {
     for i in 0..2_000u64 {
         let base = 0x400 + (i % 50) * 12;
         t.push(MicroOp::alu(base, ArchReg::int(1), [None, None]));
-        t.push(MicroOp::store(base + 4, Some(ArchReg::int(1)), None, 0x9000));
+        t.push(MicroOp::store(
+            base + 4,
+            Some(ArchReg::int(1)),
+            None,
+            0x9000,
+        ));
         t.push(MicroOp::load(base + 8, ArchReg::int(2), None, 0x9000));
     }
     let r = run(&t, MachineKind::OutOfOrder);
@@ -35,14 +40,27 @@ fn violations_are_learned_away() {
     let mut t = Trace::new("viol");
     for i in 0..1_500u64 {
         // Store data depends on a load (slow); the reload is ready.
-        t.push(MicroOp::load(0x400, ArchReg::int(1), None, 0x1_0000 + (i % 512) * 64));
+        t.push(MicroOp::load(
+            0x400,
+            ArchReg::int(1),
+            None,
+            0x1_0000 + (i % 512) * 64,
+        ));
         t.push(MicroOp::store(0x404, Some(ArchReg::int(1)), None, 0xA000));
         t.push(MicroOp::load(0x408, ArchReg::int(2), None, 0xA000));
-        t.push(MicroOp::alu(0x40c, ArchReg::int(3), [Some(ArchReg::int(2)), None]));
+        t.push(MicroOp::alu(
+            0x40c,
+            ArchReg::int(3),
+            [Some(ArchReg::int(2)), None],
+        ));
     }
     let with = run(&t, MachineKind::OutOfOrder);
     let without = run(&t, MachineKind::OutOfOrderNoMdp);
-    assert!(with.violations <= 5, "MDP should learn the pair: {}", with.violations);
+    assert!(
+        with.violations <= 5,
+        "MDP should learn the pair: {}",
+        with.violations
+    );
     assert!(
         without.violations > 50,
         "without MDP the pair should keep violating: {}",
@@ -72,7 +90,12 @@ fn mispredicts_inflate_cycles() {
     let easy = run(&mk(false), MachineKind::OutOfOrder);
     let hard = run(&mk(true), MachineKind::OutOfOrder);
     assert!(easy.mispredicts * 5 < hard.mispredicts);
-    assert!(hard.cycles > 2 * easy.cycles, "{} vs {}", hard.cycles, easy.cycles);
+    assert!(
+        hard.cycles > 2 * easy.cycles,
+        "{} vs {}",
+        hard.cycles,
+        easy.cycles
+    );
 }
 
 /// Back-to-back dependent ALU ops must sustain exactly IPC 1 on every
@@ -81,9 +104,17 @@ fn mispredicts_inflate_cycles() {
 fn dependent_chain_sustains_ipc_one() {
     let mut t = Trace::new("chain");
     for _ in 0..4_000u64 {
-        t.push(MicroOp::alu(0x400, ArchReg::int(1), [Some(ArchReg::int(1)), None]));
+        t.push(MicroOp::alu(
+            0x400,
+            ArchReg::int(1),
+            [Some(ArchReg::int(1)), None],
+        ));
     }
-    for kind in [MachineKind::OutOfOrder, MachineKind::Ballerino, MachineKind::Ces] {
+    for kind in [
+        MachineKind::OutOfOrder,
+        MachineKind::Ballerino,
+        MachineKind::Ces,
+    ] {
         let r = run(&t, kind);
         assert!(
             (r.ipc() - 1.0).abs() < 0.05,
@@ -108,7 +139,11 @@ fn divider_occupancy_limits_throughput() {
     }
     let r = run(&t, MachineKind::OutOfOrder);
     // 600 divides × 20-cycle unpipelined divider ≈ 12 000 cycles minimum.
-    assert!(r.cycles >= 600 * 20, "divider not serialized: {} cycles", r.cycles);
+    assert!(
+        r.cycles >= 600 * 20,
+        "divider not serialized: {} cycles",
+        r.cycles
+    );
 }
 
 /// FP multiplies only exist on two ports: throughput caps at 2/cycle even
@@ -138,7 +173,11 @@ fn icache_pressure_slows_fetch() {
         let mut t = Trace::new("icache");
         for i in 0..6_000u64 {
             let pc = 0x40_0000 + (i % static_ops) * 4;
-            t.push(MicroOp::alu(pc, ArchReg::int((i % 24) as u16), [None, None]));
+            t.push(MicroOp::alu(
+                pc,
+                ArchReg::int((i % 24) as u16),
+                [None, None],
+            ));
         }
         t
     };
@@ -173,7 +212,11 @@ fn load_queue_bounds_mlp() {
     let r = run(&t, MachineKind::OutOfOrder);
     assert_eq!(r.committed, t.len() as u64);
     // Random DRAM loads under an 8-MSHR L1: deep sub-1 IPC.
-    assert!(r.ipc() < 0.5, "DRAM-bound loads cannot be fast: {}", r.ipc());
+    assert!(
+        r.ipc() < 0.5,
+        "DRAM-bound loads cannot be fast: {}",
+        r.ipc()
+    );
 }
 
 /// In-order commit: a store only becomes visible (and releases its SQ
@@ -182,9 +225,18 @@ fn load_queue_bounds_mlp() {
 fn store_bursts_respect_sq_capacity() {
     let mut t = Trace::new("st");
     for i in 0..3_000u64 {
-        t.push(MicroOp::store(0x400 + (i % 8) * 4, None, None, 0x2_0000 + (i % 1024) * 8));
+        t.push(MicroOp::store(
+            0x400 + (i % 8) * 4,
+            None,
+            None,
+            0x2_0000 + (i % 1024) * 8,
+        ));
     }
     let r = run(&t, MachineKind::OutOfOrder);
     assert_eq!(r.committed, t.len() as u64);
-    assert!(r.ipc() <= 4.0, "stores bounded by dispatch width: {}", r.ipc());
+    assert!(
+        r.ipc() <= 4.0,
+        "stores bounded by dispatch width: {}",
+        r.ipc()
+    );
 }

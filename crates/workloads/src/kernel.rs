@@ -198,26 +198,39 @@ impl Kernel {
                 let pc = CODE_BASE + (si as u64) * 4;
                 match *op {
                     StaticOp::Compute { class, chain } => {
-                        let src = Self::chain_reg(chain, if chain_is_fp[chain] {
-                            OpClass::FpAdd
-                        } else {
-                            OpClass::IntAlu
-                        });
+                        let src = Self::chain_reg(
+                            chain,
+                            if chain_is_fp[chain] {
+                                OpClass::FpAdd
+                            } else {
+                                OpClass::IntAlu
+                            },
+                        );
                         let dst = Self::chain_reg(chain, class);
                         chain_is_fp[chain] = class.is_fp();
                         trace.push(MicroOp::compute(pc, class, dst, [Some(src), None]));
                     }
-                    StaticOp::Merge { class, chain, other } => {
-                        let a = Self::chain_reg(chain, if chain_is_fp[chain] {
-                            OpClass::FpAdd
-                        } else {
-                            OpClass::IntAlu
-                        });
-                        let b = Self::chain_reg(other, if chain_is_fp[other] {
-                            OpClass::FpAdd
-                        } else {
-                            OpClass::IntAlu
-                        });
+                    StaticOp::Merge {
+                        class,
+                        chain,
+                        other,
+                    } => {
+                        let a = Self::chain_reg(
+                            chain,
+                            if chain_is_fp[chain] {
+                                OpClass::FpAdd
+                            } else {
+                                OpClass::IntAlu
+                            },
+                        );
+                        let b = Self::chain_reg(
+                            other,
+                            if chain_is_fp[other] {
+                                OpClass::FpAdd
+                            } else {
+                                OpClass::IntAlu
+                            },
+                        );
                         let dst = Self::chain_reg(chain, class);
                         chain_is_fp[chain] = class.is_fp();
                         trace.push(MicroOp::compute(pc, class, dst, [Some(a), Some(b)]));
@@ -258,11 +271,14 @@ impl Kernel {
                             }
                             _ => base + rng.below((region / 8).max(1)) * 8,
                         };
-                        let data = Self::chain_reg(chain, if chain_is_fp[chain] {
-                            OpClass::FpAdd
-                        } else {
-                            OpClass::IntAlu
-                        });
+                        let data = Self::chain_reg(
+                            chain,
+                            if chain_is_fp[chain] {
+                                OpClass::FpAdd
+                            } else {
+                                OpClass::IntAlu
+                            },
+                        );
                         trace.push(MicroOp::store(pc, Some(data), Some(ArchReg::int(0)), addr));
                     }
                     StaticOp::SpillStore { chain, slot } => {
@@ -283,16 +299,17 @@ impl Kernel {
                                 loop_count[si] = (c + 1) % period.max(1);
                                 c + 1 != period.max(1)
                             }
-                            BranchBehavior::Biased { taken_prob } => {
-                                rng.chance(taken_prob)
-                            }
+                            BranchBehavior::Biased { taken_prob } => rng.chance(taken_prob),
                             BranchBehavior::Random => rng.chance(0.5),
                         };
-                        let src = Self::chain_reg(chain, if chain_is_fp[chain] {
-                            OpClass::FpAdd
-                        } else {
-                            OpClass::IntAlu
-                        });
+                        let src = Self::chain_reg(
+                            chain,
+                            if chain_is_fp[chain] {
+                                OpClass::FpAdd
+                            } else {
+                                OpClass::IntAlu
+                            },
+                        );
                         trace.push(MicroOp::branch(pc, Some(src), taken, CODE_BASE));
                     }
                     StaticOp::Reset { chain } => {
@@ -312,7 +329,12 @@ mod tests {
     use super::*;
 
     fn params(chains: usize) -> KernelParams {
-        KernelParams { name: "k".into(), ws_bytes: 1 << 20, chains, seed: 7 }
+        KernelParams {
+            name: "k".into(),
+            ws_bytes: 1 << 20,
+            chains,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -320,9 +342,18 @@ mod tests {
         let k = Kernel::new(
             params(2),
             vec![
-                StaticOp::Load { chain: 0, access: Access::Rand },
-                StaticOp::Compute { class: OpClass::IntAlu, chain: 0 },
-                StaticOp::Branch { chain: 0, behavior: BranchBehavior::Biased { taken_prob: 0.9 } },
+                StaticOp::Load {
+                    chain: 0,
+                    access: Access::Rand,
+                },
+                StaticOp::Compute {
+                    class: OpClass::IntAlu,
+                    chain: 0,
+                },
+                StaticOp::Branch {
+                    chain: 0,
+                    behavior: BranchBehavior::Biased { taken_prob: 0.9 },
+                },
             ],
         );
         let a = k.generate(1000);
@@ -335,8 +366,14 @@ mod tests {
         let k = Kernel::new(
             params(1),
             vec![
-                StaticOp::Load { chain: 0, access: Access::Seq { stride: 64 } },
-                StaticOp::Compute { class: OpClass::IntAlu, chain: 0 },
+                StaticOp::Load {
+                    chain: 0,
+                    access: Access::Seq { stride: 64 },
+                },
+                StaticOp::Compute {
+                    class: OpClass::IntAlu,
+                    chain: 0,
+                },
             ],
         );
         let t = k.generate(10);
@@ -348,7 +385,10 @@ mod tests {
     fn seq_loads_have_constant_stride() {
         let k = Kernel::new(
             params(1),
-            vec![StaticOp::Load { chain: 0, access: Access::Seq { stride: 64 } }],
+            vec![StaticOp::Load {
+                chain: 0,
+                access: Access::Seq { stride: 64 },
+            }],
         );
         let t = k.generate(5);
         let addrs: Vec<u64> = t.ops.iter().map(|o| o.mem.unwrap().addr).collect();
@@ -360,11 +400,17 @@ mod tests {
     fn chase_load_reads_own_chain_register() {
         let k = Kernel::new(
             params(1),
-            vec![StaticOp::Load { chain: 0, access: Access::Chase }],
+            vec![StaticOp::Load {
+                chain: 0,
+                access: Access::Chase,
+            }],
         );
         let t = k.generate(2);
         let op = &t.ops[1];
-        assert_eq!(op.srcs[0], op.dst, "chase load's base must be the prior load's dest");
+        assert_eq!(
+            op.srcs[0], op.dst,
+            "chase load's base must be the prior load's dest"
+        );
     }
 
     #[test]
@@ -373,7 +419,10 @@ mod tests {
             params(2),
             vec![
                 StaticOp::SpillStore { chain: 0, slot: 3 },
-                StaticOp::Compute { class: OpClass::IntAlu, chain: 1 },
+                StaticOp::Compute {
+                    class: OpClass::IntAlu,
+                    chain: 1,
+                },
                 StaticOp::SpillLoad { chain: 0, slot: 3 },
             ],
         );
@@ -387,11 +436,17 @@ mod tests {
     fn loop_branch_is_periodic() {
         let k = Kernel::new(
             params(1),
-            vec![StaticOp::Branch { chain: 0, behavior: BranchBehavior::Loop { period: 4 } }],
+            vec![StaticOp::Branch {
+                chain: 0,
+                behavior: BranchBehavior::Loop { period: 4 },
+            }],
         );
         let t = k.generate(8);
         let outcomes: Vec<bool> = t.ops.iter().map(|o| o.branch.unwrap().taken).collect();
-        assert_eq!(outcomes, vec![true, true, true, false, true, true, true, false]);
+        assert_eq!(
+            outcomes,
+            vec![true, true, true, false, true, true, true, false]
+        );
     }
 
     #[test]
@@ -399,9 +454,18 @@ mod tests {
         let k = Kernel::new(
             params(3),
             vec![
-                StaticOp::Compute { class: OpClass::IntAlu, chain: 0 },
-                StaticOp::Compute { class: OpClass::IntAlu, chain: 1 },
-                StaticOp::Compute { class: OpClass::IntAlu, chain: 2 },
+                StaticOp::Compute {
+                    class: OpClass::IntAlu,
+                    chain: 0,
+                },
+                StaticOp::Compute {
+                    class: OpClass::IntAlu,
+                    chain: 1,
+                },
+                StaticOp::Compute {
+                    class: OpClass::IntAlu,
+                    chain: 2,
+                },
             ],
         );
         let t = k.generate(3);
@@ -412,19 +476,37 @@ mod tests {
 
     #[test]
     fn working_set_bounds_addresses() {
-        let p = KernelParams { ws_bytes: 4096, ..params(1) };
-        let k = Kernel::new(p, vec![StaticOp::Load { chain: 0, access: Access::Rand }]);
+        let p = KernelParams {
+            ws_bytes: 4096,
+            ..params(1)
+        };
+        let k = Kernel::new(
+            p,
+            vec![StaticOp::Load {
+                chain: 0,
+                access: Access::Rand,
+            }],
+        );
         let t = k.generate(500);
         for op in &t.ops {
             let a = op.mem.unwrap().addr;
-            assert!((DATA_BASE..DATA_BASE + 4096).contains(&a), "addr {a:#x} outside WS");
+            assert!(
+                (DATA_BASE..DATA_BASE + 4096).contains(&a),
+                "addr {a:#x} outside WS"
+            );
         }
     }
 
     #[test]
     #[should_panic(expected = "chain index")]
     fn out_of_range_chain_panics() {
-        let _ = Kernel::new(params(1), vec![StaticOp::Compute { class: OpClass::IntAlu, chain: 3 }]);
+        let _ = Kernel::new(
+            params(1),
+            vec![StaticOp::Compute {
+                class: OpClass::IntAlu,
+                chain: 3,
+            }],
+        );
     }
 
     #[test]
@@ -432,8 +514,14 @@ mod tests {
         let k = Kernel::new(
             params(1),
             vec![
-                StaticOp::Compute { class: OpClass::FpMul, chain: 0 },
-                StaticOp::Compute { class: OpClass::FpAdd, chain: 0 },
+                StaticOp::Compute {
+                    class: OpClass::FpMul,
+                    chain: 0,
+                },
+                StaticOp::Compute {
+                    class: OpClass::FpAdd,
+                    chain: 0,
+                },
             ],
         );
         let t = k.generate(2);

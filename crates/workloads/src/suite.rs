@@ -31,7 +31,12 @@ use OpClass::{FpAdd, FpMul, IntAlu, IntDiv, IntMul};
 
 fn k(name: &str, ws: u64, chains: usize, seed: u64, body: Vec<StaticOp>) -> Kernel {
     Kernel::new(
-        KernelParams { name: name.to_string(), ws_bytes: ws, chains, seed },
+        KernelParams {
+            name: name.to_string(),
+            ws_bytes: ws,
+            chains,
+            seed,
+        },
         body,
     )
 }
@@ -220,12 +225,25 @@ pub fn workload(name: &str, n: usize, seed: u64) -> Trace {
             let mut body = Vec::new();
             let strides = [64i64, 512, 4096];
             for c in 0..6 {
-                body.push(load(c, Seq { stride: strides[c % 3] }));
+                body.push(load(
+                    c,
+                    Seq {
+                        stride: strides[c % 3],
+                    },
+                ));
                 body.push(compute(c, FpAdd));
                 body.push(compute(c, FpMul));
             }
-            body.push(StaticOp::Merge { class: FpAdd, chain: 0, other: 1 });
-            body.push(StaticOp::Merge { class: FpAdd, chain: 2, other: 3 });
+            body.push(StaticOp::Merge {
+                class: FpAdd,
+                chain: 0,
+                other: 1,
+            });
+            body.push(StaticOp::Merge {
+                class: FpAdd,
+                chain: 2,
+                other: 3,
+            });
             body.push(store(0, Seq { stride: 64 }));
             body.push(branch(0, Loop { period: 48 }));
             k("stencil3d", 1 << 20, 6, seed, body)
@@ -244,8 +262,16 @@ pub fn workload(name: &str, n: usize, seed: u64) -> Trace {
                 body.push(compute(c, IntMul));
                 body.push(compute(c, IntAlu));
             }
-            body.push(StaticOp::Merge { class: IntAlu, chain: 1, other: 2 });
-            body.push(StaticOp::Merge { class: IntAlu, chain: 3, other: 4 });
+            body.push(StaticOp::Merge {
+                class: IntAlu,
+                chain: 1,
+                other: 2,
+            });
+            body.push(StaticOp::Merge {
+                class: IntAlu,
+                chain: 3,
+                other: 4,
+            });
             body.push(branch(0, Loop { period: 128 }));
             k("linked_list_sum", 96 << 10, 6, seed, body)
         }
@@ -289,11 +315,11 @@ pub fn workload(name: &str, n: usize, seed: u64) -> Trace {
         "fft_butterfly" => {
             let mut body = Vec::new();
             let strides = [64i64, 128, 256, 512];
-            for c in 0..4 {
-                body.push(load(c, Seq { stride: strides[c] }));
+            for (c, &stride) in strides.iter().enumerate() {
+                body.push(load(c, Seq { stride }));
                 body.push(compute(c, FpMul));
                 body.push(compute(c, FpAdd));
-                body.push(store(c, Seq { stride: strides[c] }));
+                body.push(store(c, Seq { stride }));
             }
             body.push(branch(0, Loop { period: 16 }));
             k("fft_butterfly", 224 << 10, 4, seed, body)
@@ -356,11 +382,17 @@ pub fn workload(name: &str, n: usize, seed: u64) -> Trace {
                 body.push(load(c, Chase));
                 body.push(compute(c, IntAlu));
                 body.push(compute(c, IntAlu));
-                body.push(StaticOp::SpillStore { chain: c, slot: 30 + c });
+                body.push(StaticOp::SpillStore {
+                    chain: c,
+                    slot: 30 + c,
+                });
                 // Independent reader chain picks the field right back up.
                 let rc = 4 + c;
                 body.push(StaticOp::Reset { chain: rc });
-                body.push(StaticOp::SpillLoad { chain: rc, slot: 30 + c });
+                body.push(StaticOp::SpillLoad {
+                    chain: rc,
+                    slot: 30 + c,
+                });
                 body.push(compute(rc, IntAlu));
                 body.push(compute(rc, IntAlu));
             }
@@ -374,7 +406,10 @@ pub fn workload(name: &str, n: usize, seed: u64) -> Trace {
 
 /// Builds the full suite, `n` μops per workload.
 pub fn suite(n: usize, seed: u64) -> Vec<Trace> {
-    workload_names().into_iter().map(|w| workload(w, n, seed)).collect()
+    workload_names()
+        .into_iter()
+        .map(|w| workload(w, n, seed))
+        .collect()
 }
 
 #[cfg(test)]

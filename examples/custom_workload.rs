@@ -17,18 +17,57 @@ fn main() {
     // dot-product-like kernel: 4 strided load streams feeding FP
     // multiply-accumulate chains that merge pairwise each iteration.
     let body = vec![
-        StaticOp::Load { chain: 0, access: Access::Seq { stride: 8 } },
-        StaticOp::Load { chain: 1, access: Access::Seq { stride: 8 } },
-        StaticOp::Load { chain: 2, access: Access::Seq { stride: 8 } },
-        StaticOp::Load { chain: 3, access: Access::Seq { stride: 8 } },
-        StaticOp::Compute { class: OpClass::FpMul, chain: 0 },
-        StaticOp::Compute { class: OpClass::FpMul, chain: 1 },
-        StaticOp::Compute { class: OpClass::FpMul, chain: 2 },
-        StaticOp::Compute { class: OpClass::FpMul, chain: 3 },
-        StaticOp::Merge { class: OpClass::FpAdd, chain: 0, other: 1 },
-        StaticOp::Merge { class: OpClass::FpAdd, chain: 2, other: 3 },
-        StaticOp::Merge { class: OpClass::FpAdd, chain: 0, other: 2 },
-        StaticOp::Branch { chain: 0, behavior: BranchBehavior::Loop { period: 64 } },
+        StaticOp::Load {
+            chain: 0,
+            access: Access::Seq { stride: 8 },
+        },
+        StaticOp::Load {
+            chain: 1,
+            access: Access::Seq { stride: 8 },
+        },
+        StaticOp::Load {
+            chain: 2,
+            access: Access::Seq { stride: 8 },
+        },
+        StaticOp::Load {
+            chain: 3,
+            access: Access::Seq { stride: 8 },
+        },
+        StaticOp::Compute {
+            class: OpClass::FpMul,
+            chain: 0,
+        },
+        StaticOp::Compute {
+            class: OpClass::FpMul,
+            chain: 1,
+        },
+        StaticOp::Compute {
+            class: OpClass::FpMul,
+            chain: 2,
+        },
+        StaticOp::Compute {
+            class: OpClass::FpMul,
+            chain: 3,
+        },
+        StaticOp::Merge {
+            class: OpClass::FpAdd,
+            chain: 0,
+            other: 1,
+        },
+        StaticOp::Merge {
+            class: OpClass::FpAdd,
+            chain: 2,
+            other: 3,
+        },
+        StaticOp::Merge {
+            class: OpClass::FpAdd,
+            chain: 0,
+            other: 2,
+        },
+        StaticOp::Branch {
+            chain: 0,
+            behavior: BranchBehavior::Loop { period: 64 },
+        },
     ];
     let kernel = Kernel::new(
         KernelParams {

@@ -31,13 +31,22 @@ fn run(piqs: usize, sharing: bool, trace: &ballerino::isa::Trace) -> f64 {
         prf_entries: cfg.total_phys(),
         has_mdp: true,
     };
-    Core::new(cfg, Box::new(Ballerino::new(bcfg)), sizes).run(trace).ipc()
+    Core::new(cfg, Box::new(Ballerino::new(bcfg)), sizes)
+        .run(trace)
+        .ipc()
 }
 
 fn main() {
     let trace = workload("gemm_blocked", 20_000, 42);
-    println!("P-IQ design space on {} ({} μops)\n", trace.name, trace.len());
-    println!("{:>6} {:>14} {:>14} {:>12}", "P-IQs", "IPC (shared)", "IPC (no shr)", "sharing gain");
+    println!(
+        "P-IQ design space on {} ({} μops)\n",
+        trace.name,
+        trace.len()
+    );
+    println!(
+        "{:>6} {:>14} {:>14} {:>12}",
+        "P-IQs", "IPC (shared)", "IPC (no shr)", "sharing gain"
+    );
     for piqs in [3usize, 5, 7, 9, 11, 13] {
         let with = run(piqs, true, &trace);
         let without = run(piqs, false, &trace);

@@ -16,7 +16,10 @@ use ballerino::workloads::workload;
 
 fn main() {
     let trace = workload("pointer_chase", 15_000, 7);
-    println!("two interleaved pointer chases over 48 MiB ({} μops)\n", trace.len());
+    println!(
+        "two interleaved pointer chases over 48 MiB ({} μops)\n",
+        trace.len()
+    );
 
     let ino = run_machine(MachineKind::InOrder, Width::Eight, &trace);
     println!(

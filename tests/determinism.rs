@@ -7,7 +7,11 @@ use ballerino::workloads::workload;
 
 #[test]
 fn simulation_is_deterministic() {
-    for kind in [MachineKind::OutOfOrder, MachineKind::Ballerino, MachineKind::Casino] {
+    for kind in [
+        MachineKind::OutOfOrder,
+        MachineKind::Ballerino,
+        MachineKind::Casino,
+    ] {
         let t1 = workload("branchy_sort", 3_000, 17);
         let t2 = workload("branchy_sort", 3_000, 17);
         assert_eq!(t1.ops, t2.ops);

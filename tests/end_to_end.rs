@@ -23,7 +23,11 @@ fn every_machine_commits_every_workload() {
         for kind in KINDS {
             let r = run_machine(kind, Width::Eight, &t);
             assert_eq!(r.committed, t.len() as u64, "{kind:?} on {wl}");
-            assert!(r.ipc() > 0.0 && r.ipc() <= 8.0, "{kind:?} on {wl}: {}", r.ipc());
+            assert!(
+                r.ipc() > 0.0 && r.ipc() <= 8.0,
+                "{kind:?} on {wl}: {}",
+                r.ipc()
+            );
         }
     }
 }
@@ -47,7 +51,11 @@ fn issue_counts_match_commits_plus_squashed_work() {
     // after refetch; every commit requires an issue).
     for wl in ["branchy_sort", "int_crunch"] {
         let t = workload(wl, 3_000, 5);
-        for kind in [MachineKind::OutOfOrder, MachineKind::Ballerino, MachineKind::Ces] {
+        for kind in [
+            MachineKind::OutOfOrder,
+            MachineKind::Ballerino,
+            MachineKind::Ces,
+        ] {
             let r = run_machine(kind, Width::Eight, &t);
             assert!(
                 r.issue_breakdown.total() >= r.committed,
@@ -62,7 +70,11 @@ fn issue_counts_match_commits_plus_squashed_work() {
 #[test]
 fn narrower_machines_are_never_faster_in_time() {
     let t = workload("mixed_media", 3_000, 9);
-    for kind in [MachineKind::OutOfOrder, MachineKind::Ballerino, MachineKind::InOrder] {
+    for kind in [
+        MachineKind::OutOfOrder,
+        MachineKind::Ballerino,
+        MachineKind::InOrder,
+    ] {
         let w8 = run_machine(kind, Width::Eight, &t);
         let w2 = run_machine(kind, Width::Two, &t);
         assert!(

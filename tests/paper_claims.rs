@@ -10,8 +10,14 @@ use ballerino_sim::stats::geomean;
 const N: usize = 5_000;
 /// A representative sub-suite: ILP-rich, latency-bound, MLP-bound,
 /// branchy, and indirect-access behaviour.
-const WLS: [&str; 6] =
-    ["gemm_blocked", "int_crunch", "hash_join", "branchy_sort", "pointer_chase", "mixed_media"];
+const WLS: [&str; 6] = [
+    "gemm_blocked",
+    "int_crunch",
+    "hash_join",
+    "branchy_sort",
+    "pointer_chase",
+    "mixed_media",
+];
 
 fn geomean_speedup(kind: MachineKind) -> f64 {
     let mut v = Vec::new();
@@ -33,9 +39,18 @@ fn fig11_ordering_holds() {
     let ooo = geomean_speedup(MachineKind::OutOfOrder);
 
     assert!(ooo > 2.0, "OoO must be ≳2x InO, got {ooo:.2}");
-    assert!(casino < ces, "CASINO {casino:.2} must trail CES {ces:.2} at 8-wide");
-    assert!(ces < ballerino, "CES {ces:.2} must trail Ballerino {ballerino:.2}");
-    assert!(ballerino <= b12 * 1.02, "Ballerino {ballerino:.2} ≤ Ballerino-12 {b12:.2}");
+    assert!(
+        casino < ces,
+        "CASINO {casino:.2} must trail CES {ces:.2} at 8-wide"
+    );
+    assert!(
+        ces < ballerino,
+        "CES {ces:.2} must trail Ballerino {ballerino:.2}"
+    );
+    assert!(
+        ballerino <= b12 * 1.02,
+        "Ballerino {ballerino:.2} ≤ Ballerino-12 {b12:.2}"
+    );
     assert!(
         b12 > 0.95 * ooo,
         "Ballerino-12 {b12:.2} must be within ~5% of OoO {ooo:.2} (paper: 2%)"
@@ -50,7 +65,10 @@ fn fig13_steps_are_monotone() {
     let ideal = geomean_speedup(MachineKind::BallerinoIdeal);
     assert!(step2 > 0.98 * ces, "Step2 {step2:.2} vs CES {ces:.2}");
     assert!(step3 > step2, "sharing must help: {step3:.2} vs {step2:.2}");
-    assert!(ideal >= step3 * 0.995, "ideal can only help: {ideal:.2} vs {step3:.2}");
+    assert!(
+        ideal >= step3 * 0.995,
+        "ideal can only help: {ideal:.2} vs {step3:.2}"
+    );
 }
 
 #[test]
@@ -65,7 +83,10 @@ fn fig16_ballerino_is_more_efficient_than_ooo() {
         effs.push(edp_ooo / edp_bal);
     }
     let g = geomean(&effs);
-    assert!(g > 1.10, "Ballerino-12 efficiency must beat OoO by >10% (paper 20%), got {g:.2}");
+    assert!(
+        g > 1.10,
+        "Ballerino-12 efficiency must beat OoO by >10% (paper 20%), got {g:.2}"
+    );
 }
 
 #[test]
@@ -89,6 +110,12 @@ fn casino_collapses_on_serialized_misses() {
 fn oldest_first_is_a_small_gain_on_ooo() {
     let ooo = geomean_speedup(MachineKind::OutOfOrder);
     let of = geomean_speedup(MachineKind::OutOfOrderOldestFirst);
-    assert!(of >= 0.99 * ooo, "oldest-first should not hurt: {of:.2} vs {ooo:.2}");
-    assert!(of <= 1.10 * ooo, "oldest-first gain should be small (paper ~2%)");
+    assert!(
+        of >= 0.99 * ooo,
+        "oldest-first should not hurt: {of:.2} vs {ooo:.2}"
+    );
+    assert!(
+        of <= 1.10 * ooo,
+        "oldest-first gain should be small (paper ~2%)"
+    );
 }
