@@ -58,6 +58,47 @@ fn main() {
         t
     });
 
+    // The three regimes the memory fast path targets (see
+    // ARCHITECTURE.md "The memory fast path"): hot-line re-touch served
+    // by the line filter / MRU way, streaming evictions that constantly
+    // invalidate it, and MSHR-merge storms on one L1 set.
+    bench("hier_l1_retouch", 100_000, || {
+        let mut h = Hierarchy::new(&MemConfig::default());
+        let mut sink = 0u64;
+        for i in 0..100_000u64 {
+            // 8 hot lines, heavily biased toward re-touching the last one.
+            let line = if i % 8 == 0 { i / 8 % 8 } else { i % 2 };
+            let (done, _) = h.access(0x20_0000 + line * 64, 0x400, i, AccessKind::Load);
+            sink = sink.wrapping_add(done);
+        }
+        sink
+    });
+
+    bench("hier_stream_evict", 100_000, || {
+        let mut h = Hierarchy::new(&MemConfig::default());
+        let mut t = 0u64;
+        for i in 0..100_000u64 {
+            let (done, _) = h.access(0x100_0000 + i * 64, 0x404, t, AccessKind::Load);
+            t = done.min(t + 2);
+        }
+        t
+    });
+
+    bench("hier_mshr_merge_storm", 100_000, || {
+        let mut h = Hierarchy::new(&MemConfig::default());
+        let mut t = 0u64;
+        let mut sink = 0u64;
+        // Round-robin over 16 lines aliasing into one 64-set L1 set at
+        // 1-cycle spacing: re-touches race in-flight fills, files run full.
+        for i in 0..100_000u64 {
+            t += 1;
+            let line = (i % 16) * 64 * 257;
+            let (done, _) = h.access(line * 64, 0x440, t, AccessKind::Load);
+            sink = sink.wrapping_add(done);
+        }
+        sink.wrapping_add(h.l1d.mshrs.merges)
+    });
+
     bench("tage_predict_update", 10_000, || {
         let mut t = Tage::new();
         let mut wrong = 0u64;

@@ -17,7 +17,9 @@
 //! number. See the crate docs for the JSON schema.
 //!
 //! Usage: `perf_smoke` (honors `BALLERINO_N` / `BALLERINO_SEED` /
-//! `BALLERINO_THREADS`). Exits non-zero on any cycle mismatch.
+//! `BALLERINO_THREADS`, plus `BALLERINO_MEM_NAIVE` to pin both sides to
+//! the seed-exact memory lookup path for fast-path A/Bs). Exits non-zero
+//! on any cycle mismatch.
 
 use ballerino_bench::{run_matrix, run_matrix_legacy, seed, suite_len, threads};
 use ballerino_sim::{run_machine_reference, MachineKind, SimResult, Width};
@@ -29,13 +31,15 @@ fn main() {
     let kinds = MachineKind::FIG11;
     let width = Width::Eight;
     let names = workload_names();
+    let mem_naive = std::env::var_os("BALLERINO_MEM_NAIVE").is_some();
     println!(
-        "perf_smoke: {} kinds x {} workloads, N={}, seed={}, threads={}",
+        "perf_smoke: {} kinds x {} workloads, N={}, seed={}, threads={}, mem={}",
         kinds.len(),
         names.len(),
         suite_len(),
         seed(),
-        threads()
+        threads(),
+        if mem_naive { "naive" } else { "fast" }
     );
 
     println!("running baseline (legacy runner x reference pipeline)...");
@@ -158,6 +162,11 @@ fn render_json(
     let _ = writeln!(s, "  \"n\": {},", suite_len());
     let _ = writeln!(s, "  \"seed\": {},", seed());
     let _ = writeln!(s, "  \"threads\": {},", threads());
+    let _ = writeln!(
+        s,
+        "  \"mem_naive\": {},",
+        std::env::var_os("BALLERINO_MEM_NAIVE").is_some()
+    );
     let _ = writeln!(s, "  \"cycles_skipped\": {total_skipped},");
     let _ = writeln!(s, "  \"total_cycles\": {total_cycles},");
     let _ = writeln!(s, "  \"baseline_wall_s\": {base_wall:.6},");

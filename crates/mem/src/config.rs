@@ -109,7 +109,9 @@ pub struct MemConfig {
     pub dram: DramConfig,
     /// Whether the stride prefetcher is enabled (Table I: yes).
     pub prefetch: bool,
-    /// Prefetch degree (lines fetched ahead on a confident stride).
+    /// Prefetch degree (lines fetched ahead on a confident stride). Must
+    /// not exceed [`crate::prefetch::MAX_PF_DEGREE`]: prefetch candidates
+    /// travel through a fixed stack buffer, never the heap.
     pub prefetch_degree: usize,
 }
 
@@ -144,6 +146,11 @@ mod tests {
         assert_eq!(m.l2.latency, 12);
         assert_eq!(m.l3.latency, 42);
         assert!(m.prefetch);
+    }
+
+    #[test]
+    fn default_prefetch_degree_fits_the_out_buffer() {
+        assert!(MemConfig::default().prefetch_degree <= crate::prefetch::MAX_PF_DEGREE);
     }
 
     #[test]

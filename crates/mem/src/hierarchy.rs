@@ -3,13 +3,27 @@
 //! [`Hierarchy::access`] resolves a demand load/store through
 //! L1D → L2 → L3 → DRAM, honoring per-level MSHR limits, filling lines on
 //! the way back up, and (for loads) training the stride prefetcher.
+//!
+//! # The line filter
+//!
+//! In front of the L1D walk sits a small direct-mapped **line filter**
+//! memoizing the last lines that resolved to L1 hits: the line address,
+//! the hit way's flat slot, its fill timestamp, and the L1D's fill/evict
+//! generation at memoization time. Tight loops that re-access hot lines
+//! skip the L1 set scan entirely; any L1D fill bumps the generation and
+//! thereby invalidates every memoized entry at once. A filter hit replays
+//! the exact bookkeeping a normal L1 hit would have performed (hit
+//! counter, MRU recency), so results are bit-identical with the filter on
+//! or off — `tests/hierarchy_equiv.rs` pins this against the naive path
+//! selected by [`Hierarchy::with_naive_lookup`] or `BALLERINO_MEM_NAIVE`.
 
-use crate::cache::{Cache, Lookup};
+use crate::cache::{Cache, Lookup, SlotLookup};
 use crate::config::MemConfig;
 use crate::dram::Dram;
 use crate::mshr::MshrClaim;
-use crate::prefetch::StridePrefetcher;
+use crate::prefetch::{StridePrefetcher, MAX_PF_DEGREE};
 use crate::{line_of, LINE_BYTES};
+use std::cell::Cell;
 
 /// Kind of hierarchy access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +50,7 @@ pub enum HitLevel {
 }
 
 /// Aggregate memory statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Demand accesses serviced per level.
     pub hits_l1: u64,
@@ -67,6 +81,40 @@ impl MemStats {
     }
 }
 
+/// Number of direct-mapped line-filter slots (power of two).
+const FILTER_SLOTS: usize = 64;
+
+/// Direct-mapped memo of recently resolved L1-hit lines; see the module
+/// docs for the invalidation rule.
+#[derive(Debug, Clone)]
+struct LineFilter {
+    /// Memoized line address per slot (`u64::MAX` = never filled, which
+    /// no real line address can reach).
+    lines: [u64; FILTER_SLOTS],
+    /// Flat L1D slot (`set * ways + way`) the line was found in.
+    slots: [u32; FILTER_SLOTS],
+    /// The hit way's fill timestamp at memoization time.
+    valid_at: [u64; FILTER_SLOTS],
+    /// L1D generation the entry was memoized under.
+    gens: [u64; FILTER_SLOTS],
+}
+
+impl LineFilter {
+    fn new() -> Self {
+        LineFilter {
+            lines: [u64::MAX; FILTER_SLOTS],
+            slots: [0; FILTER_SLOTS],
+            valid_at: [0; FILTER_SLOTS],
+            gens: [0; FILTER_SLOTS],
+        }
+    }
+
+    #[inline]
+    fn index(line: u64) -> usize {
+        (line as usize) & (FILTER_SLOTS - 1)
+    }
+}
+
 /// L1D → L2 → L3 → DRAM hierarchy with stride prefetching, plus a
 /// parallel L1I front-end path that shares the unified L2.
 #[derive(Debug)]
@@ -82,27 +130,73 @@ pub struct Hierarchy {
     /// DRAM behind the LLC.
     pub dram: Dram,
     prefetcher: Option<StridePrefetcher>,
+    filter: LineFilter,
+    /// Seed-exact lookup mode: no line filter, full scans in every cache.
+    naive: bool,
+    /// Lower bound on the earliest outstanding recorded MSHR fill across
+    /// all levels (`u64::MAX` = none known). Lowered eagerly whenever a
+    /// walk records a fill, refreshed lazily by
+    /// [`Hierarchy::next_fill_cycle`] once the query cycle passes it —
+    /// so the per-cycle skip-engine query is one comparison instead of
+    /// four MSHR-file scans.
+    fill_horizon: Cell<u64>,
     /// Aggregate statistics.
     pub stats: MemStats,
 }
 
 impl Hierarchy {
-    /// Builds an empty hierarchy from a configuration.
+    /// Builds an empty hierarchy from a configuration. The fast lookup
+    /// path is used unless the `BALLERINO_MEM_NAIVE` environment variable
+    /// is set (the A/B knob; results are identical either way).
     pub fn new(cfg: &MemConfig) -> Self {
+        Self::with_mode(cfg, std::env::var_os("BALLERINO_MEM_NAIVE").is_some())
+    }
+
+    /// Builds a hierarchy on the frozen seed-exact lookup path (full set
+    /// scans, per-touch LRU stamping, no line filter) regardless of the
+    /// environment — the A/B oracle side of `tests/hierarchy_equiv.rs`.
+    pub fn with_naive_lookup(cfg: &MemConfig) -> Self {
+        Self::with_mode(cfg, true)
+    }
+
+    /// Builds a hierarchy on the fast lookup path (MRU hits, line filter)
+    /// regardless of the environment.
+    pub fn with_fast_lookup(cfg: &MemConfig) -> Self {
+        Self::with_mode(cfg, false)
+    }
+
+    fn with_mode(cfg: &MemConfig, naive: bool) -> Self {
         let prefetcher = if cfg.prefetch {
             Some(StridePrefetcher::new(256, cfg.prefetch_degree))
         } else {
             None
         };
+        let build = if naive { Cache::new_naive } else { Cache::new };
         Hierarchy {
-            l1d: Cache::new(cfg.l1d.clone()),
-            l1i: Cache::new(cfg.l1d.clone()),
-            l2: Cache::new(cfg.l2.clone()),
-            l3: Cache::new(cfg.l3.clone()),
+            l1d: build(cfg.l1d.clone()),
+            l1i: build(cfg.l1d.clone()),
+            l2: build(cfg.l2.clone()),
+            l3: build(cfg.l3.clone()),
             dram: Dram::new(cfg.dram.clone()),
             prefetcher,
+            filter: LineFilter::new(),
+            naive,
+            fill_horizon: Cell::new(u64::MAX),
             stats: MemStats::default(),
         }
+    }
+
+    /// Lowers the fill-horizon bound when a walk records a new fill.
+    #[inline]
+    fn note_fill(&self, fill: u64) {
+        if fill < self.fill_horizon.get() {
+            self.fill_horizon.set(fill);
+        }
+    }
+
+    /// Whether the seed-exact naive lookup path is active.
+    pub fn is_naive(&self) -> bool {
+        self.naive
     }
 
     /// Instruction fetch of the line holding `pc` at `cycle`: L1I →
@@ -142,8 +236,9 @@ impl Hierarchy {
         }
         if kind == AccessKind::Load {
             if let Some(pf) = self.prefetcher.as_mut() {
-                let candidates = pf.observe(pc, addr);
-                for target in candidates {
+                let mut candidates = [0u64; MAX_PF_DEGREE];
+                let n = pf.observe(pc, addr, &mut candidates);
+                for &target in &candidates[..n] {
                     let tline = line_of(target);
                     if !self.l1d.probe(tline) {
                         self.stats.prefetches += 1;
@@ -159,9 +254,35 @@ impl Hierarchy {
     /// `hold_l1_mshr` gates whether the L1's miss registers bound the
     /// request (true for demand loads only).
     fn access_line(&mut self, line: u64, cycle: u64, hold_l1_mshr: bool) -> (u64, HitLevel) {
+        if !self.naive {
+            // Line-filter fast path: a valid entry proves the line was an
+            // L1 hit under the current fill generation, so no fill has
+            // moved or refreshed any L1D way since — slot and timestamp
+            // are still exact.
+            let f = LineFilter::index(line);
+            if self.filter.lines[f] == line && self.filter.gens[f] == self.l1d.generation() {
+                self.l1d.filter_touch(self.filter.slots[f]);
+                let ready = (cycle + self.l1d.latency()).max(self.filter.valid_at[f]);
+                return (ready, HitLevel::L1);
+            }
+        }
         // L1 lookup.
-        if let Lookup::Hit { ready } = self.l1d.lookup(line, cycle) {
-            return (ready, HitLevel::L1);
+        match self.l1d.lookup_slot(line, cycle) {
+            SlotLookup::Hit {
+                ready,
+                slot,
+                valid_at,
+            } => {
+                if !self.naive {
+                    let f = LineFilter::index(line);
+                    self.filter.lines[f] = line;
+                    self.filter.slots[f] = slot;
+                    self.filter.valid_at[f] = valid_at;
+                    self.filter.gens[f] = self.l1d.generation();
+                }
+                return (ready, HitLevel::L1);
+            }
+            SlotLookup::Miss => {}
         }
         if !hold_l1_mshr {
             let (fill, level) = self.below_l1(line, cycle + self.l1d.latency());
@@ -175,6 +296,7 @@ impl Hierarchy {
 
         let (fill_from_below, level) = self.below_l1(line, l1_start);
         self.l1d.mshrs.record_fill(line, fill_from_below);
+        self.note_fill(fill_from_below);
         self.l1d.fill(line, fill_from_below);
         (fill_from_below, level)
     }
@@ -190,6 +312,7 @@ impl Hierarchy {
 
         let (fill, level) = self.below_l2(line, l2_start);
         self.l2.mshrs.record_fill(line, fill);
+        self.note_fill(fill);
         self.l2.fill(line, fill);
         (fill, level)
     }
@@ -205,6 +328,7 @@ impl Hierarchy {
 
         let fill = self.dram.access(line, l3_start);
         self.l3.mshrs.record_fill(line, fill);
+        self.note_fill(fill);
         self.l3.fill(line, fill);
         (fill, HitLevel::Memory)
     }
@@ -223,11 +347,26 @@ impl Hierarchy {
     /// event-horizon engine as a defensive bound: all completion cycles
     /// are resolved at access time and queued by the core, so this can
     /// only tighten (never extend) a skip window.
+    ///
+    /// Queries must be non-decreasing in `cycle` over the hierarchy's
+    /// lifetime (the simulated clock never runs backwards): the answer is
+    /// served from the cached fill horizon — one comparison on the
+    /// per-cycle path — and the horizon is only re-derived from the MSHR
+    /// files once `cycle` reaches it. The cached bound may sit below the
+    /// files' true minimum when a full-file claim retired an entry early;
+    /// that only tightens the skip window, never extends it.
+    #[inline]
     pub fn next_fill_cycle(&self, cycle: u64) -> Option<u64> {
-        [&self.l1d, &self.l1i, &self.l2, &self.l3]
+        let h = self.fill_horizon.get();
+        if h > cycle {
+            return (h != u64::MAX).then_some(h);
+        }
+        let next = [&self.l1d, &self.l1i, &self.l2, &self.l3]
             .into_iter()
             .filter_map(|c| c.mshrs.next_fill_cycle(cycle))
-            .min()
+            .min();
+        self.fill_horizon.set(next.unwrap_or(u64::MAX));
+        next
     }
 
     /// Line size in bytes (fixed).
@@ -351,5 +490,63 @@ mod tests {
         assert_eq!(h.stats.hits_l1, 1);
         assert_eq!(h.stats.total(), 2);
         assert!((h.stats.l1_miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_retouch_matches_first_hit_timing() {
+        let mut h = Hierarchy::with_fast_lookup(&small_cfg());
+        h.warm(0x2000);
+        let (d1, l1) = h.access(0x2000, 0, 10, AccessKind::Load); // memoizes
+        let (d2, l2) = h.access(0x2000, 0, 20, AccessKind::Load); // filter hit
+        assert_eq!((l1, l2), (HitLevel::L1, HitLevel::L1));
+        assert_eq!(d1, 14);
+        assert_eq!(d2, 24);
+        assert_eq!(h.l1d.hits, 2);
+    }
+
+    #[test]
+    fn filter_entries_die_on_any_l1d_fill() {
+        let mut h = Hierarchy::with_fast_lookup(&small_cfg());
+        h.warm(0x2000);
+        let _ = h.access(0x2000, 0, 10, AccessKind::Load); // memoizes
+        h.l1d.fill(crate::line_of(0x9000), 50); // bumps generation
+                                                // Stale entry must not be used; the normal lookup still hits.
+        let (done, level) = h.access(0x2000, 0, 60, AccessKind::Load);
+        assert_eq!(level, HitLevel::L1);
+        assert_eq!(done, 64);
+    }
+
+    #[test]
+    fn naive_lookup_knob_reports_mode() {
+        let cfg = small_cfg();
+        assert!(Hierarchy::with_naive_lookup(&cfg).is_naive());
+        assert!(!Hierarchy::with_fast_lookup(&cfg).is_naive());
+    }
+
+    /// The memoized fill horizon must answer monotonic queries exactly
+    /// like a fresh scan of every level's MSHR file.
+    #[test]
+    fn next_fill_cycle_memo_matches_mshr_scan() {
+        let mut h = Hierarchy::new(&small_cfg());
+        let scan = |h: &Hierarchy, t: u64| {
+            [&h.l1d, &h.l1i, &h.l2, &h.l3]
+                .into_iter()
+                .filter_map(|c| c.mshrs.next_fill_cycle(t))
+                .min()
+        };
+        assert_eq!(h.next_fill_cycle(0), None);
+        let (d1, _) = h.access(0x10000, 0, 100, AccessKind::Load);
+        assert_eq!(h.next_fill_cycle(100), scan(&h, 100));
+        assert_eq!(h.next_fill_cycle(100), Some(d1).filter(|&f| f > 100));
+        // A second outstanding miss lowers the horizon if it fills earlier.
+        let _ = h.access(0x20000, 0, 110, AccessKind::Load);
+        assert_eq!(h.next_fill_cycle(110), scan(&h, 110));
+        // Walk the clock past each fill; memo and scan must stay in step.
+        let mut t = 110;
+        while let Some(f) = h.next_fill_cycle(t) {
+            assert_eq!(Some(f), scan(&h, t), "diverged at cycle {t}");
+            t = f;
+        }
+        assert_eq!(scan(&h, t), None);
     }
 }

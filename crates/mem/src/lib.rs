@@ -15,6 +15,12 @@
 //! All times are in **core cycles**; callers pass the current cycle and get
 //! back an absolute completion cycle. The model is deterministic: the same
 //! request sequence always produces the same timings.
+//!
+//! The per-access hot path (flat SoA cache arrays, MRU fast hits, the
+//! hierarchy line filter, slot-array MSHRs) has a frozen seed-exact
+//! counterpart selected by [`Hierarchy::with_naive_lookup`] or the
+//! `BALLERINO_MEM_NAIVE` environment variable; `tests/hierarchy_equiv.rs`
+//! pins the two paths to identical timings, levels, and statistics.
 
 #![warn(missing_docs)]
 
@@ -34,7 +40,7 @@ pub use hierarchy::{AccessKind, Hierarchy, HitLevel, MemStats};
 pub use lsq::{LoadQueue, StoreQueue};
 pub use mdp::{Mdp, MdpConfig, SsId};
 pub use mshr::MshrFile;
-pub use prefetch::StridePrefetcher;
+pub use prefetch::{StridePrefetcher, MAX_PF_DEGREE};
 
 /// Cache line size in bytes, fixed across the hierarchy.
 pub const LINE_BYTES: u64 = 64;

@@ -4,8 +4,35 @@
 //! μops are identified by their global **sequence number** (`seq`), a
 //! monotonically increasing dynamic age assigned at rename; all ordering
 //! queries compare sequence numbers.
+//!
+//! Entries are age-ordered, so seq lookups are binary searches, and each
+//! queue keeps a position-indexed **resolved bitmask** (bit `p` set ⇔ the
+//! entry at position `p` has a known address). The range-overlap searches
+//! — forwarding and violation detection — iterate only the set bits on
+//! the relevant side of the age boundary instead of scanning every entry.
 
 use std::collections::VecDeque;
+
+/// Queues support at most 128 entries (the resolved bitmask is a `u128`;
+/// Table I tops out at 72 load-queue entries).
+const MAX_QUEUE_CAP: usize = 128;
+
+/// Bitmask with the low `n` bits set.
+#[inline]
+fn low_mask(n: usize) -> u128 {
+    if n >= 128 {
+        !0
+    } else {
+        (1u128 << n) - 1
+    }
+}
+
+/// Removes bit `p` from a position-indexed mask, shifting higher
+/// positions down by one (mirrors removing a queue entry at `p`).
+#[inline]
+fn collapse_bit(mask: u128, p: usize) -> u128 {
+    (mask & low_mask(p)) | ((mask >> 1) & !low_mask(p))
+}
 
 /// Byte range of a memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,16 +95,27 @@ pub enum Forward {
 pub struct StoreQueue {
     cap: usize,
     entries: VecDeque<StoreEntry>,
+    /// Bit `p` set ⇔ `entries[p]` has a resolved address.
+    resolved: u128,
     /// Forwarding hits served.
     pub forwards: u64,
 }
 
 impl StoreQueue {
     /// Creates a store queue with `cap` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` exceeds 128 (the resolved bitmask width).
     pub fn new(cap: usize) -> Self {
+        assert!(
+            cap <= MAX_QUEUE_CAP,
+            "store queue capacity exceeds {MAX_QUEUE_CAP}"
+        );
         StoreQueue {
             cap,
-            entries: VecDeque::new(),
+            entries: VecDeque::with_capacity(cap),
+            resolved: 0,
             forwards: 0,
         }
     }
@@ -95,6 +133,20 @@ impl StoreQueue {
     /// Whether an allocation would succeed.
     pub fn has_space(&self) -> bool {
         self.entries.len() < self.cap
+    }
+
+    /// Position of `seq` in the age-ordered queue, if present. Commits
+    /// release oldest-first, so the front is checked before the binary
+    /// search.
+    #[inline]
+    fn position(&self, seq: u64) -> Option<usize> {
+        match self.entries.front() {
+            Some(e) if e.seq == seq => return Some(0),
+            Some(e) if e.seq > seq => return None,
+            _ => {}
+        }
+        let p = self.entries.partition_point(|e| e.seq < seq);
+        (p < self.entries.len() && self.entries[p].seq == seq).then_some(p)
     }
 
     /// Allocates an entry at dispatch.
@@ -116,34 +168,45 @@ impl StoreQueue {
 
     /// Records the address of `seq` when its AGU executes, marking it issued.
     pub fn set_addr(&mut self, seq: u64, range: MemRange) {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.seq == seq) {
+        if let Some(p) = self.position(seq) {
+            let e = &mut self.entries[p];
             e.range = Some(range);
             e.issued = true;
+            self.resolved |= 1u128 << p;
         }
     }
 
     /// Finds the youngest store older than `load_seq` with a known
     /// overlapping address (forwarding source).
     pub fn forward_source(&mut self, load_seq: u64, range: MemRange) -> Forward {
-        let hit = self
-            .entries
-            .iter()
-            .rev()
-            .filter(|e| e.seq < load_seq)
-            .find(|e| e.range.map(|r| r.overlaps(&range)).unwrap_or(false));
-        match hit {
-            Some(e) => {
-                self.forwards += 1;
-                Forward::FromStore { store_seq: e.seq }
-            }
-            None => Forward::FromCache,
+        if self.resolved == 0 {
+            return Forward::FromCache;
         }
+        // Every queued store older than the load (common case): no age
+        // boundary to search for.
+        let boundary = match self.entries.back() {
+            Some(e) if e.seq < load_seq => self.entries.len(),
+            _ => self.entries.partition_point(|e| e.seq < load_seq),
+        };
+        // Only resolved entries older than the load, youngest first.
+        let mut cand = self.resolved & low_mask(boundary);
+        while cand != 0 {
+            let p = 127 - cand.leading_zeros() as usize;
+            let e = &self.entries[p];
+            if e.range.map(|r| r.overlaps(&range)).unwrap_or(false) {
+                self.forwards += 1;
+                return Forward::FromStore { store_seq: e.seq };
+            }
+            cand &= !(1u128 << p);
+        }
+        Forward::FromCache
     }
 
     /// Releases the entry for `seq` at commit.
     pub fn release(&mut self, seq: u64) {
-        if let Some(pos) = self.entries.iter().position(|e| e.seq == seq) {
-            self.entries.remove(pos);
+        if let Some(p) = self.position(seq) {
+            self.entries.remove(p);
+            self.resolved = collapse_bit(self.resolved, p);
         }
     }
 
@@ -156,11 +219,12 @@ impl StoreQueue {
                 break;
             }
         }
+        self.resolved &= low_mask(self.entries.len());
     }
 
     /// Returns the entry for `seq`, if present.
     pub fn get(&self, seq: u64) -> Option<&StoreEntry> {
-        self.entries.iter().find(|e| e.seq == seq)
+        self.position(seq).map(|p| &self.entries[p])
     }
 }
 
@@ -169,16 +233,27 @@ impl StoreQueue {
 pub struct LoadQueue {
     cap: usize,
     entries: VecDeque<LoadEntry>,
+    /// Bit `p` set ⇔ `entries[p]` is done (executed with known address).
+    done: u128,
     /// Memory-order violations detected.
     pub violations: u64,
 }
 
 impl LoadQueue {
     /// Creates a load queue with `cap` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` exceeds 128 (the done bitmask width).
     pub fn new(cap: usize) -> Self {
+        assert!(
+            cap <= MAX_QUEUE_CAP,
+            "load queue capacity exceeds {MAX_QUEUE_CAP}"
+        );
         LoadQueue {
             cap,
-            entries: VecDeque::new(),
+            entries: VecDeque::with_capacity(cap),
+            done: 0,
             violations: 0,
         }
     }
@@ -196,6 +271,20 @@ impl LoadQueue {
     /// Whether an allocation would succeed.
     pub fn has_space(&self) -> bool {
         self.entries.len() < self.cap
+    }
+
+    /// Position of `seq` in the age-ordered queue, if present. Commits
+    /// release oldest-first, so the front is checked before the binary
+    /// search.
+    #[inline]
+    fn position(&self, seq: u64) -> Option<usize> {
+        match self.entries.front() {
+            Some(e) if e.seq == seq => return Some(0),
+            Some(e) if e.seq > seq => return None,
+            _ => {}
+        }
+        let p = self.entries.partition_point(|e| e.seq < seq);
+        (p < self.entries.len() && self.entries[p].seq == seq).then_some(p)
     }
 
     /// Allocates an entry at dispatch; `false` when full.
@@ -216,10 +305,12 @@ impl LoadQueue {
 
     /// Records a load's address, value provenance and completion.
     pub fn set_executed(&mut self, seq: u64, range: MemRange, forwarded_from: Option<u64>) {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.seq == seq) {
+        if let Some(p) = self.position(seq) {
+            let e = &mut self.entries[p];
             e.range = Some(range);
             e.forwarded_from = forwarded_from;
             e.done = true;
+            self.done |= 1u128 << p;
         }
     }
 
@@ -228,24 +319,31 @@ impl LoadQueue {
     /// range overlaps and whose value did not come from this store or a
     /// younger one. Returns that load's `(seq, pc)`.
     pub fn violation_on_store(&mut self, store_seq: u64, range: MemRange) -> Option<(u64, u64)> {
-        let hit = self
-            .entries
-            .iter()
-            .filter(|e| e.seq > store_seq && e.done)
-            .filter(|e| e.range.map(|r| r.overlaps(&range)).unwrap_or(false))
-            .find(|e| e.forwarded_from.map(|f| f < store_seq).unwrap_or(true));
-        if let Some(e) = hit {
-            self.violations += 1;
-            Some((e.seq, e.pc))
-        } else {
-            None
+        if self.done == 0 {
+            return None;
         }
+        let boundary = self.entries.partition_point(|e| e.seq <= store_seq);
+        // Only executed entries younger than the store, oldest first.
+        let mut cand = self.done & !low_mask(boundary);
+        while cand != 0 {
+            let p = cand.trailing_zeros() as usize;
+            let e = &self.entries[p];
+            if e.range.map(|r| r.overlaps(&range)).unwrap_or(false)
+                && e.forwarded_from.map(|f| f < store_seq).unwrap_or(true)
+            {
+                self.violations += 1;
+                return Some((e.seq, e.pc));
+            }
+            cand &= cand - 1;
+        }
+        None
     }
 
     /// Releases the entry for `seq` at commit.
     pub fn release(&mut self, seq: u64) {
-        if let Some(pos) = self.entries.iter().position(|e| e.seq == seq) {
-            self.entries.remove(pos);
+        if let Some(p) = self.position(seq) {
+            self.entries.remove(p);
+            self.done = collapse_bit(self.done, p);
         }
     }
 
@@ -258,11 +356,12 @@ impl LoadQueue {
                 break;
             }
         }
+        self.done &= low_mask(self.entries.len());
     }
 
     /// Returns the entry for `seq`, if present.
     pub fn get(&self, seq: u64) -> Option<&LoadEntry> {
-        self.entries.iter().find(|e| e.seq == seq)
+        self.position(seq).map(|p| &self.entries[p])
     }
 }
 
@@ -377,5 +476,48 @@ mod tests {
         lq.release(1);
         assert!(lq.get(1).is_none());
         assert!(lq.get(2).is_some());
+    }
+
+    #[test]
+    fn masks_track_middle_release_and_flush() {
+        // Resolve alternating stores, release one from the middle, and
+        // check forwarding still sees exactly the surviving resolved ones.
+        let mut sq = StoreQueue::new(8);
+        for s in [2u64, 4, 6, 8] {
+            sq.allocate(s, 0);
+        }
+        sq.set_addr(2, r(100));
+        sq.set_addr(6, r(100));
+        sq.release(4); // middle, unresolved — higher bits shift down
+        assert_eq!(
+            sq.forward_source(9, r(100)),
+            Forward::FromStore { store_seq: 6 }
+        );
+        sq.release(6);
+        assert_eq!(
+            sq.forward_source(9, r(100)),
+            Forward::FromStore { store_seq: 2 }
+        );
+        sq.flush_after(1);
+        assert_eq!(sq.forward_source(9, r(100)), Forward::FromCache);
+
+        let mut lq = LoadQueue::new(8);
+        for s in [3u64, 5, 7] {
+            lq.allocate(s, s);
+        }
+        lq.set_executed(5, r(100), None);
+        lq.set_executed(7, r(100), None);
+        lq.release(3); // oldest, not done
+        assert_eq!(lq.violation_on_store(1, r(100)), Some((5, 5)));
+        lq.flush_after(5);
+        // 7 flushed; 5 remains the only done entry.
+        assert_eq!(lq.violation_on_store(1, r(100)), Some((5, 5)));
+        assert_eq!(lq.violation_on_store(6, r(100)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exceeds")]
+    fn oversized_queue_panics() {
+        let _ = LoadQueue::new(129);
     }
 }

@@ -4,13 +4,24 @@
 //! misses. A new miss to a line already being fetched *merges* into the
 //! existing entry (completing when it fills); when all MSHRs are busy the
 //! requester waits until the earliest fill frees one.
+//!
+//! Storage is a fixed-capacity slot array (`lines` / `fills`) with an
+//! occupancy bitmask: claims take the lowest free bit in O(1), releases
+//! clear a bit, and the per-edge `Vec::retain` compaction of the seed
+//! implementation is gone — retiring a filled entry is a single bit clear
+//! and slots are reused forever without reallocation.
 
 /// A bounded file of outstanding-miss registers.
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
-    /// (line address, fill completion cycle)
-    entries: Vec<(u64, u64)>,
+    /// Line address per slot (meaningful where the occupancy bit is set).
+    lines: Box<[u64]>,
+    /// Fill completion per slot; `u64::MAX` is the placeholder an
+    /// allocation holds until [`MshrFile::record_fill`].
+    fills: Box<[u64]>,
+    /// Occupancy bitmask: bit `i` set ⇔ slot `i` holds a live miss.
+    occ: u64,
     /// Statistics: merged (secondary) misses.
     pub merges: u64,
     /// Statistics: cycles spent waiting for a free MSHR (sum over requests).
@@ -38,25 +49,44 @@ impl MshrFile {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` is zero.
+    /// Panics if `capacity` is zero or exceeds 64 (the occupancy bitmask
+    /// is a single word; Table I tops out at 64 L3 MSHRs).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be positive");
+        assert!(
+            capacity <= 64,
+            "MSHR slot file supports at most 64 registers"
+        );
         MshrFile {
             capacity,
-            entries: Vec::new(),
+            lines: vec![0; capacity].into_boxed_slice(),
+            fills: vec![0; capacity].into_boxed_slice(),
+            occ: 0,
             merges: 0,
             stall_cycles: 0,
         }
     }
 
+    /// Fixed number of registers in the file.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Number of live entries at `cycle` (after retiring filled ones).
     pub fn occupancy(&mut self, cycle: u64) -> usize {
         self.retire(cycle);
-        self.entries.len()
+        self.occ.count_ones() as usize
     }
 
     fn retire(&mut self, cycle: u64) {
-        self.entries.retain(|&(_, fill)| fill > cycle);
+        let mut m = self.occ;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if self.fills[i] <= cycle {
+                self.occ &= !(1u64 << i);
+            }
+        }
     }
 
     /// Claims an MSHR for `line` at `cycle`.
@@ -67,30 +97,58 @@ impl MshrFile {
     /// an allocation the caller **must** call [`MshrFile::record_fill`] to
     /// set the entry's fill time.
     pub fn claim(&mut self, line: u64, cycle: u64) -> MshrClaim {
-        self.retire(cycle);
-        if let Some(&(_, fill)) = self.entries.iter().find(|&&(l, _)| l == line) {
-            self.merges += 1;
-            return MshrClaim::Merged { fill };
+        // Single pass: retire filled entries and look for a live merge
+        // candidate at once. A stale entry for the same line retires
+        // rather than merging, exactly as the two-pass retire-then-scan
+        // would have decided; remaining stale bits after an early merge
+        // return are cleaned up by the next claim or occupancy query.
+        let mut m = self.occ;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if self.fills[i] <= cycle {
+                self.occ &= !(1u64 << i);
+            } else if self.lines[i] == line {
+                self.merges += 1;
+                return MshrClaim::Merged {
+                    fill: self.fills[i],
+                };
+            }
         }
-        let start = if self.entries.len() < self.capacity {
+        let start = if (self.occ.count_ones() as usize) < self.capacity {
             cycle
         } else {
             // Wait for the earliest outstanding fill to free a register.
-            let earliest = self.entries.iter().map(|&(_, f)| f).min().unwrap_or(cycle);
+            let mut earliest = u64::MAX;
+            let mut m = self.occ;
+            while m != 0 {
+                let i = m.trailing_zeros() as usize;
+                m &= m - 1;
+                earliest = earliest.min(self.fills[i]);
+            }
             self.stall_cycles += earliest.saturating_sub(cycle);
             self.retire(earliest);
             earliest
         };
-        // Reserve a slot with a placeholder fill; record_fill overwrites it.
-        self.entries.push((line, u64::MAX));
+        let slot = (!self.occ).trailing_zeros() as usize;
+        self.lines[slot] = line;
+        // Placeholder fill; record_fill overwrites it.
+        self.fills[slot] = u64::MAX;
+        self.occ |= 1u64 << slot;
         MshrClaim::Allocated { start }
     }
 
-    /// Records the fill completion time of the most recent allocation for
-    /// `line`.
+    /// Records the fill completion time of the outstanding allocation for
+    /// `line` (at most one can exist: duplicates merge at claim time).
     pub fn record_fill(&mut self, line: u64, fill: u64) {
-        if let Some(e) = self.entries.iter_mut().rev().find(|e| e.0 == line) {
-            e.1 = fill;
+        let mut m = self.occ;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if self.lines[i] == line {
+                self.fills[i] = fill;
+                return;
+            }
         }
     }
 
@@ -99,16 +157,22 @@ impl MshrFile {
     /// are ignored (their real fill time is always recorded in the same
     /// hierarchy walk that allocated them).
     pub fn next_fill_cycle(&self, cycle: u64) -> Option<u64> {
-        self.entries
-            .iter()
-            .map(|&(_, fill)| fill)
-            .filter(|&f| f > cycle && f != u64::MAX)
-            .min()
+        let mut best: Option<u64> = None;
+        let mut m = self.occ;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let f = self.fills[i];
+            if f > cycle && f != u64::MAX {
+                best = Some(best.map_or(f, |b: u64| b.min(f)));
+            }
+        }
+        best
     }
 
     /// Drops all entries (used on machine reset).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.occ = 0;
     }
 }
 
@@ -160,5 +224,47 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_panics() {
         let _ = MshrFile::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn oversized_capacity_panics() {
+        let _ = MshrFile::new(65);
+    }
+
+    #[test]
+    fn full_then_drained_file_reuses_slots_without_growth() {
+        let cap = 4usize;
+        let mut m = MshrFile::new(cap);
+        for round in 0..256u64 {
+            let base = round * 1_000;
+            for k in 0..cap as u64 {
+                match m.claim(base + k, base) {
+                    MshrClaim::Allocated { start } => {
+                        assert_eq!(start, base, "drained file must not stall");
+                        m.record_fill(base + k, base + 10 + k);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            assert_eq!(m.occupancy(base), cap, "file full");
+            assert_eq!(m.capacity(), cap, "slot storage must never grow");
+            // Past the last fill, every slot is free again.
+            assert_eq!(m.occupancy(base + 20), 0, "file drained");
+            assert_eq!(m.next_fill_cycle(base + 20), None);
+        }
+    }
+
+    #[test]
+    fn next_fill_skips_placeholders_and_past_fills() {
+        let mut m = MshrFile::new(4);
+        m.claim(1, 100);
+        m.record_fill(1, 150);
+        m.claim(2, 100);
+        m.record_fill(2, 130);
+        m.claim(3, 100); // placeholder, no record_fill yet
+        assert_eq!(m.next_fill_cycle(100), Some(130));
+        assert_eq!(m.next_fill_cycle(140), Some(150));
+        assert_eq!(m.next_fill_cycle(150), None);
     }
 }

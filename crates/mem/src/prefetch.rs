@@ -3,7 +3,13 @@
 //! Classic per-PC stride detection: a small table keyed by load PC tracks
 //! the last address and stride; after two consecutive accesses with the
 //! same stride the entry becomes confident and emits prefetch candidates
-//! `degree` strides ahead.
+//! `degree` strides ahead. Candidates are written into a caller-provided
+//! fixed buffer ([`MAX_PF_DEGREE`] slots) so the per-load hot path never
+//! touches the heap.
+
+/// Maximum prefetch candidates one observation can emit — the size of the
+/// out-buffer callers hand to [`StridePrefetcher::observe`].
+pub const MAX_PF_DEGREE: usize = 8;
 
 /// Per-PC stride table entry.
 #[derive(Debug, Clone, Copy)]
@@ -30,9 +36,13 @@ impl StridePrefetcher {
     ///
     /// # Panics
     ///
-    /// Panics if `entries` is zero.
+    /// Panics if `entries` is zero or `degree` exceeds [`MAX_PF_DEGREE`].
     pub fn new(entries: usize, degree: usize) -> Self {
         assert!(entries > 0, "prefetcher table must have entries");
+        assert!(
+            degree <= MAX_PF_DEGREE,
+            "prefetch degree {degree} exceeds the fixed out-buffer ({MAX_PF_DEGREE})"
+        );
         let e = Entry {
             pc: 0,
             last_addr: 0,
@@ -47,9 +57,10 @@ impl StridePrefetcher {
         }
     }
 
-    /// Observes a demand access `(pc, addr)` and returns the byte addresses
-    /// to prefetch (empty when the stride is not yet confident or zero).
-    pub fn observe(&mut self, pc: u64, addr: u64) -> Vec<u64> {
+    /// Observes a demand access `(pc, addr)`, writes the byte addresses to
+    /// prefetch into `out`, and returns how many were emitted (zero when
+    /// the stride is not yet confident or zero).
+    pub fn observe(&mut self, pc: u64, addr: u64, out: &mut [u64; MAX_PF_DEGREE]) -> usize {
         let idx = (pc as usize) % self.table.len();
         let e = &mut self.table[idx];
         if !e.valid || e.pc != pc {
@@ -60,7 +71,7 @@ impl StridePrefetcher {
                 confidence: 0,
                 valid: true,
             };
-            return Vec::new();
+            return 0;
         }
         let stride = addr as i64 - e.last_addr as i64;
         if stride == e.stride && stride != 0 {
@@ -70,19 +81,19 @@ impl StridePrefetcher {
             e.confidence = 0;
         }
         e.last_addr = addr;
-        if e.confidence >= 2 {
-            let mut out = Vec::with_capacity(self.degree);
-            for k in 1..=self.degree as i64 {
-                let target = addr as i64 + e.stride * k;
-                if target >= 0 {
-                    out.push(target as u64);
-                }
-            }
-            self.issued += out.len() as u64;
-            out
-        } else {
-            Vec::new()
+        if e.confidence < 2 {
+            return 0;
         }
+        let mut n = 0;
+        for k in 1..=self.degree as i64 {
+            let target = addr as i64 + e.stride * k;
+            if target >= 0 {
+                out[n] = target as u64;
+                n += 1;
+            }
+        }
+        self.issued += n as u64;
+        n
     }
 }
 
@@ -90,13 +101,20 @@ impl StridePrefetcher {
 mod tests {
     use super::*;
 
+    /// Test shim collecting the out-buffer into a `Vec`.
+    fn obs(p: &mut StridePrefetcher, pc: u64, addr: u64) -> Vec<u64> {
+        let mut buf = [0u64; MAX_PF_DEGREE];
+        let n = p.observe(pc, addr, &mut buf);
+        buf[..n].to_vec()
+    }
+
     #[test]
     fn constant_stride_becomes_confident_after_three_repeats() {
         let mut p = StridePrefetcher::new(64, 2);
-        assert!(p.observe(0x40, 1000).is_empty()); // learn addr
-        assert!(p.observe(0x40, 1064).is_empty()); // learn stride
-        assert!(p.observe(0x40, 1128).is_empty()); // confidence 1
-        let pf = p.observe(0x40, 1192); // confidence 2 → fire
+        assert!(obs(&mut p, 0x40, 1000).is_empty()); // learn addr
+        assert!(obs(&mut p, 0x40, 1064).is_empty()); // learn stride
+        assert!(obs(&mut p, 0x40, 1128).is_empty()); // confidence 1
+        let pf = obs(&mut p, 0x40, 1192); // confidence 2 → fire
         assert_eq!(pf, vec![1256, 1320]);
         assert_eq!(p.issued, 2);
     }
@@ -104,40 +122,59 @@ mod tests {
     #[test]
     fn stride_change_resets_confidence() {
         let mut p = StridePrefetcher::new(64, 1);
-        p.observe(0x40, 1000);
-        p.observe(0x40, 1064);
-        p.observe(0x40, 1128);
-        p.observe(0x40, 1192);
-        assert!(!p.observe(0x40, 1256).is_empty());
+        obs(&mut p, 0x40, 1000);
+        obs(&mut p, 0x40, 1064);
+        obs(&mut p, 0x40, 1128);
+        obs(&mut p, 0x40, 1192);
+        assert!(!obs(&mut p, 0x40, 1256).is_empty());
         // Irregular jump: must re-learn.
-        assert!(p.observe(0x40, 5000).is_empty());
-        assert!(p.observe(0x40, 5064).is_empty());
-        assert!(p.observe(0x40, 5128).is_empty());
+        assert!(obs(&mut p, 0x40, 5000).is_empty());
+        assert!(obs(&mut p, 0x40, 5064).is_empty());
+        assert!(obs(&mut p, 0x40, 5128).is_empty());
     }
 
     #[test]
     fn zero_stride_never_fires() {
         let mut p = StridePrefetcher::new(64, 2);
         for _ in 0..10 {
-            assert!(p.observe(0x40, 1000).is_empty());
+            assert!(obs(&mut p, 0x40, 1000).is_empty());
         }
     }
 
     #[test]
     fn pc_aliasing_replaces_entry() {
         let mut p = StridePrefetcher::new(1, 1);
-        p.observe(0x40, 1000);
-        p.observe(0x41, 2000); // evicts 0x40's entry
-        assert!(p.observe(0x40, 1064).is_empty()); // re-learns from scratch
+        obs(&mut p, 0x40, 1000);
+        obs(&mut p, 0x41, 2000); // evicts 0x40's entry
+        assert!(obs(&mut p, 0x40, 1064).is_empty()); // re-learns from scratch
     }
 
     #[test]
     fn negative_stride_prefetches_downward() {
         let mut p = StridePrefetcher::new(64, 1);
-        p.observe(0x40, 4096);
-        p.observe(0x40, 4032);
-        p.observe(0x40, 3968);
-        let pf = p.observe(0x40, 3904);
+        obs(&mut p, 0x40, 4096);
+        obs(&mut p, 0x40, 4032);
+        obs(&mut p, 0x40, 3968);
+        let pf = obs(&mut p, 0x40, 3904);
         assert_eq!(pf, vec![3840]);
+    }
+
+    #[test]
+    fn max_degree_fills_the_whole_buffer() {
+        let mut p = StridePrefetcher::new(64, MAX_PF_DEGREE);
+        let mut buf = [0u64; MAX_PF_DEGREE];
+        for i in 0..3u64 {
+            assert_eq!(p.observe(0x40, 1000 + i * 64, &mut buf), 0);
+        }
+        let n = p.observe(0x40, 1000 + 3 * 64, &mut buf);
+        assert_eq!(n, MAX_PF_DEGREE);
+        assert_eq!(buf[0], 1000 + 4 * 64);
+        assert_eq!(buf[MAX_PF_DEGREE - 1], 1000 + 11 * 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the fixed out-buffer")]
+    fn oversized_degree_panics() {
+        let _ = StridePrefetcher::new(64, MAX_PF_DEGREE + 1);
     }
 }
