@@ -1,0 +1,105 @@
+//! Dense-cell microbenchmark for the macro-step engine: A/B of
+//! `use_macro` on vs off over the three dense workloads (`gemm_blocked`,
+//! `int_crunch`, `stream_triad`) across the Fig. 11 machines.
+//!
+//! Both sides run the *same* pipeline binary — the only difference is
+//! whether the fused steady-state loop may take over cycles — so the
+//! wall ratio isolates exactly what the macro engine buys. Per-cell
+//! results are asserted byte-identical (modulo the instrumentation
+//! fields `host_wall_s` / `cycles_skipped` / `cycles_macro`).
+//!
+//! Usage: `dense_microbench` (honors `BALLERINO_N` / `BALLERINO_SEED`;
+//! `BALLERINO_REPS` overrides the per-cell repetition count, default 3).
+//! Exits non-zero on any statistic mismatch.
+
+use ballerino_bench::{seed, suite_len};
+use ballerino_isa::TraceDag;
+use ballerino_sim::{build_scheduler, Core, MachineKind, SimResult, Width};
+use ballerino_workloads::cached_workload;
+
+const DENSE: [&str; 3] = ["gemm_blocked", "int_crunch", "stream_triad"];
+
+fn run_cell(kind: MachineKind, wl: &str, n: usize, s: u64, use_macro: bool) -> SimResult {
+    let trace = cached_workload(wl, n, s);
+    let dag = use_macro.then(|| TraceDag::resolve(&trace));
+    let (mut cfg, sched, sizes) = build_scheduler(kind, Width::Eight);
+    cfg.use_macro = use_macro;
+    Core::new(cfg, sched, sizes).run_with_dag(&trace, dag.as_ref())
+}
+
+/// Debug rendering with the fields that legitimately differ zeroed.
+fn normalized(r: &SimResult) -> String {
+    let mut z = r.clone();
+    z.host_wall_s = 0.0;
+    z.cycles_skipped = 0;
+    z.cycles_macro = 0;
+    format!("{z:?}")
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite walls"));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let n = suite_len();
+    let s = seed();
+    let reps: usize = std::env::var("BALLERINO_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    println!(
+        "dense_microbench: {} kinds x {} workloads, N={n}, seed={s}, reps={reps}",
+        MachineKind::FIG11.len(),
+        DENSE.len()
+    );
+    println!(
+        "{:<14} {:<13} {:>9} {:>9} {:>7}  {:>10}",
+        "machine", "workload", "off(ms)", "on(ms)", "ratio", "macro%"
+    );
+
+    let mut mismatches = 0usize;
+    let mut ratios = Vec::new();
+    for kind in MachineKind::FIG11 {
+        for wl in DENSE {
+            let mut off_walls = Vec::new();
+            let mut on_walls = Vec::new();
+            let mut r_off = None;
+            let mut r_on = None;
+            for _ in 0..reps {
+                let r = run_cell(kind, wl, n, s, false);
+                off_walls.push(r.host_wall_s);
+                r_off = Some(r);
+                let r = run_cell(kind, wl, n, s, true);
+                on_walls.push(r.host_wall_s);
+                r_on = Some(r);
+            }
+            let (r_off, r_on) = (r_off.expect("reps >= 1"), r_on.expect("reps >= 1"));
+            if normalized(&r_off) != normalized(&r_on) {
+                eprintln!(
+                    "MISMATCH {} {wl}: results diverge with macro on",
+                    kind.label()
+                );
+                mismatches += 1;
+            }
+            let off = median(&mut off_walls) * 1e3;
+            let on = median(&mut on_walls) * 1e3;
+            let ratio = off / on;
+            ratios.push(ratio);
+            println!(
+                "{:<14} {:<13} {:>9.2} {:>9.2} {:>6.2}x  {:>9.1}%",
+                kind.label(),
+                wl,
+                off,
+                on,
+                ratio,
+                100.0 * r_on.cycles_macro as f64 / r_on.cycles.max(1) as f64,
+            );
+        }
+    }
+    let med = median(&mut ratios);
+    println!("median dense-cell speedup: {med:.3}x ({mismatches} mismatches)");
+    if mismatches > 0 {
+        std::process::exit(1);
+    }
+}

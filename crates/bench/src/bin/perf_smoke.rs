@@ -18,8 +18,11 @@
 //!
 //! Usage: `perf_smoke` (honors `BALLERINO_N` / `BALLERINO_SEED` /
 //! `BALLERINO_THREADS`, plus `BALLERINO_MEM_NAIVE` to pin both sides to
-//! the seed-exact memory lookup path for fast-path A/Bs). Exits non-zero
-//! on any cycle mismatch.
+//! the seed-exact memory lookup path for fast-path A/Bs and
+//! `BALLERINO_NO_MACRO` to disable the macro-step engine on the new
+//! side; `BALLERINO_REPS` overrides the repetition count, default 3 —
+//! the JSON reports the median wall per side plus the min/max spread).
+//! Exits non-zero on any cycle mismatch.
 
 use ballerino_bench::{run_matrix, run_matrix_legacy, seed, suite_len, threads};
 use ballerino_sim::{run_machine_reference, MachineKind, SimResult, Width};
@@ -27,30 +30,54 @@ use ballerino_workloads::workload_names;
 use std::fmt::Write as _;
 use std::time::Instant;
 
+/// Median of a small wall-clock sample (sorts in place).
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite walls"));
+    xs[xs.len() / 2]
+}
+
 fn main() {
     let kinds = MachineKind::FIG11;
     let width = Width::Eight;
     let names = workload_names();
-    let mem_naive = std::env::var_os("BALLERINO_MEM_NAIVE").is_some();
+    let mem_naive = ballerino_isa::env_flag("BALLERINO_MEM_NAIVE");
+    let no_macro = ballerino_isa::env_flag("BALLERINO_NO_MACRO");
+    let reps: usize = std::env::var("BALLERINO_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(3);
     println!(
-        "perf_smoke: {} kinds x {} workloads, N={}, seed={}, threads={}, mem={}",
+        "perf_smoke: {} kinds x {} workloads, N={}, seed={}, threads={}, mem={}, macro={}, reps={reps}",
         kinds.len(),
         names.len(),
         suite_len(),
         seed(),
         threads(),
-        if mem_naive { "naive" } else { "fast" }
+        if mem_naive { "naive" } else { "fast" },
+        if no_macro { "off" } else { "on" },
     );
 
     println!("running baseline (legacy runner x reference pipeline)...");
-    let t0 = Instant::now();
-    let base = run_matrix_legacy(&kinds, width, run_machine_reference);
-    let base_wall = t0.elapsed().as_secs_f64();
+    let mut base_walls = Vec::with_capacity(reps);
+    let mut base = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        base = run_matrix_legacy(&kinds, width, run_machine_reference);
+        base_walls.push(t0.elapsed().as_secs_f64());
+    }
 
     println!("running new (work-stealing runner x slab pipeline)...");
-    let t1 = Instant::now();
-    let new = run_matrix(&kinds, width);
-    let new_wall = t1.elapsed().as_secs_f64();
+    let mut new_walls = Vec::with_capacity(reps);
+    let mut new = Vec::new();
+    for _ in 0..reps {
+        let t1 = Instant::now();
+        new = run_matrix(&kinds, width);
+        new_walls.push(t1.elapsed().as_secs_f64());
+    }
+
+    let base_wall = median(&mut base_walls);
+    let new_wall = median(&mut new_walls);
 
     let mut mismatches = 0usize;
     for (ki, &kind) in kinds.iter().enumerate() {
@@ -75,8 +102,12 @@ fn main() {
     let total_uops: u64 = new.iter().flatten().map(|r| r.committed).sum();
     let total_cycles: u64 = new.iter().flatten().map(|r| r.cycles).sum();
     println!(
-        "baseline {base_wall:.3}s, new {new_wall:.3}s -> {speedup:.2}x \
-         ({:.2} M uops/s, {:.2} M cycles/s aggregate)",
+        "baseline {base_wall:.3}s [{:.3}..{:.3}], new {new_wall:.3}s [{:.3}..{:.3}] \
+         -> {speedup:.2}x ({:.2} M uops/s, {:.2} M cycles/s aggregate; medians of {reps})",
+        base_walls[0],
+        base_walls[reps - 1],
+        new_walls[0],
+        new_walls[reps - 1],
         total_uops as f64 / new_wall / 1e6,
         total_cycles as f64 / new_wall / 1e6
     );
@@ -94,7 +125,14 @@ fn main() {
     }
 
     let json = render_json(
-        &kinds, &names, &base, &new, base_wall, new_wall, speedup, mismatches,
+        &kinds,
+        &names,
+        &base,
+        &new,
+        &base_walls,
+        &new_walls,
+        speedup,
+        mismatches,
     );
     let path = "BENCH_simthroughput.json";
     std::fs::write(path, json).expect("write BENCH_simthroughput.json");
@@ -147,12 +185,18 @@ fn render_json(
     names: &[&str],
     base: &[Vec<SimResult>],
     new: &[Vec<SimResult>],
-    base_wall: f64,
-    new_wall: f64,
+    base_walls: &[f64],
+    new_walls: &[f64],
     speedup: f64,
     mismatches: usize,
 ) -> String {
+    // Both slices arrive sorted (the median computation sorts in place).
+    let (base_wall, new_wall) = (
+        base_walls[base_walls.len() / 2],
+        new_walls[new_walls.len() / 2],
+    );
     let total_skipped: u64 = new.iter().flatten().map(|r| r.cycles_skipped).sum();
+    let total_macro: u64 = new.iter().flatten().map(|r| r.cycles_macro).sum();
     let total_cycles: u64 = new.iter().flatten().map(|r| r.cycles).sum();
     let mut s = String::new();
     s.push_str("{\n");
@@ -165,12 +209,31 @@ fn render_json(
     let _ = writeln!(
         s,
         "  \"mem_naive\": {},",
-        std::env::var_os("BALLERINO_MEM_NAIVE").is_some()
+        ballerino_isa::env_flag("BALLERINO_MEM_NAIVE")
     );
+    let _ = writeln!(
+        s,
+        "  \"use_macro\": {},",
+        !ballerino_isa::env_flag("BALLERINO_NO_MACRO")
+    );
+    let _ = writeln!(s, "  \"reps\": {},", base_walls.len());
     let _ = writeln!(s, "  \"cycles_skipped\": {total_skipped},");
+    let _ = writeln!(s, "  \"cycles_macro\": {total_macro},");
     let _ = writeln!(s, "  \"total_cycles\": {total_cycles},");
     let _ = writeln!(s, "  \"baseline_wall_s\": {base_wall:.6},");
+    let _ = writeln!(s, "  \"baseline_wall_min_s\": {:.6},", base_walls[0]);
+    let _ = writeln!(
+        s,
+        "  \"baseline_wall_max_s\": {:.6},",
+        base_walls[base_walls.len() - 1]
+    );
     let _ = writeln!(s, "  \"new_wall_s\": {new_wall:.6},");
+    let _ = writeln!(s, "  \"new_wall_min_s\": {:.6},", new_walls[0]);
+    let _ = writeln!(
+        s,
+        "  \"new_wall_max_s\": {:.6},",
+        new_walls[new_walls.len() - 1]
+    );
     let _ = writeln!(s, "  \"speedup\": {speedup:.4},");
     let _ = writeln!(s, "  \"cycle_mismatches\": {mismatches},");
     s.push_str("  \"cells\": [\n");
@@ -186,7 +249,8 @@ fn render_json(
             let _ = write!(
                 s,
                 "    {{\"kind\": \"{}\", \"workload\": \"{}\", \"cycles\": {}, \
-                 \"committed\": {}, \"cycles_skipped\": {}, \"host_wall_s\": {:.6}, \
+                 \"committed\": {}, \"cycles_skipped\": {}, \"cycles_macro\": {}, \
+                 \"host_wall_s\": {:.6}, \
                  \"baseline_host_wall_s\": {:.6}, \"sim_uops_per_sec\": {:.1}, \
                  \"sim_cycles_per_sec\": {:.1}}}",
                 kind.label(),
@@ -194,6 +258,7 @@ fn render_json(
                 r.cycles,
                 r.committed,
                 r.cycles_skipped,
+                r.cycles_macro,
                 r.host_wall_s,
                 b.host_wall_s,
                 r.sim_uops_per_sec(),

@@ -58,8 +58,8 @@
 #![warn(missing_docs)]
 
 use ballerino_sim::stats::geomean;
-use ballerino_sim::{run_machine, MachineKind, SimResult, Width};
-use ballerino_workloads::{cached_workload, workload, workload_names};
+use ballerino_sim::{run_machine_with_dag, MachineKind, SimResult, Width};
+use ballerino_workloads::{cached_dag, cached_workload, workload, workload_names};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -133,7 +133,10 @@ pub fn run_cells(
                     break;
                 };
                 let t = cached_workload(wl, n, s);
-                let r = run_machine(kind, width, &t);
+                // One DAG resolution per (workload, n, seed), shared by
+                // every machine kind's macro-step engine.
+                let dag = cached_dag(wl, n, s);
+                let r = run_machine_with_dag(kind, width, &t, Some(&dag));
                 *slots[i].lock().expect("result slot poisoned") = Some(r);
             });
         }

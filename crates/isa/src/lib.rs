@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod dag;
 pub mod op;
 pub mod ports;
 pub mod regs;
@@ -28,8 +29,18 @@ pub mod rng;
 pub mod trace;
 pub mod trace_io;
 
+pub use dag::{DagOp, TraceDag, ICACHE_LINE_BYTES};
 pub use op::{BranchInfo, BranchKind, MemInfo, MicroOp, OpClass};
 pub use ports::{FuKind, PortId, PortMap, MAX_PORTS};
 pub use regs::{ArchReg, PhysReg, RegClass, NUM_ARCH_REGS};
 pub use trace::{Trace, TraceStats};
 pub use trace_io::{from_text, to_text, ParseTraceError};
+
+/// Whether a boolean `BALLERINO_*` environment knob is enabled.
+///
+/// Set-but-empty counts as *unset*, so CI matrices (and shell one-liners
+/// like `BALLERINO_NO_MACRO= cargo test`) can pass an empty value to mean
+/// "leave the default"; any non-empty value enables the knob.
+pub fn env_flag(name: &str) -> bool {
+    std::env::var_os(name).is_some_and(|v| !v.is_empty())
+}

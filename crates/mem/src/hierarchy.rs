@@ -149,7 +149,7 @@ impl Hierarchy {
     /// path is used unless the `BALLERINO_MEM_NAIVE` environment variable
     /// is set (the A/B knob; results are identical either way).
     pub fn new(cfg: &MemConfig) -> Self {
-        Self::with_mode(cfg, std::env::var_os("BALLERINO_MEM_NAIVE").is_some())
+        Self::with_mode(cfg, ballerino_isa::env_flag("BALLERINO_MEM_NAIVE"))
     }
 
     /// Builds a hierarchy on the frozen seed-exact lookup path (full set

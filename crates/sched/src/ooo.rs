@@ -68,9 +68,7 @@ impl OooIq {
     /// Builds an empty IQ. Honours the `BALLERINO_BROADCAST_WAKEUP=1`
     /// environment knob (see [`OooIq::with_broadcast_wakeup`]).
     pub fn new(cfg: OooIqConfig) -> Self {
-        let broadcast_wakeup = std::env::var_os("BALLERINO_BROADCAST_WAKEUP")
-            .map(|v| v == "1")
-            .unwrap_or(false);
+        let broadcast_wakeup = ballerino_isa::env_flag("BALLERINO_BROADCAST_WAKEUP");
         let slots = vec![None; cfg.entries];
         let free_slots = (0..cfg.entries).map(Reverse).collect();
         OooIq {
@@ -346,6 +344,41 @@ impl Scheduler for OooIq {
 
     fn issue_breakdown(&self) -> IssueBreakdown {
         self.breakdown
+    }
+
+    fn macro_grant(
+        &mut self,
+        ctx: &ReadyCtx<'_>,
+        ports: &mut PortAlloc<'_>,
+        out: &mut Vec<u64>,
+    ) -> bool {
+        if self.reference_select || self.broadcast_wakeup {
+            return false; // legacy A/B paths go through `issue`
+        }
+        if self.occupancy == 0 {
+            return true; // `issue` would return without side effects
+        }
+        // Mirror of `issue`'s fabric path, with the grant-identical fast
+        // select. Every charge below matches `issue` line for line.
+        self.energy.head_examinations += self.occupancy as u64;
+        self.fabric.poll(ctx);
+        let any_request = self.fabric.select_fast(ports, self.cfg.oldest_first);
+        if any_request {
+            self.energy.select_inputs += (self.cfg.entries * MAX_PORTS.min(8)) as u64;
+        }
+        for k in 0..self.fabric.grant_count() {
+            let seq = self.fabric.grant(k);
+            let i = self.fabric.tag_of(seq) as usize;
+            let u = self.slots[i].take().expect("granted slot");
+            debug_assert_eq!(u.seq, seq);
+            self.free_slots.push(Reverse(i));
+            self.occupancy -= 1;
+            self.energy.queue_reads += 1;
+            self.breakdown.from_ooo += 1;
+            out.push(seq);
+            self.fabric.remove(seq);
+        }
+        true
     }
 
     fn next_event_cycle(&self, ctx: &ReadyCtx<'_>, pending: Option<&SchedUop>) -> Option<u64> {

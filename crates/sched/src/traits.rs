@@ -149,6 +149,32 @@ pub trait Scheduler {
         None
     }
 
+    /// Macro-step grant: a drop-in replacement for one [`Scheduler::issue`]
+    /// call used by the core's macro-step engine (see ARCHITECTURE.md,
+    /// "The macro-step engine").
+    ///
+    /// Returns `true` when the scheduler handled the cycle itself, in
+    /// which case its grants **and** every observable side effect
+    /// (energy micro-events, issue breakdown, head/steer histograms,
+    /// internal queue state) must be byte-identical to what `issue` would
+    /// have produced for the same arguments — the macro engine skips the
+    /// `issue` call entirely. Designs on the [`WakeFabric`] path
+    /// implement this with the fabric's fast select
+    /// ([`WakeFabric::select_fast`]); the conservative default declines
+    /// (`false`, mutating nothing), and the engine falls back to the
+    /// per-cycle `issue` call.
+    ///
+    /// [`WakeFabric`]: crate::WakeFabric
+    /// [`WakeFabric::select_fast`]: crate::WakeFabric::select_fast
+    fn macro_grant(
+        &mut self,
+        _ctx: &ReadyCtx<'_>,
+        _ports: &mut PortAlloc<'_>,
+        _out: &mut Vec<u64>,
+    ) -> bool {
+        false
+    }
+
     /// Replays the bookkeeping of `k` consecutive idle cycles in one call:
     /// exactly what `k` calls of `issue` (plus, when `pending` is some, `k`
     /// refused `try_dispatch` calls) starting at `ctx.cycle` would have

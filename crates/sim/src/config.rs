@@ -65,6 +65,11 @@ pub struct CoreConfig {
     /// Purely a simulator-throughput knob: results are byte-identical
     /// either way.
     pub skip_idle: bool,
+    /// Whether the macro-step engine may execute steady-state cycle runs
+    /// in one fused pass (see ARCHITECTURE.md, "The macro-step engine").
+    /// Purely a simulator-throughput knob: results are byte-identical
+    /// either way.
+    pub use_macro: bool,
 }
 
 impl CoreConfig {
@@ -87,6 +92,7 @@ impl CoreConfig {
                 use_mdp: true,
                 freq_ghz: 3.4,
                 skip_idle: true,
+                use_macro: true,
             },
             Width::Ten => CoreConfig {
                 issue_width: 10,
@@ -109,6 +115,7 @@ impl CoreConfig {
                 use_mdp: true,
                 freq_ghz: 2.5,
                 skip_idle: true,
+                use_macro: true,
             },
             Width::Two => CoreConfig {
                 front_width: 2,
@@ -129,6 +136,7 @@ impl CoreConfig {
                 use_mdp: true,
                 freq_ghz: 2.0,
                 skip_idle: true,
+                use_macro: true,
             },
         }
     }

@@ -8,7 +8,7 @@ use crate::slab::SeqSlab;
 use crate::stats::{SimResult, TimingBreakdown, TimingClass};
 use ballerino_energy::{EnergyEvents, StructureSizes};
 use ballerino_frontend::{Btb, RenamedOp, Renamer, Tage};
-use ballerino_isa::{MicroOp, OpClass, Trace};
+use ballerino_isa::{MicroOp, OpClass, Trace, TraceDag};
 use ballerino_mem::lsq::{Forward, MemRange};
 use ballerino_mem::{AccessKind, Hierarchy, LoadQueue, Mdp, MdpConfig, StoreQueue};
 use ballerino_sched::ports::PortArbiter;
@@ -20,6 +20,26 @@ use std::collections::{BinaryHeap, VecDeque};
 
 /// Store-to-load forwarding latency (cycles after AGU).
 const FORWARD_LATENCY: u64 = 3;
+
+/// Completion-ring span in cycles (power of two). Completions landing
+/// within this many cycles of *now* go into a calendar ring instead of
+/// the binary heap while the macro-step engine is running; anything
+/// further out (long DRAM fills) falls back to the heap. 128 covers
+/// every fixed execution latency and all but the rarest memory fills.
+const RING_SPAN: u64 = 128;
+
+/// Fused runs shorter than this are treated as a failed engagement: the
+/// regime was not steady enough to amortize the macro loop's entry and
+/// ring-flush overhead, so the engine backs off (see `macro_backoff`).
+const MACRO_MIN_RUN: u64 = 8;
+
+/// Dormancy bounds after failed engagements. The first failure costs
+/// only `MACRO_BACKOFF_MIN` cycles of dormancy (so warm-up hiccups do
+/// not suppress the engine), but consecutive failures double it up to
+/// `MACRO_BACKOFF_MAX`, so persistently unsteady phases (e.g. the
+/// memory-bound `stream_triad`) re-test the gate only rarely.
+const MACRO_BACKOFF_MIN: u64 = 8;
+const MACRO_BACKOFF_MAX: u64 = 512;
 
 #[derive(Debug)]
 struct Inflight {
@@ -81,6 +101,25 @@ pub struct Core {
     arbiter: PortArbiter,
     fu_busy: FuBusy,
     events: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Near-future completion calendar used by the macro-step engine:
+    /// `ring[t % RING_SPAN]` holds `(t, seq)` completions due at cycle
+    /// `t`. Only populated while `in_macro`; flushed back into `events`
+    /// when the fused loop exits so the per-cycle path never sees it.
+    ring: Vec<Vec<(u64, u64)>>,
+    /// Total entries across all ring buckets.
+    ring_len: usize,
+    /// Whether `process_issue` may route completions into the ring.
+    in_macro: bool,
+    /// Cycle before which the macro-step engine stays dormant after a
+    /// failed (too-short) engagement. Purely a performance throttle: it
+    /// shifts the `cycles_macro`/`cycles_skipped` split but never any
+    /// simulated statistic.
+    macro_backoff: u64,
+    /// Current dormancy length, doubled on consecutive failed
+    /// engagements and reset by a successful one.
+    macro_backoff_len: u64,
+    /// Scratch buffer for the macro loop's per-cycle writeback batch.
+    wb_buf: Vec<u64>,
     /// Load-taint table indexed by physical-register number: the seq of
     /// the in-flight load whose value (transitively) feeds the register,
     /// or 0 for untainted (seqs start at 1). Dense because every rename
@@ -93,6 +132,11 @@ pub struct Core {
     mispredicts: u64,
     /// Cycles fast-forwarded by the event-horizon engine.
     cycles_skipped: u64,
+    /// Cycles executed inside the macro-step engine's fused loop.
+    cycles_macro: u64,
+    /// The last horizon the event-horizon engine jumped to (diagnostic
+    /// context for the no-forward-progress panic).
+    last_skip_horizon: u64,
     stall_reasons: [u64; 5],
     violations: u64,
     dispatch_stalls: u64,
@@ -141,11 +185,19 @@ impl Core {
             arbiter,
             fu_busy: FuBusy::new(),
             events: BinaryHeap::new(),
+            ring: (0..RING_SPAN).map(|_| Vec::new()).collect(),
+            ring_len: 0,
+            in_macro: false,
+            macro_backoff: 0,
+            macro_backoff_len: 0,
+            wb_buf: Vec::new(),
             taint: vec![0; total_phys],
             issue_buf: Vec::new(),
             committed: 0,
             mispredicts: 0,
             cycles_skipped: 0,
+            cycles_macro: 0,
+            last_skip_horizon: 0,
             stall_reasons: [0; 5],
             violations: 0,
             dispatch_stalls: 0,
@@ -160,11 +212,46 @@ impl Core {
     ///
     /// Panics if the machine stops making progress (a scheduler deadlock
     /// is always a bug, never a valid outcome).
-    pub fn run(mut self, trace: &Trace) -> SimResult {
+    pub fn run(self, trace: &Trace) -> SimResult {
+        self.run_with_dag(trace, None)
+    }
+
+    /// Like [`Core::run`], but reuses a pre-resolved dependence DAG for
+    /// the trace (see [`TraceDag`]). Callers that simulate the same trace
+    /// on many machines should resolve once (or use
+    /// `ballerino_workloads::cached_dag`) and pass it here; `run` resolves
+    /// a private copy when the macro-step engine is enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine stops making progress, or if `dag` was not
+    /// resolved from `trace`.
+    pub fn run_with_dag(mut self, trace: &Trace, dag: Option<&TraceDag>) -> SimResult {
         let started = std::time::Instant::now();
         let target = trace.len() as u64;
         let max_cycles = 600 * target + 200_000;
+        let local_dag;
+        let dag = if self.cfg.use_macro {
+            Some(match dag {
+                Some(d) => {
+                    assert_eq!(d.len(), trace.len(), "DAG does not match trace");
+                    d
+                }
+                None => {
+                    local_dag = TraceDag::resolve(trace);
+                    &local_dag
+                }
+            })
+        } else {
+            None
+        };
         while self.committed < target {
+            if let Some(dag) = dag {
+                self.macro_step(trace, dag, target, max_cycles);
+                if self.committed >= target {
+                    break;
+                }
+            }
             if self.cfg.skip_idle {
                 self.try_skip(trace, max_cycles);
             }
@@ -181,9 +268,10 @@ impl Core {
                     )
                 });
                 panic!(
-                    "no forward progress: {} committed of {target} after {} cycles (sched {}, wl {}); rob head: {head:?}; occupancy {}/{}; held {}",
+                    "no forward progress: {} committed of {target} after {} cycles (sched {}, wl {}); rob head: {head:?}; occupancy {}/{}; held {}; cycles_skipped {}; cycles_macro {}; last skip horizon {}",
                     self.committed, self.cycle, self.sched.name(), trace.name,
                     self.sched.occupancy(), self.sched.capacity(), self.held.len(),
+                    self.cycles_skipped, self.cycles_macro, self.last_skip_horizon,
                 );
             }
         }
@@ -330,6 +418,7 @@ impl Core {
         if x <= c0 {
             return;
         }
+        self.last_skip_horizon = x;
         let k = x - c0;
 
         // Replay the skipped cycles' bookkeeping in closed form.
@@ -353,6 +442,182 @@ impl Core {
         self.cycle = x;
     }
 
+    // ---------------------------------------------------------- macro step
+    /// Routes a completion event either into the near-future calendar
+    /// ring (inside the macro loop) or the binary heap (everywhere else).
+    /// Both stores carry `(t, seq)` so drain order is identical.
+    #[inline]
+    fn push_completion(&mut self, t: u64, seq: u64) {
+        debug_assert!(t > self.cycle, "completions are always in the future");
+        if self.in_macro && t - self.cycle < RING_SPAN {
+            self.ring[(t % RING_SPAN) as usize].push((t, seq));
+            self.ring_len += 1;
+        } else {
+            self.events.push(Reverse((t, seq)));
+        }
+    }
+
+    /// Moves any completions still parked in the ring back into the heap
+    /// so the per-cycle path (which only reads `events`) stays correct.
+    fn flush_ring(&mut self) {
+        if self.ring_len == 0 {
+            return;
+        }
+        for bucket in &mut self.ring {
+            for (t, seq) in bucket.drain(..) {
+                self.events.push(Reverse((t, seq)));
+            }
+        }
+        self.ring_len = 0;
+    }
+
+    /// Cheap entry gate for the macro loop: engage only when this cycle
+    /// provably does something (a completion fires now, or fetch is
+    /// actively streaming). A false negative just means the per-cycle
+    /// path (with its event-horizon skip) handles the cycle instead.
+    fn macro_ready(&self, trace: &Trace) -> bool {
+        if let Some(&Reverse((t, _))) = self.events.peek() {
+            if t <= self.cycle {
+                return true;
+            }
+        }
+        !self.fetch_stalled
+            && self.cycle >= self.fetch_resume_at
+            && self.alloc_q.len() < self.cfg.alloc_queue
+            && self.fetch_idx < trace.len()
+    }
+
+    /// Executes a run of consecutive cycles in one fused pass while the
+    /// pipeline stays in a steady busy regime.
+    ///
+    /// Each fused iteration performs the exact same stage sequence as
+    /// [`Core::step`] (writeback → commit → issue → dispatch → fetch),
+    /// so results are byte-identical to cycle stepping; the win is
+    /// structural: completions drain from a calendar ring instead of the
+    /// heap, issue goes through the scheduler's
+    /// [`Scheduler::macro_grant`] fast path when it offers one, and fetch
+    /// uses the trace DAG's pre-resolved line-cross flags. The loop exits
+    /// — falling back to the per-cycle path — at the first cycle with no
+    /// activity (which the event-horizon engine then skips in closed
+    /// form) and after any memory-order violation squash.
+    fn macro_step(&mut self, trace: &Trace, dag: &TraceDag, target: u64, max_cycles: u64) {
+        if self.cycle < self.macro_backoff || !self.macro_ready(trace) {
+            return;
+        }
+        let fused0 = self.cycles_macro;
+        self.in_macro = true;
+        while self.committed < target && self.cycle < max_cycles {
+            let violations0 = self.violations;
+            let mut activity = false;
+
+            // -- writeback: drain this cycle's ring bucket plus any due
+            // heap entries (long-latency fills), in (cycle, seq) order.
+            let mut wb = std::mem::take(&mut self.wb_buf);
+            wb.clear();
+            {
+                let bucket = &mut self.ring[(self.cycle % RING_SPAN) as usize];
+                self.ring_len -= bucket.len();
+                for (t, seq) in bucket.drain(..) {
+                    debug_assert_eq!(t, self.cycle, "ring bucket holds only this cycle");
+                    wb.push(seq);
+                }
+            }
+            while let Some(&Reverse((t, seq))) = self.events.peek() {
+                if t > self.cycle {
+                    break;
+                }
+                debug_assert_eq!(t, self.cycle, "events are never past-due");
+                self.events.pop();
+                wb.push(seq);
+            }
+            if !wb.is_empty() {
+                activity = true;
+                wb.sort_unstable();
+                for &seq in &wb {
+                    self.writeback_one(seq);
+                }
+            }
+            self.wb_buf = wb;
+
+            // -- commit
+            let committed0 = self.committed;
+            self.commit();
+            activity |= self.committed != committed0;
+
+            // -- issue (scheduler fast path when it offers one)
+            let mut out = std::mem::take(&mut self.issue_buf);
+            out.clear();
+            {
+                let ctx = ReadyCtx {
+                    cycle: self.cycle,
+                    scb: &self.scb,
+                    held: &self.held,
+                };
+                let mut ports = PortAlloc::new(
+                    self.cfg.port_map.num_ports(),
+                    self.cfg.issue_width,
+                    &self.fu_busy,
+                    self.cycle,
+                );
+                if !self.sched.macro_grant(&ctx, &mut ports, &mut out) {
+                    self.sched.issue(&ctx, &mut ports, &mut out);
+                }
+            }
+            if !out.is_empty() {
+                activity = true;
+                out.sort_unstable();
+                for &seq in &out {
+                    self.process_issue(seq);
+                }
+            }
+            self.issue_buf = out;
+
+            // -- dispatch (progress = queue drained, pending consumed, or
+            // a new μop renamed; a refused retry or structural stall is
+            // bookkeeping the event-horizon replay reproduces, not work)
+            let alloc0 = self.alloc_q.len();
+            let pending0 = self.pending.is_some();
+            let seq0 = self.next_seq;
+            self.dispatch(trace);
+            activity |= self.alloc_q.len() != alloc0
+                || self.pending.is_some() != pending0
+                || self.next_seq != seq0;
+
+            // -- fetch
+            let idx0 = self.fetch_idx;
+            self.fetch_macro(trace, dag);
+            activity |= self.fetch_idx != idx0;
+
+            self.cycle += 1;
+            self.cycles_macro += 1;
+            // A squash rewound the front end; resynchronize through the
+            // per-cycle path before fusing again.
+            if self.violations != violations0 {
+                break;
+            }
+            if !activity {
+                // A dead cycle: executing it performed exactly the
+                // bookkeeping the event-horizon replay would have, so the
+                // skip engine can take over from the next cycle.
+                break;
+            }
+        }
+        self.in_macro = false;
+        self.flush_ring();
+        // Hysteresis: a run that died almost immediately means the regime
+        // is not steady (memory-bound phases fuse a couple of cycles, hit
+        // a dead cycle, and exit). Re-arming the engine every cycle there
+        // costs more than the fused cycles save, so back off and let the
+        // per-cycle path (with its event-horizon skip) carry the phase.
+        if self.cycles_macro - fused0 < MACRO_MIN_RUN {
+            self.macro_backoff_len =
+                (self.macro_backoff_len * 2).clamp(MACRO_BACKOFF_MIN, MACRO_BACKOFF_MAX);
+            self.macro_backoff = self.cycle + self.macro_backoff_len;
+        } else {
+            self.macro_backoff_len = 0;
+        }
+    }
+
     fn step(&mut self, trace: &Trace) {
         self.writeback();
         self.commit();
@@ -369,20 +634,28 @@ impl Core {
                 break;
             }
             self.events.pop();
-            let Some(inf) = self.inflight.get_mut(seq) else {
-                continue;
-            };
-            inf.completed = true;
-            if let Some(d) = inf.uop.dst {
-                self.energy.prf_writes += 1;
-                self.sched.on_complete(d);
-            }
-            if inf.op.is_branch() && inf.mispredicted {
-                // Resolution redirects the front end after the recovery
-                // penalty (Table I).
-                self.fetch_stalled = false;
-                self.fetch_resume_at = self.cycle + self.cfg.recovery_penalty;
-            }
+            self.writeback_one(seq);
+        }
+    }
+
+    /// Completes one μop: marks it done, wakes consumers, and unstalls
+    /// fetch on a resolved mispredict. Seqs flushed by a squash after
+    /// their event was queued are skipped harmlessly.
+    #[inline]
+    fn writeback_one(&mut self, seq: u64) {
+        let Some(inf) = self.inflight.get_mut(seq) else {
+            return;
+        };
+        inf.completed = true;
+        if let Some(d) = inf.uop.dst {
+            self.energy.prf_writes += 1;
+            self.sched.on_complete(d);
+        }
+        if inf.op.is_branch() && inf.mispredicted {
+            // Resolution redirects the front end after the recovery
+            // penalty (Table I).
+            self.fetch_stalled = false;
+            self.fetch_resume_at = self.cycle + self.cfg.recovery_penalty;
         }
     }
 
@@ -398,31 +671,40 @@ impl Core {
                 break;
             }
             self.rob.pop_front();
-            let inf = self.inflight.remove(seq).expect("committing inflight");
+            // Copy out the handful of fields commit needs, then drop the
+            // entry in place — cheaper than moving the whole `Inflight`
+            // off the slab just to read six words from it.
+            let (prev_dst, class_op, pc, mem, class, dc, pd, rc, ic) = {
+                let inf = self.inflight.get(seq).expect("committing inflight");
+                (
+                    inf.renamed.prev_dst,
+                    inf.op.class,
+                    inf.op.pc,
+                    inf.op.mem,
+                    inf.class,
+                    inf.decode_cycle,
+                    inf.dispatch_cycle,
+                    inf.ready_cycle,
+                    inf.issue_cycle.expect("committed ⇒ issued"),
+                )
+            };
+            self.inflight.discard(seq);
             self.energy.rob_reads += 1;
-            if let Some(prev) = inf.renamed.prev_dst {
+            if let Some(prev) = prev_dst {
                 self.renamer.release(prev);
                 self.taint[prev.raw() as usize] = 0;
             }
-            if inf.op.is_load() {
+            if class_op == OpClass::Load {
                 self.lq.release(seq);
             }
-            if inf.op.is_store() {
+            if class_op == OpClass::Store {
                 self.sq.release(seq);
                 // The store writes the cache at commit.
-                if let Some(m) = inf.op.mem {
-                    let _ = self
-                        .hier
-                        .access(m.addr, inf.op.pc, self.cycle, AccessKind::Store);
+                if let Some(m) = mem {
+                    let _ = self.hier.access(m.addr, pc, self.cycle, AccessKind::Store);
                 }
             }
-            self.timing.record(
-                inf.class,
-                inf.decode_cycle,
-                inf.dispatch_cycle,
-                inf.ready_cycle,
-                inf.issue_cycle.expect("committed ⇒ issued"),
-            );
+            self.timing.record(class, dc, pd, rc, ic);
             self.committed += 1;
         }
     }
@@ -447,9 +729,6 @@ impl Core {
         }
         out.sort_unstable();
         for &seq in &out {
-            if !self.inflight.contains(seq) {
-                continue; // flushed by an earlier violation in this batch
-            }
             self.process_issue(seq);
         }
         self.issue_buf = out;
@@ -459,20 +738,21 @@ impl Core {
     /// LSQ/scoreboard, and handles violations and MDP releases.
     fn process_issue(&mut self, seq: u64) {
         let cycle = self.cycle;
-        let (op, uop, trace_idx) = {
-            let inf = self.inflight.get_mut(seq).expect("issued inflight");
-            debug_assert!(inf.issue_cycle.is_none(), "double issue of {seq}");
-            inf.issue_cycle = Some(cycle);
-            (inf.op.clone(), inf.uop, inf.trace_idx)
+        // μops flushed by an earlier violation in the same issue batch
+        // are silently skipped.
+        let Some(inf) = self.inflight.get_mut(seq) else {
+            return;
         };
-        let _ = trace_idx;
+        debug_assert!(inf.issue_cycle.is_none(), "double issue of {seq}");
+        inf.issue_cycle = Some(cycle);
+        let (pc, mem, uop) = (inf.op.pc, inf.op.mem, inf.uop);
         self.arbiter.release(uop.port);
         self.energy.prf_reads += uop.srcs.iter().flatten().count() as u64;
         self.energy.fu.record(uop.class);
 
         let completion = match uop.class {
             OpClass::Load => {
-                let m = op.mem.expect("load has mem info");
+                let m = mem.expect("load has mem info");
                 let range = MemRange {
                     addr: m.addr,
                     size: m.size,
@@ -482,8 +762,7 @@ impl Core {
                 let done = match fwd {
                     Forward::FromStore { .. } => cycle + 1 + FORWARD_LATENCY,
                     Forward::FromCache => {
-                        let (done, _) =
-                            self.hier.access(m.addr, op.pc, cycle + 1, AccessKind::Load);
+                        let (done, _) = self.hier.access(m.addr, pc, cycle + 1, AccessKind::Load);
                         done
                     }
                 };
@@ -496,7 +775,7 @@ impl Core {
                 done
             }
             OpClass::Store => {
-                let m = op.mem.expect("store has mem info");
+                let m = mem.expect("store has mem info");
                 let range = MemRange {
                     addr: m.addr,
                     size: m.size,
@@ -525,7 +804,7 @@ impl Core {
                 }
 
                 if let Some((load_seq, load_pc)) = violation {
-                    self.squash_from(load_seq, op.pc, load_pc);
+                    self.squash_from(load_seq, pc, load_pc);
                 }
                 cycle + 1
             }
@@ -548,7 +827,7 @@ impl Core {
         if let Some(d) = uop.dst {
             self.scb.set_ready_at(d, completion);
         }
-        self.events.push(Reverse((completion, seq)));
+        self.push_completion(completion, seq);
     }
 
     // ----------------------------------------------------------- dispatch
@@ -805,6 +1084,67 @@ impl Core {
         }
     }
 
+    /// [`Core::fetch`] with the trace DAG's pre-resolved line-cross
+    /// flags: within one call ops stream sequentially, so after the first
+    /// op's real line comparison the `line_cross` bit decides whether the
+    /// L1I is consulted — byte-identical, one fewer lookup per op.
+    fn fetch_macro(&mut self, trace: &Trace, dag: &TraceDag) {
+        if self.fetch_stalled || self.cycle < self.fetch_resume_at {
+            return;
+        }
+        let mut fetched = 0;
+        let mut first = true;
+        while fetched < self.cfg.front_width
+            && self.alloc_q.len() < self.cfg.alloc_queue
+            && self.fetch_idx < trace.len()
+        {
+            let op = &trace.ops[self.fetch_idx];
+            let cross = if first {
+                // `fetch_line` may refer to a non-adjacent op (squash
+                // redirect, resume mid-line): compare for real once.
+                self.fetch_line != Some(op.pc / 64)
+            } else {
+                dag.op(self.fetch_idx).line_cross
+            };
+            first = false;
+            if cross {
+                let ready = self.hier.ifetch(op.pc, self.cycle);
+                self.fetch_line = Some(op.pc / 64);
+                if ready > self.cycle + self.hier.l1i.latency() {
+                    self.fetch_resume_at = ready;
+                    break;
+                }
+            }
+            let mut mispred = false;
+            if let Some(b) = op.branch {
+                self.energy.bp_lookups += 1;
+                let pred = self.tage.predict(op.pc);
+                let dir_correct = self.tage.update(op.pc, pred, b.taken);
+                let target_pred = self.btb.lookup(op.pc);
+                self.btb.update(op.pc, b.target);
+                mispred = !dir_correct || (b.taken && target_pred != Some(b.target));
+                if mispred {
+                    self.mispredicts += 1;
+                }
+            }
+            self.alloc_q
+                .push_back((self.fetch_idx, self.cycle, mispred));
+            self.energy.fetched_uops += 1;
+            self.energy.decoded_uops += 1;
+            self.fetch_idx += 1;
+            fetched += 1;
+            if mispred {
+                // Wrong-path fetch is not simulated: the front end waits
+                // for the branch to resolve.
+                self.fetch_stalled = true;
+                break;
+            }
+        }
+        if fetched > 0 {
+            self.energy.l1i_accesses += 1;
+        }
+    }
+
     // -------------------------------------------------------------- squash
     /// Flushes every μop with `seq >= first_bad` (the violating load and
     /// everything younger), restores the RAT by walking the ROB tail
@@ -897,6 +1237,7 @@ impl Core {
             freq_ghz: self.cfg.freq_ghz,
             host_wall_s: 0.0,
             cycles_skipped: self.cycles_skipped,
+            cycles_macro: self.cycles_macro,
         }
     }
 }

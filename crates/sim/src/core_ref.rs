@@ -741,6 +741,7 @@ impl CoreRef {
             freq_ghz: self.cfg.freq_ghz,
             host_wall_s: 0.0,
             cycles_skipped: 0,
+            cycles_macro: 0,
         }
     }
 }

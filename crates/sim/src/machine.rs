@@ -141,8 +141,13 @@ fn build_scheduler_inner(
     }
     // Dev knob for throughput A/Bs of the event-horizon engine itself;
     // results are identical either way (see tests/skip_equivalence.rs).
-    if std::env::var_os("BALLERINO_NO_SKIP").is_some() {
+    if ballerino_isa::env_flag("BALLERINO_NO_SKIP") {
         cfg.skip_idle = false;
+    }
+    // A/B oracle knob for the macro-step engine; results are identical
+    // either way (see tests/macro_equivalence.rs).
+    if ballerino_isa::env_flag("BALLERINO_NO_MACRO") {
+        cfg.use_macro = false;
     }
     let phys = cfg.total_phys();
     let entries = iq_entries(width);
@@ -361,6 +366,21 @@ fn build_scheduler_inner(
 pub fn run_machine(kind: MachineKind, width: Width, trace: &Trace) -> SimResult {
     let (cfg, sched, sizes) = build_scheduler(kind, width);
     Core::new(cfg, sched, sizes).run(trace)
+}
+
+/// Like [`run_machine`], but reuses a pre-resolved dependence DAG for
+/// the trace (see [`ballerino_isa::TraceDag`]). Harnesses that run many
+/// machines over the same trace should resolve (or memoize) the DAG once
+/// and pass it here; `run_machine` resolves a private copy per call when
+/// the macro-step engine is enabled.
+pub fn run_machine_with_dag(
+    kind: MachineKind,
+    width: Width,
+    trace: &Trace,
+    dag: Option<&ballerino_isa::TraceDag>,
+) -> SimResult {
+    let (cfg, sched, sizes) = build_scheduler(kind, width);
+    Core::new(cfg, sched, sizes).run_with_dag(trace, dag)
 }
 
 /// Like [`run_machine`], but on the seed-layout

@@ -115,6 +115,28 @@ impl<T> SeqSlab<T> {
         let idx = self.index_of(seq)?;
         let value = self.slots[idx].take()?;
         self.live -= 1;
+        self.compact();
+        Some(value)
+    }
+
+    /// Removes the entry for `seq`, dropping it in place instead of
+    /// moving it out. Callers that have already copied the fields they
+    /// need (commit) avoid moving the whole entry off the slab. Returns
+    /// whether an entry was removed.
+    pub fn discard(&mut self, seq: u64) -> bool {
+        let Some(idx) = self.index_of(seq) else {
+            return false;
+        };
+        if self.slots[idx].is_none() {
+            return false;
+        }
+        self.slots[idx] = None;
+        self.live -= 1;
+        self.compact();
+        true
+    }
+
+    fn compact(&mut self) {
         while matches!(self.slots.front(), Some(None)) {
             self.slots.pop_front();
             self.base += 1;
@@ -122,7 +144,6 @@ impl<T> SeqSlab<T> {
         while matches!(self.slots.back(), Some(None)) {
             self.slots.pop_back();
         }
-        Some(value)
     }
 }
 

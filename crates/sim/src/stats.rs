@@ -134,6 +134,11 @@ pub struct SimResult {
     /// (throughput instrumentation; a subset of `cycles`). Always zero on
     /// the reference core and when `skip_idle` is off.
     pub cycles_skipped: u64,
+    /// Cycles executed inside the macro-step engine's fused loop
+    /// (throughput instrumentation; a subset of `cycles`, disjoint from
+    /// `cycles_skipped`). Always zero on the reference core and when
+    /// `use_macro` is off.
+    pub cycles_macro: u64,
 }
 
 impl SimResult {

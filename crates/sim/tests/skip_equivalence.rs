@@ -6,8 +6,10 @@
 //! micro-events, head states, steering outcomes, ...) must be
 //! byte-identical with skipping on and off, for every scheduler. The
 //! comparison goes through `format!("{result:?}")` on the full
-//! [`SimResult`] after zeroing the two fields that are *allowed* to
-//! differ (`host_wall_s`, `cycles_skipped`).
+//! [`SimResult`] after zeroing the fields that are *allowed* to differ
+//! (`host_wall_s`, `cycles_skipped`, and `cycles_macro` — toggling the
+//! skip engine shifts which cycles the macro-step engine fuses, never
+//! what they compute).
 
 use ballerino_isa::rng::Rng64;
 use ballerino_isa::Trace;
@@ -50,6 +52,7 @@ fn run_normalized(
     let sched_energy = r.energy.sched;
     r.host_wall_s = 0.0;
     r.cycles_skipped = 0;
+    r.cycles_macro = 0;
     (format!("{r:?}"), skipped, sched_energy)
 }
 

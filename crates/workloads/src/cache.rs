@@ -14,17 +14,24 @@
 //! requests for different workloads proceed concurrently.
 
 use crate::suite::workload;
-use ballerino_isa::Trace;
+use ballerino_isa::{Trace, TraceDag};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 type Key = (String, usize, u64);
 type Slot = Arc<OnceLock<Arc<Trace>>>;
+type DagSlot = Arc<OnceLock<Arc<TraceDag>>>;
 
 /// A memoizing trace cache keyed by `(workload name, n, seed)`.
+///
+/// Besides the traces themselves, the cache memoizes each trace's
+/// pre-resolved dependence/latency [`TraceDag`] (see
+/// [`TraceCache::dag`]) so the macro-step engine's one-time O(n)
+/// resolution is also paid once per `(name, n, seed)` per process.
 #[derive(Debug, Default)]
 pub struct TraceCache {
     slots: Mutex<HashMap<Key, Slot>>,
+    dag_slots: Mutex<HashMap<Key, DagSlot>>,
 }
 
 impl TraceCache {
@@ -57,6 +64,31 @@ impl TraceCache {
         Arc::clone(slot.get_or_init(|| Arc::new(workload(name, n, seed))))
     }
 
+    /// Returns the pre-resolved dependence/latency DAG for
+    /// `(name, n, seed)`, resolving it on first use (generating the
+    /// trace too if needed). Repeated calls return clones of the same
+    /// `Arc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown workload name, like
+    /// [`workload`](crate::workload).
+    pub fn dag(&self, name: &str, n: usize, seed: u64) -> Arc<TraceDag> {
+        let slot = {
+            let mut slots = self.dag_slots.lock().expect("dag cache poisoned");
+            match slots.get(&(name.to_string(), n, seed)) {
+                Some(s) => Arc::clone(s),
+                None => {
+                    let s = DagSlot::default();
+                    slots.insert((name.to_string(), n, seed), Arc::clone(&s));
+                    s
+                }
+            }
+        };
+        // As with traces: the winner resolves outside the map lock.
+        Arc::clone(slot.get_or_init(|| Arc::new(TraceDag::resolve(&self.get(name, n, seed)))))
+    }
+
     /// Number of traces generated so far.
     pub fn len(&self) -> usize {
         let slots = self.slots.lock().expect("trace cache poisoned");
@@ -79,6 +111,12 @@ pub fn global() -> &'static TraceCache {
 /// through the process-wide [`TraceCache`].
 pub fn cached_workload(name: &str, n: usize, seed: u64) -> Arc<Trace> {
     global().get(name, n, seed)
+}
+
+/// Cached pre-resolved DAG for a workload, shared through the
+/// process-wide [`TraceCache`].
+pub fn cached_dag(name: &str, n: usize, seed: u64) -> Arc<TraceDag> {
+    global().dag(name, n, seed)
 }
 
 #[cfg(test)]
@@ -115,6 +153,17 @@ mod tests {
             assert_eq!(a.pc, b.pc);
             assert_eq!(a.class, b.class);
         }
+    }
+
+    #[test]
+    fn dag_is_memoized_and_matches_trace() {
+        let cache = TraceCache::new();
+        let dag_a = cache.dag("int_crunch", 500, 42);
+        let dag_b = cache.dag("int_crunch", 500, 42);
+        assert!(Arc::ptr_eq(&dag_a, &dag_b), "dag must be resolved once");
+        let trace = cache.get("int_crunch", 500, 42);
+        assert_eq!(dag_a.len(), trace.len());
+        assert_eq!(cache.len(), 1, "dag() reuses the cached trace");
     }
 
     #[test]
