@@ -1,0 +1,121 @@
+//! Property tests for the tier-0 analytic model: determinism and the
+//! monotonicities the sweep engine's conservative promotion relies on.
+
+use ballerino_analytic::{predict_cycles, MachineParams, SUITE};
+use ballerino_sim::{DesignPoint, MachineKind, Width};
+use ballerino_workloads::{cached_dag, cached_features, workload_names};
+
+const N: usize = 8_000;
+const SEED: u64 = 42;
+
+const KINDS: [MachineKind; 5] = [
+    MachineKind::InOrder,
+    MachineKind::OutOfOrder,
+    MachineKind::Ces,
+    MachineKind::Ballerino,
+    MachineKind::DelayAndBypass,
+];
+
+/// Compute-dense, cache-resident suite workloads — the class whose
+/// behavior is dominated by the machine axes the grid sweeps, so the
+/// model must order them correctly.
+const DENSE: [&str; 3] = ["int_crunch", "gemm_blocked", "stencil3d"];
+
+fn estimate(point: &DesignPoint, workload: &str) -> u64 {
+    let params = MachineParams::from_point(point);
+    let dag = cached_dag(workload, N, SEED);
+    let feat = cached_features(workload, N, SEED);
+    predict_cycles(&params, &dag, &feat, workload).cycles
+}
+
+/// The committed [`SUITE`] list (which indexes the per-workload
+/// reference alphas in the calibration table) must match the workload
+/// crate's suite exactly — a drifted index would silently apply one
+/// workload's correction to another.
+#[test]
+fn suite_matches_workload_names() {
+    assert_eq!(SUITE.to_vec(), workload_names());
+}
+
+/// The estimator is a pure function of (point, trace): repeated
+/// evaluation — including after other points were scored in between —
+/// returns bit-identical cycles.
+#[test]
+fn tier0_is_deterministic() {
+    let points: Vec<DesignPoint> = KINDS
+        .iter()
+        .map(|&k| DesignPoint::new(k, Width::Eight))
+        .collect();
+    let first: Vec<u64> = points.iter().map(|p| estimate(p, "int_crunch")).collect();
+    // Interleave other work, then re-evaluate.
+    for p in &points {
+        estimate(p, "branchy_sort");
+    }
+    let second: Vec<u64> = points.iter().map(|p| estimate(p, "int_crunch")).collect();
+    assert_eq!(first, second);
+}
+
+/// More IQ entries can only help: predicted cycles are non-increasing in
+/// the IQ budget (the window constraint looks back at a running max, so
+/// a larger window relaxes it — monotone by construction).
+#[test]
+fn tier0_is_monotone_in_iq_budget() {
+    let budgets = [16usize, 32, 64, 96, 160, 256];
+    for kind in KINDS {
+        if kind == MachineKind::InOrder {
+            continue; // no issue queue to sweep
+        }
+        for wl in DENSE {
+            let mut prev = u64::MAX;
+            for b in budgets {
+                let point = DesignPoint {
+                    iq_entries: Some(b),
+                    ..DesignPoint::new(kind, Width::Eight)
+                };
+                let est = estimate(&point, wl);
+                assert!(
+                    est <= prev,
+                    "{kind:?}/{wl}: iq {b} predicted {est} > smaller budget's {prev}"
+                );
+                prev = est;
+            }
+        }
+    }
+}
+
+/// A wider machine helps on dense workloads: at the calibration's fit
+/// configuration (`n = 30_000`, the width presets) predicted cycles are
+/// non-increasing across 2/4/8/10-wide, up to a 2% tolerance. Both
+/// choices are deliberate. The fit configuration is where the
+/// per-workload reference alphas pin the prediction to the simulator,
+/// so reordering there means the committed table itself is broken (a
+/// fitting bug misses by tens of percent, not a fraction of one); away
+/// from the fit trace length the model's width sensitivity drifts by a
+/// few percent and the chain ordering is only approximate. The
+/// tolerance covers the cycle-accurate tier's own anomalies — it is not
+/// strictly width-monotone either (4-wide InOrder runs `gemm_blocked`
+/// ~0.2% *slower* than 2-wide, and 10-wide Ballerino runs `int_crunch`
+/// ~1.2% slower than 8-wide: wider speculative issue shifts DRAM row
+/// conflicts and P-IQ steering), and the calibration reproduces the
+/// simulator exactly, anomalies included.
+#[test]
+fn tier0_is_monotone_in_width_for_dense_workloads() {
+    const FIT_N: usize = 30_000;
+    for kind in KINDS {
+        for wl in DENSE {
+            let mut prev = u64::MAX;
+            for width in [Width::Two, Width::Four, Width::Eight, Width::Ten] {
+                let point = DesignPoint::new(kind, width);
+                let params = MachineParams::from_point(&point);
+                let dag = cached_dag(wl, FIT_N, SEED);
+                let feat = cached_features(wl, FIT_N, SEED);
+                let est = predict_cycles(&params, &dag, &feat, wl).cycles;
+                assert!(
+                    est as u128 * 100 <= prev as u128 * 102,
+                    "{kind:?}/{wl}: {width:?} predicted {est} > narrower width's {prev} by >2%"
+                );
+                prev = est.min(prev);
+            }
+        }
+    }
+}

@@ -7,20 +7,23 @@
 //!   MDA steering).
 //! * **6b** — IPC sensitivity of Step 2 to the number and size of the
 //!   P-IQs. Paper shape: sensitive to the count, much less to the size.
+//!
+//! All simulation goes through the work-stealing pool (`run_cells` /
+//! `run_pool`), so `BALLERINO_THREADS` controls parallelism.
 
-use ballerino_bench::{seed, suite_len};
+use ballerino_bench::{run_cells, run_pool, seed, suite_len, threads};
 use ballerino_sim::stats::geomean;
-use ballerino_sim::{run_machine, MachineKind, Width};
+use ballerino_sim::{MachineKind, Width};
 use ballerino_workloads::{cached_workload, workload_names};
 
 fn main() {
     let n = suite_len();
     println!("Fig. 6a — P-IQ head states per cycle (fractions, suite mean)\n");
-    for kind in [MachineKind::BallerinoStep1, MachineKind::BallerinoStep2] {
+    let kinds = [MachineKind::BallerinoStep1, MachineKind::BallerinoStep2];
+    let rows = run_cells(&kinds, Width::Eight, n, seed(), threads());
+    for (kind, row) in kinds.iter().zip(&rows) {
         let mut agg = [0.0f64; 5];
-        for wl in workload_names() {
-            let t = cached_workload(wl, n, seed());
-            let r = run_machine(kind, Width::Eight, &t);
+        for r in row {
             let h = r.heads;
             let tot = h.total().max(1) as f64;
             for (a, v) in agg.iter_mut().zip([
@@ -33,7 +36,7 @@ fn main() {
                 *a += v as f64 / tot;
             }
         }
-        let m = workload_names().len() as f64;
+        let m = row.len() as f64;
         println!(
             "{:<8} issuing {:.3}  stall-Mdep {:.3}  stall-regs {:.3}  port-conflict {:.3}  empty {:.3}",
             kind.label(),
@@ -52,18 +55,27 @@ fn main() {
         print!("{s:>8}");
     }
     println!();
-    for piqs in [3usize, 5, 7, 9, 11, 15] {
-        print!("{piqs:<10}");
-        for size in sizes {
-            let mut ipcs = Vec::new();
-            for wl in workload_names() {
-                let t = cached_workload(wl, n, seed());
-                // Step 2 with a custom geometry: reuse BallerinoN and patch
-                // the entry count through the machine factory's config.
-                let r = run_custom(piqs, size, &t);
-                ipcs.push(r);
+    let piq_counts = [3usize, 5, 7, 9, 11, 15];
+    // One flat cell list over (piqs, size, workload) so the pool keeps
+    // every worker busy across the whole grid, not per-cell.
+    let names = workload_names();
+    let mut cells: Vec<(usize, usize, &str)> = Vec::new();
+    for &p in &piq_counts {
+        for &sz in &sizes {
+            for &wl in &names {
+                cells.push((p, sz, wl));
             }
-            print!("{:>8.3}", geomean(&ipcs));
+        }
+    }
+    let ipcs = run_pool(&cells, threads(), |&(p, sz, wl)| {
+        run_custom(p, sz, &cached_workload(wl, n, seed()))
+    });
+    let per_wl = names.len();
+    for (pi, piqs) in piq_counts.iter().enumerate() {
+        print!("{piqs:<10}");
+        for (si, _) in sizes.iter().enumerate() {
+            let base = (pi * sizes.len() + si) * per_wl;
+            print!("{:>8.3}", geomean(&ipcs[base..base + per_wl]));
         }
         println!();
     }

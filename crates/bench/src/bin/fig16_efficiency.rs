@@ -1,18 +1,19 @@
 //! Figure 16: energy efficiency (performance per energy, 1/EDP)
 //! normalized to the 8-wide out-of-order core.
 //!
+//! Simulation goes through the work-stealing pool (`run_cells`), so
+//! `BALLERINO_THREADS` controls parallelism.
+//!
 //! Paper shape: Ballerino (Ballerino-12) is 9% (7%) above CES, 42% (39%)
 //! above CASINO, 5% (3%) above FXA and 22% (20%) above OoO.
 
-use ballerino_bench::{seed, suite_len};
+use ballerino_bench::{run_cells, seed, suite_len, threads};
 use ballerino_energy::{DvfsLevel, EnergyModel};
 use ballerino_sim::stats::geomean;
-use ballerino_sim::{run_machine, MachineKind, Width};
-use ballerino_workloads::{cached_workload, workload_names};
+use ballerino_sim::{MachineKind, Width};
 
 fn main() {
     println!("Fig. 16 — energy efficiency (1/EDP) normalized to OoO\n");
-    let n = suite_len();
     let kinds = [
         MachineKind::Ces,
         MachineKind::Casino,
@@ -21,19 +22,19 @@ fn main() {
         MachineKind::Ballerino12,
         MachineKind::OutOfOrder,
     ];
-    let mut per_kind: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
-    for wl in workload_names() {
-        let t = cached_workload(wl, n, seed());
-        let ooo = run_machine(MachineKind::OutOfOrder, Width::Eight, &t);
-        let edp_ooo = EnergyModel::new(ooo.sizes, DvfsLevel::L4).edp(&ooo.energy);
-        for (i, k) in kinds.iter().enumerate() {
-            let r = run_machine(*k, Width::Eight, &t);
-            let edp = EnergyModel::new(r.sizes, DvfsLevel::L4).edp(&r.energy);
-            per_kind[i].push(edp_ooo / edp);
-        }
-    }
-    for (i, k) in kinds.iter().enumerate() {
-        println!("{:<14}{:>8.3}", k.label(), geomean(&per_kind[i]));
+    let rows = run_cells(&kinds, Width::Eight, suite_len(), seed(), threads());
+    let ooo = rows.last().expect("OoO row");
+    let edp_ooo: Vec<f64> = ooo
+        .iter()
+        .map(|r| EnergyModel::new(r.sizes, DvfsLevel::L4).edp(&r.energy))
+        .collect();
+    for (k, row) in kinds.iter().zip(&rows) {
+        let eff: Vec<f64> = row
+            .iter()
+            .zip(&edp_ooo)
+            .map(|(r, base)| base / EnergyModel::new(r.sizes, DvfsLevel::L4).edp(&r.energy))
+            .collect();
+        println!("{:<14}{:>8.3}", k.label(), geomean(&eff));
     }
     println!("\npaper: Ballerino 1.22, Ballerino-12 1.20, CES ≈1.12, CASINO ≈0.86, FXA ≈1.16");
 }

@@ -1,53 +1,101 @@
 //! Figure 17: sensitivity analysis.
 //!
 //! * `a` — issue-width scaling (2/4/8/10-wide) as speedup over 2-wide
-//!   InO. Paper shape: CES/Ballerino scale well; InO and CASINO flatten
-//!   beyond 8-wide; FXA tracks OoO.
+//!   InO, with the tier-0 analytic estimate and its error next to every
+//!   simulated cell. Paper shape: CES/Ballerino scale well; InO and
+//!   CASINO flatten beyond 8-wide; FXA tracks OoO.
 //! * `b` — DVFS levels L4..L1: speedup, power, energy and efficiency of
 //!   Ballerino and OoO relative to CES at L4.
 //! * `c` — Ballerino IPC versus the number of P-IQs. Paper shape: gains
 //!   up to eleven P-IQs, then diminishing returns.
 //!
+//! All simulation goes through the work-stealing pool (`run_cells`), so
+//! `BALLERINO_THREADS` controls parallelism.
+//!
 //! Pass `a`, `b` or `c` as the first argument (default: all).
 
-use ballerino_bench::{seed, suite_len};
+use ballerino_analytic::{predict_cycles, MachineParams};
+use ballerino_bench::{run_cells, seed, suite_len, threads};
 use ballerino_energy::{DvfsLevel, EnergyModel};
 use ballerino_sim::stats::geomean;
-use ballerino_sim::{run_machine, MachineKind, SimResult, Width};
-use ballerino_workloads::{cached_workload, workload_names};
+use ballerino_sim::{DesignPoint, MachineKind, SimResult, Width};
+use ballerino_workloads::{cached_dag, cached_features, workload_names};
 
 fn suite_runs(kind: MachineKind, width: Width) -> Vec<SimResult> {
+    run_cells(&[kind], width, suite_len(), seed(), threads())
+        .pop()
+        .expect("one row")
+}
+
+/// Tier-0 predicted cycles for every suite workload on a design point.
+fn suite_estimates(kind: MachineKind, width: Width) -> Vec<u64> {
+    let params = MachineParams::from_point(&DesignPoint::new(kind, width));
+    let (n, s) = (suite_len(), seed());
     workload_names()
         .into_iter()
-        .map(|wl| run_machine(kind, width, &cached_workload(wl, suite_len(), seed())))
+        .map(|wl| {
+            predict_cycles(
+                &params,
+                &cached_dag(wl, n, s),
+                &cached_features(wl, n, s),
+                wl,
+            )
+            .cycles
+        })
         .collect()
 }
 
+const A_KINDS: [MachineKind; 6] = [
+    MachineKind::InOrder,
+    MachineKind::Casino,
+    MachineKind::Ces,
+    MachineKind::Ballerino,
+    MachineKind::Fxa,
+    MachineKind::OutOfOrder,
+];
+const A_WIDTHS: [Width; 4] = [Width::Two, Width::Four, Width::Eight, Width::Ten];
+
 fn part_a() {
-    println!("Fig. 17a — width scaling: geomean speedup over 2-wide InO\n");
+    println!("Fig. 17a — width scaling: geomean speedup over 2-wide InO");
+    println!("(sim = cycle-accurate, est = tier-0 analytic, err = mean cycle error)\n");
     let base = suite_runs(MachineKind::InOrder, Width::Two);
     print!("{:<12}", "design");
     for w in ["2-wide", "4-wide", "8-wide", "10-wide"] {
-        print!("{w:>9}");
+        print!("{w:>24}");
     }
     println!();
-    for kind in [
-        MachineKind::InOrder,
-        MachineKind::Casino,
-        MachineKind::Ces,
-        MachineKind::Ballerino,
-        MachineKind::Fxa,
-        MachineKind::OutOfOrder,
-    ] {
+    print!("{:<12}", "");
+    for _ in A_WIDTHS {
+        print!("{:>10}{:>8}{:>6}", "sim", "est", "err");
+    }
+    println!();
+    for kind in A_KINDS {
         print!("{:<12}", kind.label());
-        for width in [Width::Two, Width::Four, Width::Eight, Width::Ten] {
+        for width in A_WIDTHS {
             let runs = suite_runs(kind, width);
+            let est = suite_estimates(kind, width);
             let sp: Vec<f64> = runs
                 .iter()
                 .zip(&base)
                 .map(|(r, b)| r.speedup_over(b))
                 .collect();
-            print!("{:>9.2}", geomean(&sp));
+            let sp_est: Vec<f64> = est
+                .iter()
+                .zip(&base)
+                .map(|(&e, b)| b.cycles as f64 / e as f64)
+                .collect();
+            let err: f64 = runs
+                .iter()
+                .zip(&est)
+                .map(|(r, &e)| 100.0 * (e as f64 - r.cycles as f64).abs() / r.cycles as f64)
+                .sum::<f64>()
+                / runs.len() as f64;
+            print!(
+                "{:>10.2}{:>8.2}{:>5.0}%",
+                geomean(&sp),
+                geomean(&sp_est),
+                err
+            );
         }
         println!();
     }

@@ -24,7 +24,7 @@
 //! the JSON reports the median wall per side plus the min/max spread).
 //! Exits non-zero on any cycle mismatch.
 
-use ballerino_bench::{run_matrix, run_matrix_legacy, seed, suite_len, threads};
+use ballerino_bench::{run_matrix, run_matrix_legacy, seed, suite_len, threads, Provenance};
 use ballerino_sim::{run_machine_reference, MachineKind, SimResult, Width};
 use ballerino_workloads::workload_names;
 use std::fmt::Write as _;
@@ -144,41 +144,6 @@ fn main() {
     }
 }
 
-/// Short commit hash of the working tree, or `"unknown"` outside a git
-/// checkout (e.g. a source tarball).
-fn git_sha() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
-}
-
-/// Current UTC date (`YYYY-MM-DD`), computed from the system clock
-/// without external crates (civil-from-days, Howard Hinnant's algorithm).
-fn utc_date() -> String {
-    let secs = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let days = (secs / 86_400) as i64;
-    let z = days + 719_468;
-    let era = z.div_euclid(146_097);
-    let doe = z.rem_euclid(146_097);
-    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
-    let y = yoe + era * 400;
-    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
-    let mp = (5 * doy + 2) / 153;
-    let d = doy - (153 * mp + 2) / 5 + 1;
-    let m = if mp < 10 { mp + 3 } else { mp - 9 };
-    let y = if m <= 2 { y + 1 } else { y };
-    format!("{y:04}-{m:02}-{d:02}")
-}
-
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     kinds: &[MachineKind],
@@ -201,8 +166,7 @@ fn render_json(
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"bench\": \"simthroughput\",");
-    let _ = writeln!(s, "  \"git_sha\": \"{}\",", git_sha());
-    let _ = writeln!(s, "  \"date\": \"{}\",", utc_date());
+    s.push_str(&Provenance::capture().json_fields());
     let _ = writeln!(s, "  \"n\": {},", suite_len());
     let _ = writeln!(s, "  \"seed\": {},", seed());
     let _ = writeln!(s, "  \"threads\": {},", threads());

@@ -57,6 +57,15 @@
 
 #![warn(missing_docs)]
 
+pub mod provenance;
+pub mod sweep;
+
+pub use provenance::Provenance;
+pub use sweep::{
+    anchored_survivors, pareto_indices, point_cost, promote_indices, run_sweep, simulate_points,
+    tier0_scores, SweepOutcome, SweepSpec,
+};
+
 use ballerino_sim::stats::geomean;
 use ballerino_sim::{run_machine_with_dag, MachineKind, SimResult, Width};
 use ballerino_workloads::{cached_dag, cached_workload, workload, workload_names};
@@ -107,6 +116,44 @@ pub fn run_matrix_with_threads(
     run_cells(kinds, width, suite_len(), seed(), threads)
 }
 
+/// Runs `f` over `items` on a fixed pool of `threads` work-stealing
+/// workers (the atomic-cursor scheme described in the module docs);
+/// returns results in item order. Every pooled runner in this crate —
+/// the kind×workload matrix, the sweep engine's two tiers, the fig
+/// binaries' custom grids — funnels through here, so they all inherit
+/// `BALLERINO_THREADS` semantics from one place.
+pub fn run_pool<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else {
+                    break;
+                };
+                let r = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot poisoned")
+                .expect("item not processed")
+        })
+        .collect()
+}
+
 /// [`run_matrix_with_threads`] with explicit workload length and seed
 /// (instead of the `BALLERINO_N` / `BALLERINO_SEED` environment).
 pub fn run_cells(
@@ -122,34 +169,14 @@ pub fn run_cells(
         .flat_map(|&k| names.iter().map(move |&wl| (k, wl)))
         .collect();
 
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<SimResult>>> = cells.iter().map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads.max(1) {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(&(kind, wl)) = cells.get(i) else {
-                    break;
-                };
-                let t = cached_workload(wl, n, s);
-                // One DAG resolution per (workload, n, seed), shared by
-                // every machine kind's macro-step engine.
-                let dag = cached_dag(wl, n, s);
-                let r = run_machine_with_dag(kind, width, &t, Some(&dag));
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
-            });
-        }
+    let mut out = run_pool(&cells, threads, |&(kind, wl)| {
+        let t = cached_workload(wl, n, s);
+        // One DAG resolution per (workload, n, seed), shared by
+        // every machine kind's macro-step engine.
+        let dag = cached_dag(wl, n, s);
+        run_machine_with_dag(kind, width, &t, Some(&dag))
     });
 
-    let mut out: Vec<SimResult> = slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("slot poisoned")
-                .expect("cell not simulated")
-        })
-        .collect();
     let mut rows = Vec::with_capacity(kinds.len());
     for _ in kinds {
         let rest = out.split_off(names.len());

@@ -1,0 +1,133 @@
+//! Shared provenance stamping for every `BENCH_*.json` artifact.
+//!
+//! Every bench JSON carries the same three fields so results can be tied
+//! back to the exact tree that produced them:
+//!
+//! * `git_sha` — short commit hash of `HEAD`, `"unknown"` outside a git
+//!   checkout (e.g. a source tarball).
+//! * `git_dirty` — whether the working tree had uncommitted changes
+//!   (tracked or staged) when the bench ran. A dirty tree means the SHA
+//!   alone does **not** reproduce the run.
+//! * `date` — UTC date of the run, `YYYY-MM-DD`.
+//!
+//! ## The parent-SHA caveat
+//!
+//! Bench artifacts are usually generated *before* the commit that ships
+//! them: you run the bench, then `git add BENCH_*.json && git commit`.
+//! The committed file therefore records the **parent** commit's SHA (the
+//! `HEAD` at bench time), not the SHA of the commit containing the file.
+//! This is intentional — the recorded SHA identifies the *code that was
+//! measured*, which is exactly the parent. Consumers diffing artifacts
+//! across history should resolve `git_sha` as "the tree the numbers came
+//! from", not "the commit the file first appeared in".
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Provenance of one bench run (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// Short commit hash of `HEAD`, or `"unknown"`.
+    pub git_sha: String,
+    /// Whether the working tree had uncommitted changes.
+    pub git_dirty: bool,
+    /// UTC date, `YYYY-MM-DD`.
+    pub date: String,
+}
+
+impl Provenance {
+    /// Captures the current provenance: one `git rev-parse`, one
+    /// `git status --porcelain`, one clock read.
+    pub fn capture() -> Provenance {
+        Provenance {
+            git_sha: git_sha(),
+            git_dirty: git_dirty(),
+            date: utc_date(),
+        }
+    }
+
+    /// The three provenance lines of a JSON object body, each indented
+    /// two spaces and newline-terminated, for splicing into hand-rolled
+    /// JSON (every bench binary renders JSON by hand — no serde in the
+    /// dependency-free container).
+    pub fn json_fields(&self) -> String {
+        format!(
+            "  \"git_sha\": \"{}\",\n  \"git_dirty\": {},\n  \"date\": \"{}\",\n",
+            self.git_sha, self.git_dirty, self.date
+        )
+    }
+}
+
+/// Short commit hash of the working tree, or `"unknown"` outside a git
+/// checkout.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Whether the working tree differs from `HEAD` (untracked files do not
+/// count — they cannot affect a build of tracked sources). `false`
+/// outside a git checkout, matching `git_sha()`'s `"unknown"`.
+fn git_dirty() -> bool {
+    std::process::Command::new("git")
+        .args(["status", "--porcelain", "--untracked-files=no"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| !o.stdout.is_empty())
+        .unwrap_or(false)
+}
+
+/// Current UTC date (`YYYY-MM-DD`), computed from the system clock
+/// without external crates (civil-from-days, Howard Hinnant's algorithm).
+fn utc_date() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_yields_plausible_fields() {
+        let p = Provenance::capture();
+        assert!(!p.git_sha.is_empty());
+        assert_eq!(p.date.len(), 10);
+        assert_eq!(&p.date[4..5], "-");
+    }
+
+    #[test]
+    fn json_fields_are_well_formed_lines() {
+        let p = Provenance {
+            git_sha: "abc1234".into(),
+            git_dirty: true,
+            date: "2026-08-08".into(),
+        };
+        let s = p.json_fields();
+        assert!(s.contains("\"git_sha\": \"abc1234\","));
+        assert!(s.contains("\"git_dirty\": true,"));
+        assert!(s.contains("\"date\": \"2026-08-08\","));
+        assert_eq!(s.lines().count(), 3);
+    }
+}

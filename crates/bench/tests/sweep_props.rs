@@ -1,0 +1,166 @@
+//! Property tests for the sweep engine's Pareto machinery and an
+//! end-to-end check of the tiered pipeline on the smoke grid.
+
+use ballerino_bench::{
+    anchored_survivors, pareto_indices, point_cost, promote_indices, run_sweep, simulate_points,
+    SweepSpec,
+};
+
+/// Deterministic xorshift64* — the tests need arbitrary-but-reproducible
+/// inputs, not real entropy.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// The conservativeness guarantee, stated directly: if every estimate is
+/// within ±margin% of the true value, promotion on the *estimates* never
+/// drops a point of the *true* frontier.
+#[test]
+fn promotion_never_drops_true_frontier_points() {
+    for seed in 1..=50u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let margin = [0u32, 5, 10, 25, 40][(seed % 5) as usize];
+        let n = 20 + rng.below(60) as usize;
+        let costs: Vec<u64> = (0..n).map(|_| 10 + rng.below(50)).collect();
+        let truth: Vec<u64> = (0..n).map(|_| 1_000 + rng.below(9_000)).collect();
+        // Perturb each true value by at most ±margin% (integer-rounded
+        // strictly inside the band).
+        let est: Vec<u64> = truth
+            .iter()
+            .map(|&t| {
+                let amp = t * margin as u64 / 100;
+                let delta = if amp == 0 {
+                    0
+                } else {
+                    rng.below(2 * amp + 1) as i64 - amp as i64
+                };
+                (t as i64 + delta) as u64
+            })
+            .collect();
+
+        let promoted = promote_indices(&costs, &est, margin);
+        for f in pareto_indices(&costs, &truth) {
+            assert!(
+                promoted.contains(&f),
+                "seed {seed} margin {margin}: promotion dropped true-frontier point {f} \
+                 (cost {}, true {}, est {})",
+                costs[f],
+                truth[f],
+                est[f]
+            );
+        }
+    }
+}
+
+/// The sim-anchored pipeline's one-sided guarantee, simulated in
+/// miniature: run the anchor-then-incremental-promotion loop with a
+/// synthetic truth table as the "simulator". If no estimate *over*shoots
+/// its true value by more than margin% (underestimation is unbounded —
+/// here up to 40% below truth), the surviving simulated set contains the
+/// entire true frontier. This is exactly the asymmetry that lets the
+/// committed default margin sit far below the per-class error bounds.
+#[test]
+fn anchored_promotion_tolerates_unbounded_underestimation() {
+    for seed in 1..=50u64 {
+        let mut rng = Rng(seed * 0x0123_4567_89AB_CDEF + 1);
+        let margin = [0u32, 3, 6, 10, 15][(seed % 5) as usize];
+        let n = 20 + rng.below(60) as usize;
+        let costs: Vec<u64> = (0..n).map(|_| 10 + rng.below(30)).collect();
+        let truth: Vec<u64> = (0..n).map(|_| 1_000 + rng.below(9_000)).collect();
+        // Overshoot strictly below margin%, undershoot up to 40%.
+        let est: Vec<u64> = truth
+            .iter()
+            .map(|&t| {
+                let over = t * margin as u64 / 100;
+                let under = t * 2 / 5;
+                let delta = rng.below(over + under + 1) as i64 - under as i64;
+                (t as i64 + delta) as u64
+            })
+            .collect();
+
+        // The pipeline: simulate the estimated frontier, then promote
+        // survivors one at a time, cheapest (then lowest-estimate)
+        // first, exactly as `run_sweep` does.
+        let mut sim: Vec<Option<u64>> = vec![None; n];
+        for i in pareto_indices(&costs, &est) {
+            sim[i] = Some(truth[i]);
+        }
+        loop {
+            let mut survivors = anchored_survivors(&costs, &est, &sim, margin);
+            if survivors.is_empty() {
+                break;
+            }
+            survivors.sort_by_key(|&i| (costs[i], est[i]));
+            sim[survivors[0]] = Some(truth[survivors[0]]);
+        }
+
+        for f in pareto_indices(&costs, &truth) {
+            assert!(
+                sim[f].is_some(),
+                "seed {seed} margin {margin}: anchored promotion dropped true-frontier \
+                 point {f} (cost {}, true {}, est {})",
+                costs[f],
+                truth[f],
+                est[f]
+            );
+        }
+    }
+}
+
+/// Promotion is monotone in the margin: widening it never removes a
+/// point from the promoted set.
+#[test]
+fn promotion_grows_with_margin() {
+    let mut rng = Rng(0xDEAD_BEEF_CAFE_F00D);
+    let n = 80;
+    let costs: Vec<u64> = (0..n).map(|_| 10 + rng.below(40)).collect();
+    let est: Vec<u64> = (0..n).map(|_| 1_000 + rng.below(5_000)).collect();
+    let mut prev: Vec<usize> = Vec::new();
+    for margin in [0u32, 2, 5, 10, 20, 40] {
+        let cur = promote_indices(&costs, &est, margin);
+        for i in &prev {
+            assert!(
+                cur.contains(i),
+                "margin {margin} dropped previously promoted {i}"
+            );
+        }
+        prev = cur;
+    }
+}
+
+/// End to end on the smoke grid: the tiered sweep's frontier must equal
+/// the frontier of exhaustively simulating every point, at the committed
+/// default margin.
+#[test]
+fn tiered_smoke_sweep_matches_exhaustive_frontier() {
+    let spec = SweepSpec::smoke();
+    let points = spec.points();
+    let outcome = run_sweep(&spec);
+
+    let all_sim = simulate_points(&spec, &points);
+    let costs: Vec<u64> = points.iter().map(point_cost).collect();
+    let exhaustive = pareto_indices(&costs, &all_sim);
+
+    assert_eq!(
+        outcome.simulated_frontier(),
+        exhaustive,
+        "promoted frontier diverged from the exhaustive frontier at margin {}%",
+        outcome.margin_pct
+    );
+    // The engine must actually triage: strictly fewer simulations than
+    // the exhaustive pass (otherwise the tiering is vacuous).
+    assert!(outcome.promoted.len() < points.len());
+}

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod dag;
+pub mod features;
 pub mod op;
 pub mod ports;
 pub mod regs;
@@ -30,6 +31,7 @@ pub mod trace;
 pub mod trace_io;
 
 pub use dag::{DagOp, TraceDag, ICACHE_LINE_BYTES};
+pub use features::{HitLevel, MemGeometry, TraceFeatures, NO_STORE_DEP, NUM_HIT_LEVELS};
 pub use op::{BranchInfo, BranchKind, MemInfo, MicroOp, OpClass};
 pub use ports::{FuKind, PortId, PortMap, MAX_PORTS};
 pub use regs::{ArchReg, PhysReg, RegClass, NUM_ARCH_REGS};

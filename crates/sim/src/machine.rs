@@ -84,12 +84,75 @@ impl MachineKind {
     }
 }
 
+/// One point of the design space: a machine kind and width plus the
+/// sweepable deviations from their Table I/II presets.
+///
+/// A `DesignPoint` with no overrides builds exactly the same machine as
+/// [`build_scheduler`]; sweeps enumerate thousands of these and feed
+/// them to both the tier-0 analytic estimator and (for promoted points)
+/// the cycle-accurate [`run_point`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesignPoint {
+    /// Which microarchitecture.
+    pub kind: MachineKind,
+    /// Machine width preset.
+    pub width: Width,
+    /// Total scheduling-window entry budget, or `None` for the width's
+    /// Table II default. Kinds with composite windows (CES, CASINO,
+    /// Ballerino, …) scale their internal queues proportionally; see
+    /// [`build_scheduler_point`].
+    pub iq_entries: Option<usize>,
+    /// DRAM timing scale in percent (100 = the DDR4-lite default;
+    /// 50 = twice-as-fast memory, 200 = twice-as-slow). Scales `cas`,
+    /// `rcd`, `rp` and `burst` with a floor of one cycle.
+    pub dram_scale_pct: u32,
+}
+
+impl DesignPoint {
+    /// The preset design point for a kind at a width (no overrides).
+    pub fn new(kind: MachineKind, width: Width) -> Self {
+        DesignPoint {
+            kind,
+            width,
+            iq_entries: None,
+            dram_scale_pct: 100,
+        }
+    }
+
+    /// Compact display label, e.g. `Ballerino/8w/iq96/dram100`.
+    pub fn label(&self) -> String {
+        let w = match self.width {
+            Width::Two => 2,
+            Width::Four => 4,
+            Width::Eight => 8,
+            Width::Ten => 10,
+        };
+        let iq = self
+            .iq_entries
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "dflt".into());
+        format!(
+            "{}/{}w/iq{}/dram{}",
+            self.kind.label(),
+            w,
+            iq,
+            self.dram_scale_pct
+        )
+    }
+}
+
 fn iq_entries(width: Width) -> usize {
     match width {
         Width::Two => 32,
         Width::Four => 64,
         Width::Eight | Width::Ten => 96,
     }
+}
+
+/// Splits a total window budget `t` across `parts` equal queues, with a
+/// floor so tiny budgets still build a working scheduler.
+fn split_budget(t: usize, parts: usize, floor: usize) -> usize {
+    (t / parts.max(1)).max(floor)
 }
 
 fn ces_piqs(width: Width) -> (usize, usize) {
@@ -121,17 +184,33 @@ pub fn build_scheduler(
     kind: MachineKind,
     width: Width,
 ) -> (CoreConfig, Box<dyn Scheduler>, StructureSizes) {
-    build_scheduler_inner(kind, width, false)
+    build_scheduler_inner(&DesignPoint::new(kind, width), false)
+}
+
+/// Builds the core configuration, scheduler and energy structure sizes
+/// for an arbitrary [`DesignPoint`].
+///
+/// The `iq_entries` budget maps onto each kind's window structure:
+/// monolithic queues (InO, OoO) take it directly; CES divides it across
+/// its P-IQs; CASINO scales every cascade stage proportionally; FXA
+/// gives half to its OoO backend; LSC and DNB split it across their
+/// queues; Ballerino divides the budget net of the S-IQ across its
+/// P-IQs. All mappings are monotone in the budget and floor-clamped so
+/// any budget ≥ 16 builds a working machine.
+pub fn build_scheduler_point(
+    point: &DesignPoint,
+) -> (CoreConfig, Box<dyn Scheduler>, StructureSizes) {
+    build_scheduler_inner(point, false)
 }
 
 /// `reference = true` freezes the seed's allocation-heavy select/issue
 /// paths inside the OoO and Ballerino schedulers (identical grant
 /// decisions) for the `perf_smoke` throughput A/B.
 fn build_scheduler_inner(
-    kind: MachineKind,
-    width: Width,
+    point: &DesignPoint,
     reference: bool,
 ) -> (CoreConfig, Box<dyn Scheduler>, StructureSizes) {
+    let (kind, width) = (point.kind, point.width);
     let mut cfg = match kind {
         MachineKind::InOrder => CoreConfig::preset_inorder(width),
         _ => CoreConfig::preset(width),
@@ -149,8 +228,15 @@ fn build_scheduler_inner(
     if ballerino_isa::env_flag("BALLERINO_NO_MACRO") {
         cfg.use_macro = false;
     }
+    if point.dram_scale_pct != 100 {
+        let scale = |x: u64| ((x * point.dram_scale_pct as u64) / 100).max(1);
+        cfg.mem.dram.cas = scale(cfg.mem.dram.cas);
+        cfg.mem.dram.rcd = scale(cfg.mem.dram.rcd);
+        cfg.mem.dram.rp = scale(cfg.mem.dram.rp);
+        cfg.mem.dram.burst = scale(cfg.mem.dram.burst);
+    }
     let phys = cfg.total_phys();
-    let entries = iq_entries(width);
+    let entries = point.iq_entries.unwrap_or_else(|| iq_entries(width));
     let common_sizes = StructureSizes {
         rob_entries: cfg.rob_entries,
         lsq_entries: cfg.lq_entries + cfg.sq_entries,
@@ -208,6 +294,7 @@ fn build_scheduler_inner(
         }
         MachineKind::Ces | MachineKind::CesMda => {
             let (n, e) = ces_piqs(width);
+            let e = point.iq_entries.map(|t| split_budget(t, n, 4)).unwrap_or(e);
             (
                 Box::new(Ces::new(CesConfig {
                     num_piqs: n,
@@ -225,11 +312,19 @@ fn build_scheduler_inner(
             )
         }
         MachineKind::Casino => {
-            let c = match width {
+            let mut c = match width {
                 Width::Two => CasinoConfig::two_wide(),
                 Width::Four => CasinoConfig::four_wide(),
                 Width::Eight | Width::Ten => CasinoConfig::eight_wide(),
             };
+            if let Some(t) = point.iq_entries {
+                // Scale every cascade stage proportionally to the budget.
+                let total = c.total_entries().max(1);
+                for s in &mut c.siqs {
+                    s.entries = (s.entries * t / total).max(4);
+                }
+                c.final_iq.entries = (c.final_iq.entries * t / total).max(4);
+            }
             let fifo = c.total_entries();
             (
                 Box::new(Casino::new(c)),
@@ -242,7 +337,7 @@ fn build_scheduler_inner(
             )
         }
         MachineKind::Fxa => {
-            let c = match width {
+            let mut c = match width {
                 Width::Two => FxaConfig {
                     ixu_width: 2,
                     backend_entries: 16,
@@ -260,6 +355,11 @@ fn build_scheduler_inner(
                     ..FxaConfig::default()
                 },
             };
+            if let Some(t) = point.iq_entries {
+                // The IXU front is pipelined latches, not an IQ — the
+                // budget lands entirely on the OoO backend.
+                c.backend_entries = t.max(8);
+            }
             let cam = c.backend_entries;
             (
                 Box::new(Fxa::new(c)),
@@ -271,7 +371,7 @@ fn build_scheduler_inner(
             )
         }
         MachineKind::LoadSliceCore => {
-            let c = match width {
+            let mut c = match width {
                 Width::Two => LscConfig {
                     bypass_entries: 12,
                     main_entries: 20,
@@ -286,6 +386,11 @@ fn build_scheduler_inner(
                 },
                 _ => LscConfig::default(),
             };
+            if let Some(t) = point.iq_entries {
+                // Keep the paper's ~1:2 bypass:main split.
+                c.bypass_entries = (t / 3).max(6);
+                c.main_entries = t.saturating_sub(t / 3).max(8);
+            }
             let fifo = c.bypass_entries + c.main_entries;
             (
                 Box::new(Lsc::new(c)),
@@ -298,7 +403,7 @@ fn build_scheduler_inner(
             )
         }
         MachineKind::DelayAndBypass => {
-            let c = match width {
+            let mut c = match width {
                 Width::Two => DnbConfig {
                     ooo_entries: 12,
                     bypass_entries: 10,
@@ -315,6 +420,12 @@ fn build_scheduler_inner(
                 },
                 _ => DnbConfig::default(),
             };
+            if let Some(t) = point.iq_entries {
+                // Even three-way split across the OoO/bypass/delay queues.
+                c.ooo_entries = (t / 3).max(6);
+                c.bypass_entries = (t / 3).max(5);
+                c.delay_entries = t.saturating_sub(2 * (t / 3)).max(5);
+            }
             let (cam, fifo) = (c.ooo_entries, c.bypass_entries + c.delay_entries);
             (
                 Box::new(Dnb::new(c)),
@@ -342,6 +453,13 @@ fn build_scheduler_inner(
                 MachineKind::Ballerino12 => c.num_piqs = 11,
                 MachineKind::BallerinoN(n) => c.num_piqs = n,
                 _ => {}
+            }
+            if let Some(t) = point.iq_entries {
+                // The S-IQ keeps its preset size; the budget net of it
+                // divides across the P-IQs, rounded down to the even
+                // capacity the two-partition P-IQ requires.
+                let e = split_budget(t.saturating_sub(c.siq_entries), c.num_piqs, 4);
+                c.piq_entries = e & !1;
             }
             let fifo = c.siq_entries + c.num_piqs * c.piq_entries;
             let mut b = Ballerino::new(c);
@@ -388,8 +506,22 @@ pub fn run_machine_with_dag(
 /// the same cycles as [`run_machine`] on every input; exists for the
 /// `perf_smoke` equivalence + throughput A/B.
 pub fn run_machine_reference(kind: MachineKind, width: Width, trace: &Trace) -> SimResult {
-    let (cfg, sched, sizes) = build_scheduler_inner(kind, width, true);
+    let (cfg, sched, sizes) = build_scheduler_inner(&DesignPoint::new(kind, width), true);
     crate::core_ref::CoreRef::new(cfg, sched, sizes).run(trace)
+}
+
+/// Builds and runs one [`DesignPoint`] over a trace, reusing a
+/// pre-resolved dependence DAG when available. This is the sweep
+/// engine's cycle-accurate tier: every enumerated configuration —
+/// including IQ-budget and DRAM-latency overrides — funnels through
+/// here.
+pub fn run_point(
+    point: &DesignPoint,
+    trace: &Trace,
+    dag: Option<&ballerino_isa::TraceDag>,
+) -> SimResult {
+    let (cfg, sched, sizes) = build_scheduler_point(point);
+    Core::new(cfg, sched, sizes).run_with_dag(trace, dag)
 }
 
 #[cfg(test)]
@@ -456,5 +588,78 @@ mod tests {
         let mut dedup = labels.clone();
         dedup.dedup();
         assert_eq!(labels.len(), dedup.len());
+    }
+
+    #[test]
+    fn default_design_point_matches_build_scheduler() {
+        for kind in [
+            MachineKind::OutOfOrder,
+            MachineKind::Ces,
+            MachineKind::Casino,
+            MachineKind::Fxa,
+            MachineKind::Ballerino,
+            MachineKind::LoadSliceCore,
+            MachineKind::DelayAndBypass,
+        ] {
+            for width in [Width::Two, Width::Four, Width::Eight] {
+                let (cfg_a, sched_a, sizes_a) = build_scheduler(kind, width);
+                let (cfg_b, sched_b, sizes_b) =
+                    build_scheduler_point(&DesignPoint::new(kind, width));
+                assert_eq!(sched_a.capacity(), sched_b.capacity(), "{kind:?} {width:?}");
+                assert_eq!(cfg_a.mem.dram.cas, cfg_b.mem.dram.cas);
+                assert_eq!(sizes_a.cam_entries, sizes_b.cam_entries);
+                assert_eq!(sizes_a.fifo_entries, sizes_b.fifo_entries);
+            }
+        }
+    }
+
+    #[test]
+    fn iq_budget_override_scales_capacity_monotonically() {
+        for kind in [
+            MachineKind::OutOfOrder,
+            MachineKind::Ces,
+            MachineKind::Casino,
+            MachineKind::Fxa,
+            MachineKind::Ballerino,
+            MachineKind::LoadSliceCore,
+            MachineKind::DelayAndBypass,
+        ] {
+            let mut prev = 0;
+            for budget in [24, 48, 96, 160, 256] {
+                let point = DesignPoint {
+                    iq_entries: Some(budget),
+                    ..DesignPoint::new(kind, Width::Eight)
+                };
+                let (_, sched, _) = build_scheduler_point(&point);
+                assert!(
+                    sched.capacity() >= prev,
+                    "{kind:?}: capacity must not shrink as the IQ budget grows"
+                );
+                prev = sched.capacity();
+            }
+            assert!(prev > 0);
+        }
+    }
+
+    #[test]
+    fn dram_scale_stretches_latencies() {
+        let slow = DesignPoint {
+            dram_scale_pct: 300,
+            ..DesignPoint::new(MachineKind::OutOfOrder, Width::Eight)
+        };
+        let (cfg_base, _, _) = build_scheduler(MachineKind::OutOfOrder, Width::Eight);
+        let (cfg_slow, _, _) = build_scheduler_point(&slow);
+        assert_eq!(cfg_slow.mem.dram.cas, cfg_base.mem.dram.cas * 3);
+        assert_eq!(cfg_slow.mem.dram.burst, cfg_base.mem.dram.burst * 3);
+    }
+
+    #[test]
+    fn design_point_labels_encode_overrides() {
+        let p = DesignPoint {
+            iq_entries: Some(96),
+            dram_scale_pct: 150,
+            ..DesignPoint::new(MachineKind::Ballerino, Width::Eight)
+        };
+        assert_eq!(p.label(), "Ballerino/8w/iq96/dram150");
     }
 }

@@ -14,13 +14,14 @@
 //! requests for different workloads proceed concurrently.
 
 use crate::suite::workload;
-use ballerino_isa::{Trace, TraceDag};
+use ballerino_isa::{MemGeometry, Trace, TraceDag, TraceFeatures};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 type Key = (String, usize, u64);
 type Slot = Arc<OnceLock<Arc<Trace>>>;
 type DagSlot = Arc<OnceLock<Arc<TraceDag>>>;
+type FeatSlot = Arc<OnceLock<Arc<TraceFeatures>>>;
 
 /// A memoizing trace cache keyed by `(workload name, n, seed)`.
 ///
@@ -32,6 +33,7 @@ type DagSlot = Arc<OnceLock<Arc<TraceDag>>>;
 pub struct TraceCache {
     slots: Mutex<HashMap<Key, Slot>>,
     dag_slots: Mutex<HashMap<Key, DagSlot>>,
+    feat_slots: Mutex<HashMap<Key, FeatSlot>>,
 }
 
 impl TraceCache {
@@ -89,6 +91,43 @@ impl TraceCache {
         Arc::clone(slot.get_or_init(|| Arc::new(TraceDag::resolve(&self.get(name, n, seed)))))
     }
 
+    /// Returns the static [`TraceFeatures`] for `(name, n, seed)` — the
+    /// tier-0 estimator's per-trace inputs (memory-level classification,
+    /// misprediction estimate, store→load deps, FU work) — extracting
+    /// them on first use with the default Table I cache geometry.
+    /// Repeated calls return clones of the same `Arc`, so a sweep over
+    /// thousands of design points pays the `O(n log n)` extraction once
+    /// per `(name, n, seed)` per process.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown workload name, like
+    /// [`workload`](crate::workload).
+    pub fn features(&self, name: &str, n: usize, seed: u64) -> Arc<TraceFeatures> {
+        let slot = {
+            let mut slots = self.feat_slots.lock().expect("feature cache poisoned");
+            match slots.get(&(name.to_string(), n, seed)) {
+                Some(s) => Arc::clone(s),
+                None => {
+                    let s = FeatSlot::default();
+                    slots.insert((name.to_string(), n, seed), Arc::clone(&s));
+                    s
+                }
+            }
+        };
+        // As with traces and DAGs: the winner extracts outside the map
+        // lock, losers block on this slot only.
+        Arc::clone(slot.get_or_init(|| {
+            let trace = self.get(name, n, seed);
+            let dag = self.dag(name, n, seed);
+            Arc::new(TraceFeatures::extract(
+                &trace,
+                &dag,
+                &MemGeometry::default(),
+            ))
+        }))
+    }
+
     /// Number of traces generated so far.
     pub fn len(&self) -> usize {
         let slots = self.slots.lock().expect("trace cache poisoned");
@@ -117,6 +156,12 @@ pub fn cached_workload(name: &str, n: usize, seed: u64) -> Arc<Trace> {
 /// process-wide [`TraceCache`].
 pub fn cached_dag(name: &str, n: usize, seed: u64) -> Arc<TraceDag> {
     global().dag(name, n, seed)
+}
+
+/// Cached static trace features for a workload, shared through the
+/// process-wide [`TraceCache`].
+pub fn cached_features(name: &str, n: usize, seed: u64) -> Arc<TraceFeatures> {
+    global().features(name, n, seed)
 }
 
 #[cfg(test)]
@@ -153,6 +198,18 @@ mod tests {
             assert_eq!(a.pc, b.pc);
             assert_eq!(a.class, b.class);
         }
+    }
+
+    #[test]
+    fn features_are_memoized_and_sized_like_the_trace() {
+        let cache = TraceCache::new();
+        let fa = cache.features("hash_join", 400, 42);
+        let fb = cache.features("hash_join", 400, 42);
+        assert!(Arc::ptr_eq(&fa, &fb), "features must be extracted once");
+        let trace = cache.get("hash_join", 400, 42);
+        assert_eq!(fa.len(), trace.len());
+        assert!(fa.loads > 0);
+        assert_eq!(cache.len(), 1, "features() reuses the cached trace");
     }
 
     #[test]

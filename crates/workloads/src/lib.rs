@@ -29,6 +29,6 @@ pub mod cache;
 pub mod kernel;
 pub mod suite;
 
-pub use cache::{cached_dag, cached_workload, TraceCache};
+pub use cache::{cached_dag, cached_features, cached_workload, TraceCache};
 pub use kernel::{Access, BranchBehavior, Kernel, KernelParams, StaticOp};
 pub use suite::{suite, workload, workload_names};

@@ -7,6 +7,8 @@
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
+pub use ballerino_analytic as analytic;
+pub use ballerino_bench as bench;
 pub use ballerino_core as core;
 pub use ballerino_energy as energy;
 pub use ballerino_frontend as frontend;
