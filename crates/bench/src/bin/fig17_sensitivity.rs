@@ -15,16 +15,19 @@
 //! Pass `a`, `b` or `c` as the first argument (default: all).
 
 use ballerino_analytic::{predict_cycles, MachineParams};
-use ballerino_bench::{run_cells, seed, suite_len, threads};
+use ballerino_bench::{enumerate_cells, grid_points, run_pool, seed, suite_len, threads, SimCell};
 use ballerino_energy::{DvfsLevel, EnergyModel};
 use ballerino_sim::stats::geomean;
 use ballerino_sim::{DesignPoint, MachineKind, SimResult, Width};
 use ballerino_workloads::{cached_dag, cached_features, workload_names};
 
+/// The whole suite at one grid point, via the shared cell enumerator
+/// (the same path `run_cells`, the sweep engine and `ballerino-serve`
+/// use), on the work-stealing pool.
 fn suite_runs(kind: MachineKind, width: Width) -> Vec<SimResult> {
-    run_cells(&[kind], width, suite_len(), seed(), threads())
-        .pop()
-        .expect("one row")
+    let points = grid_points(&[kind], &[width], &[None], &[100]);
+    let cells = enumerate_cells(&points, &workload_names(), suite_len(), seed());
+    run_pool(&cells, threads(), SimCell::run)
 }
 
 /// Tier-0 predicted cycles for every suite workload on a design point.

@@ -9,8 +9,8 @@
 //!   rescan-loop OoO select, per-cycle-allocating Ballerino issue and
 //!   port arbitration).
 //! * **New** — the work-stealing [`run_matrix`] pool (`BALLERINO_THREADS`
-//!   workers, shared `TraceCache`) driving the slab-based [`run_machine`]
-//!   pipeline.
+//!   workers, shared `TraceCache`) driving the slab-based
+//!   [`ballerino_sim::run_machine`] pipeline.
 //!
 //! Both sides must produce byte-identical per-cell cycle counts — the
 //! binary asserts this — so the wall-clock ratio is a pure throughput

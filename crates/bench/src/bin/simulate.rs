@@ -4,7 +4,8 @@
 //! ```sh
 //! simulate <machine> [workload] [width] [n] [seed]
 //!   machine : ino | ooo | ooo-of | ooo-nomdp | ces | ces-mda | casino |
-//!             fxa | step1 | step2 | ballerino | ideal | ballerino12 | b<N>
+//!             fxa | step1 | step2 | ballerino | ideal | ballerino12 |
+//!             lsc | dnb | b<N>   (ballerino_bench::kind_from_name)
 //!   workload: any name from ballerino-workloads (default hash_join),
 //!             or "all" for the whole suite
 //!   width   : 2 | 4 | 8 | 10          (default 8)
@@ -12,42 +13,11 @@
 //!   seed    : generator seed           (default 42)
 //! ```
 
+use ballerino_bench::{kind_from_name, width_from_str};
 use ballerino_energy::{DvfsLevel, EnergyModel};
 use ballerino_sim::stats::TIMING_CLASSES;
-use ballerino_sim::{run_machine, MachineKind, SimResult, Width};
+use ballerino_sim::{run_machine, SimResult, Width};
 use ballerino_workloads::{workload, workload_names};
-
-fn parse_machine(s: &str) -> Option<MachineKind> {
-    Some(match s {
-        "ino" => MachineKind::InOrder,
-        "ooo" => MachineKind::OutOfOrder,
-        "ooo-of" => MachineKind::OutOfOrderOldestFirst,
-        "ooo-nomdp" => MachineKind::OutOfOrderNoMdp,
-        "ces" => MachineKind::Ces,
-        "ces-mda" => MachineKind::CesMda,
-        "casino" => MachineKind::Casino,
-        "fxa" => MachineKind::Fxa,
-        "step1" => MachineKind::BallerinoStep1,
-        "step2" => MachineKind::BallerinoStep2,
-        "ballerino" => MachineKind::Ballerino,
-        "ideal" => MachineKind::BallerinoIdeal,
-        "ballerino12" => MachineKind::Ballerino12,
-        other => {
-            let n: usize = other.strip_prefix('b')?.parse().ok()?;
-            MachineKind::BallerinoN(n)
-        }
-    })
-}
-
-fn parse_width(s: &str) -> Option<Width> {
-    Some(match s {
-        "2" => Width::Two,
-        "4" => Width::Four,
-        "8" => Width::Eight,
-        "10" => Width::Ten,
-        _ => return None,
-    })
-}
 
 fn report(r: &SimResult) {
     println!(
@@ -106,11 +76,11 @@ fn main() {
     let usage = || {
         eprintln!("usage: simulate <machine> [workload|all] [width] [n] [seed]");
         eprintln!("machines: ino ooo ooo-of ooo-nomdp ces ces-mda casino fxa");
-        eprintln!("          step1 step2 ballerino ideal ballerino12 b<N>");
+        eprintln!("          step1 step2 ballerino ideal ballerino12 lsc dnb b<N>");
         eprintln!("workloads: {}", workload_names().join(" "));
         std::process::exit(2);
     };
-    let Some(kind) = args.get(1).and_then(|s| parse_machine(s)) else {
+    let Some(kind) = args.get(1).and_then(|s| kind_from_name(s)) else {
         usage();
         return;
     };
@@ -118,7 +88,7 @@ fn main() {
     let width = args
         .get(3)
         .map(|s| {
-            parse_width(s).unwrap_or_else(|| {
+            width_from_str(s).unwrap_or_else(|| {
                 eprintln!("bad width {s}");
                 std::process::exit(2)
             })

@@ -1,0 +1,274 @@
+//! The shared cell-enumeration layer: one grid enumerator and one
+//! simulation-cell type for every harness that fans a design space out
+//! over workloads.
+//!
+//! Before this module, `SweepSpec::points()`, the fig binaries and the
+//! campaign service each re-derived "kinds × widths × IQ budgets × DRAM
+//! grades, then × workloads" with their own loops — with their own
+//! ideas about axis order and about degenerate axes (the windowless
+//! `InOrder` kind has no IQ knob, so a naive cross product enumerates
+//! identical silicon several times). Everything now funnels through
+//! [`grid_points`] and [`enumerate_cells`]:
+//!
+//! * `ballerino_bench::run_cells` (the kind × workload matrix behind
+//!   every fig binary),
+//! * the tiered sweep engine (`SweepSpec::points`, `simulate_points`),
+//! * `fig17_sensitivity`'s width-scaling grids,
+//! * the `ballerino-serve` campaign service, which additionally keys
+//!   sharding, dedup and its checkpoint journal off [`SimCell::key`] /
+//!   [`SimCell::stable_hash`].
+//!
+//! A [`SimCell`] is the unit of independent work: one design point
+//! evaluated on one `(workload, n, seed)` trace. Its canonical string
+//! key is unique per distinct cell and stable across processes, so a
+//! 64-bit FNV-1a hash of it partitions a campaign deterministically
+//! across shards — the invariant `tests/determinism.rs` and the serve
+//! crate's tests pin.
+
+use ballerino_sim::{run_point, DesignPoint, MachineKind, SimResult, Width};
+use ballerino_workloads::{cached_dag, cached_workload};
+
+/// One independent unit of simulation work: a [`DesignPoint`] evaluated
+/// on one `(workload, n, seed)` trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimCell {
+    /// The design point to build and run.
+    pub point: DesignPoint,
+    /// Workload name (a `ballerino_workloads` suite name).
+    pub workload: &'static str,
+    /// μops in the workload trace.
+    pub n: usize,
+    /// Workload generator seed.
+    pub seed: u64,
+}
+
+impl SimCell {
+    /// The canonical cell key, e.g.
+    /// `OoO/8w/iqdflt/dram100/int_crunch/n12000/s42`. Distinct cells
+    /// have distinct keys; the key is stable across processes and
+    /// releases, so journals and shard assignments survive restarts.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/n{}/s{}",
+            self.point.label(),
+            self.workload,
+            self.n,
+            self.seed
+        )
+    }
+
+    /// Stable 64-bit FNV-1a hash of [`SimCell::key`]. This — not
+    /// `std::hash` — is what sharding and dedup key off: `DefaultHasher`
+    /// is allowed to change between Rust releases, while a campaign's
+    /// shard assignment must not.
+    pub fn stable_hash(&self) -> u64 {
+        fnv1a(self.key().as_bytes())
+    }
+
+    /// Runs the cell on the cycle-accurate tier: trace and pre-resolved
+    /// DAG from the process-wide cache, simulation via
+    /// [`ballerino_sim::run_point`].
+    pub fn run(&self) -> SimResult {
+        let trace = cached_workload(self.workload, self.n, self.seed);
+        let dag = cached_dag(self.workload, self.n, self.seed);
+        run_point(&self.point, &trace, Some(&dag))
+    }
+}
+
+/// 64-bit FNV-1a over a byte string. Deliberately boring: the point is
+/// a process- and release-stable hash for shard partitioning, not
+/// collision resistance against an adversary.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The single grid enumerator: `kinds × widths × iq_budgets ×
+/// dram_scales`, kind-major (then width, IQ, DRAM — the innermost axis
+/// varies fastest). Kinds without a scheduling window (`InOrder`)
+/// ignore `iq_entries`, so the IQ axis is enumerated once for them — a
+/// naive cross product would emit identical design points that differ
+/// only in a dead knob.
+pub fn grid_points(
+    kinds: &[MachineKind],
+    widths: &[Width],
+    iq_budgets: &[Option<usize>],
+    dram_scales: &[u32],
+) -> Vec<DesignPoint> {
+    let mut v = Vec::new();
+    for &kind in kinds {
+        let iqs: &[Option<usize>] = if kind == MachineKind::InOrder {
+            &[None]
+        } else {
+            iq_budgets
+        };
+        for &width in widths {
+            for &iq in iqs {
+                for &dram in dram_scales {
+                    v.push(DesignPoint {
+                        kind,
+                        width,
+                        iq_entries: iq,
+                        dram_scale_pct: dram,
+                    });
+                }
+            }
+        }
+    }
+    v
+}
+
+/// Fans `points` out over `workloads`: point-major, so the cells of one
+/// design point are contiguous (`simulate_points` and the campaign
+/// service both rely on chunking by `workloads.len()`).
+pub fn enumerate_cells(
+    points: &[DesignPoint],
+    workloads: &[&'static str],
+    n: usize,
+    seed: u64,
+) -> Vec<SimCell> {
+    points
+        .iter()
+        .flat_map(|&point| {
+            workloads.iter().map(move |&workload| SimCell {
+                point,
+                workload,
+                n,
+                seed,
+            })
+        })
+        .collect()
+}
+
+/// Parses a machine-kind name as used by the `simulate` CLI and
+/// campaign specs: `ino | ooo | ooo-of | ooo-nomdp | ces | ces-mda |
+/// casino | fxa | step1 | step2 | ballerino | ideal | ballerino12 |
+/// lsc | dnb | b<N>`.
+pub fn kind_from_name(s: &str) -> Option<MachineKind> {
+    Some(match s {
+        "ino" => MachineKind::InOrder,
+        "ooo" => MachineKind::OutOfOrder,
+        "ooo-of" => MachineKind::OutOfOrderOldestFirst,
+        "ooo-nomdp" => MachineKind::OutOfOrderNoMdp,
+        "ces" => MachineKind::Ces,
+        "ces-mda" => MachineKind::CesMda,
+        "casino" => MachineKind::Casino,
+        "fxa" => MachineKind::Fxa,
+        "step1" => MachineKind::BallerinoStep1,
+        "step2" => MachineKind::BallerinoStep2,
+        "ballerino" => MachineKind::Ballerino,
+        "ideal" => MachineKind::BallerinoIdeal,
+        "ballerino12" => MachineKind::Ballerino12,
+        "lsc" => MachineKind::LoadSliceCore,
+        "dnb" => MachineKind::DelayAndBypass,
+        other => {
+            let n: usize = other.strip_prefix('b')?.parse().ok()?;
+            MachineKind::BallerinoN(n)
+        }
+    })
+}
+
+/// Parses a machine width: `2 | 4 | 8 | 10`.
+pub fn width_from_str(s: &str) -> Option<Width> {
+    Some(match s {
+        "2" => Width::Two,
+        "4" => Width::Four,
+        "8" => Width::Eight,
+        "10" => Width::Ten,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_kind_major_and_collapses_inorder_iq_axis() {
+        let points = grid_points(
+            &[MachineKind::InOrder, MachineKind::OutOfOrder],
+            &[Width::Two, Width::Eight],
+            &[Some(32), Some(96)],
+            &[100, 200],
+        );
+        // InOrder: 2 widths × 1 (collapsed) × 2 dram = 4;
+        // OoO: 2 × 2 × 2 = 8.
+        assert_eq!(points.len(), 12);
+        assert!(points[..4]
+            .iter()
+            .all(|p| p.kind == MachineKind::InOrder && p.iq_entries.is_none()));
+        assert!(points[4..]
+            .iter()
+            .all(|p| p.kind == MachineKind::OutOfOrder));
+        // Innermost axis (DRAM) varies fastest.
+        assert_eq!(points[0].dram_scale_pct, 100);
+        assert_eq!(points[1].dram_scale_pct, 200);
+    }
+
+    #[test]
+    fn cells_are_point_major() {
+        let points = grid_points(&[MachineKind::OutOfOrder], &[Width::Eight], &[None], &[100]);
+        let cells = enumerate_cells(&points, &["int_crunch", "hash_join"], 1000, 42);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].workload, "int_crunch");
+        assert_eq!(cells[1].workload, "hash_join");
+        assert_eq!(cells[0].point, cells[1].point);
+    }
+
+    #[test]
+    fn keys_are_distinct_and_stable() {
+        let points = grid_points(
+            &[MachineKind::OutOfOrder, MachineKind::Ballerino],
+            &[Width::Eight],
+            &[None, Some(32)],
+            &[100, 200],
+        );
+        let cells = enumerate_cells(&points, &["int_crunch", "hash_join"], 1000, 42);
+        let mut keys: Vec<String> = cells.iter().map(|c| c.key()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), cells.len(), "keys must be unique per cell");
+        // Pin one key's exact shape: journals and shard assignments
+        // depend on it never changing.
+        let cell = SimCell {
+            point: DesignPoint::new(MachineKind::OutOfOrder, Width::Eight),
+            workload: "int_crunch",
+            n: 12_000,
+            seed: 42,
+        };
+        assert_eq!(cell.key(), "OoO/8w/iqdflt/dram100/int_crunch/n12000/s42");
+    }
+
+    #[test]
+    fn fnv1a_is_the_reference_function() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn kind_names_round_trip_the_simulate_cli_set() {
+        for (name, kind) in [
+            ("ino", MachineKind::InOrder),
+            ("ooo", MachineKind::OutOfOrder),
+            ("ces", MachineKind::Ces),
+            ("casino", MachineKind::Casino),
+            ("fxa", MachineKind::Fxa),
+            ("ballerino", MachineKind::Ballerino),
+            ("ballerino12", MachineKind::Ballerino12),
+            ("lsc", MachineKind::LoadSliceCore),
+            ("dnb", MachineKind::DelayAndBypass),
+            ("b5", MachineKind::BallerinoN(5)),
+        ] {
+            assert_eq!(kind_from_name(name), Some(kind));
+        }
+        assert_eq!(kind_from_name("nope"), None);
+        assert_eq!(width_from_str("8"), Some(Width::Eight));
+        assert_eq!(width_from_str("3"), None);
+    }
+}

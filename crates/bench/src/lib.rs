@@ -57,9 +57,11 @@
 
 #![warn(missing_docs)]
 
+pub mod cells;
 pub mod provenance;
 pub mod sweep;
 
+pub use cells::{enumerate_cells, fnv1a, grid_points, kind_from_name, width_from_str, SimCell};
 pub use provenance::Provenance;
 pub use sweep::{
     anchored_survivors, pareto_indices, point_cost, promote_indices, run_sweep, simulate_points,
@@ -67,8 +69,8 @@ pub use sweep::{
 };
 
 use ballerino_sim::stats::geomean;
-use ballerino_sim::{run_machine_with_dag, MachineKind, SimResult, Width};
-use ballerino_workloads::{cached_dag, cached_workload, workload, workload_names};
+use ballerino_sim::{MachineKind, SimResult, Width};
+use ballerino_workloads::{workload, workload_names};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -164,18 +166,12 @@ pub fn run_cells(
     threads: usize,
 ) -> Vec<Vec<SimResult>> {
     let names = workload_names();
-    let cells: Vec<(MachineKind, &str)> = kinds
-        .iter()
-        .flat_map(|&k| names.iter().map(move |&wl| (k, wl)))
-        .collect();
+    let points = grid_points(kinds, &[width], &[None], &[100]);
+    let cells = enumerate_cells(&points, &names, n, s);
 
-    let mut out = run_pool(&cells, threads, |&(kind, wl)| {
-        let t = cached_workload(wl, n, s);
-        // One DAG resolution per (workload, n, seed), shared by
-        // every machine kind's macro-step engine.
-        let dag = cached_dag(wl, n, s);
-        run_machine_with_dag(kind, width, &t, Some(&dag))
-    });
+    // SimCell::run shares the cached trace and DAG per (workload, n,
+    // seed), so every machine kind consumes one generation/resolution.
+    let mut out = run_pool(&cells, threads, SimCell::run);
 
     let mut rows = Vec::with_capacity(kinds.len());
     for _ in kinds {

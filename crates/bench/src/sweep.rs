@@ -38,10 +38,11 @@
 //! Cost is a static area proxy ([`point_cost`]) — identical for both
 //! tiers, so promotion error comes from the cycle axis alone.
 
+use crate::cells::{enumerate_cells, grid_points, SimCell};
 use crate::{run_pool, threads};
 use ballerino_analytic::{default_promotion_margin_pct, MachineParams};
-use ballerino_sim::{build_scheduler_point, run_point, DesignPoint, MachineKind, Width};
-use ballerino_workloads::{cached_dag, cached_features, cached_workload};
+use ballerino_sim::{build_scheduler_point, DesignPoint, MachineKind, Width};
+use ballerino_workloads::{cached_dag, cached_features};
 use std::time::Instant;
 
 /// A design-space sweep: the grid axes plus the workloads and trace
@@ -137,32 +138,16 @@ impl SweepSpec {
         }
     }
 
-    /// Materializes the grid, kind-major. Kinds without a scheduling
-    /// window (InOrder) ignore `iq_entries`, so the IQ axis is
-    /// enumerated once for them — a cross-product would emit identical
-    /// design points that differ only in a dead knob.
+    /// Materializes the grid, kind-major, via the shared
+    /// [`grid_points`] enumerator (which also owns the InOrder IQ-axis
+    /// collapse — see its docs).
     pub fn points(&self) -> Vec<DesignPoint> {
-        let mut v = Vec::new();
-        for &kind in &self.kinds {
-            let iqs: &[Option<usize>] = if kind == MachineKind::InOrder {
-                &[None]
-            } else {
-                &self.iq_budgets
-            };
-            for &width in &self.widths {
-                for &iq in iqs {
-                    for &dram in &self.dram_scales {
-                        v.push(DesignPoint {
-                            kind,
-                            width,
-                            iq_entries: iq,
-                            dram_scale_pct: dram,
-                        });
-                    }
-                }
-            }
-        }
-        v
+        grid_points(
+            &self.kinds,
+            &self.widths,
+            &self.iq_budgets,
+            &self.dram_scales,
+        )
     }
 
     /// The promotion margin for this spec: `BALLERINO_SWEEP_MARGIN`
@@ -381,21 +366,16 @@ pub fn tier0_scores(spec: &SweepSpec, points: &[DesignPoint]) -> Vec<u64> {
 /// work-stealing pool; returns aggregate cycles per point, in the order
 /// given.
 pub fn simulate_points(spec: &SweepSpec, points: &[DesignPoint]) -> Vec<u64> {
-    let cells: Vec<(usize, &'static str)> = points
-        .iter()
-        .enumerate()
-        .flat_map(|(i, _)| spec.workloads.iter().map(move |&w| (i, w)))
-        .collect();
-    let per_cell = run_pool(&cells, threads(), |&(i, w)| {
-        let trace = cached_workload(w, spec.n, spec.seed);
-        let dag = cached_dag(w, spec.n, spec.seed);
-        run_point(&points[i], &trace, Some(&dag)).cycles
-    });
-    let mut totals = vec![0u64; points.len()];
-    for ((i, _), cyc) in cells.iter().zip(per_cell) {
-        totals[*i] += cyc;
+    if spec.workloads.is_empty() {
+        return vec![0; points.len()];
     }
-    totals
+    let cells = enumerate_cells(points, &spec.workloads, spec.n, spec.seed);
+    let per_cell = run_pool(&cells, threads(), |c: &SimCell| c.run().cycles);
+    // Cells are point-major, so each point owns one contiguous chunk.
+    per_cell
+        .chunks(spec.workloads.len())
+        .map(|chunk| chunk.iter().sum())
+        .collect()
 }
 
 /// Runs the full tiered sweep: triage every point, simulate the

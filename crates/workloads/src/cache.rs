@@ -48,7 +48,7 @@ impl TraceCache {
     /// # Panics
     ///
     /// Panics on an unknown workload name, like
-    /// [`workload`](crate::workload).
+    /// [`workload`].
     pub fn get(&self, name: &str, n: usize, seed: u64) -> Arc<Trace> {
         let slot = {
             let mut slots = self.slots.lock().expect("trace cache poisoned");
@@ -74,7 +74,7 @@ impl TraceCache {
     /// # Panics
     ///
     /// Panics on an unknown workload name, like
-    /// [`workload`](crate::workload).
+    /// [`workload`].
     pub fn dag(&self, name: &str, n: usize, seed: u64) -> Arc<TraceDag> {
         let slot = {
             let mut slots = self.dag_slots.lock().expect("dag cache poisoned");
@@ -102,7 +102,7 @@ impl TraceCache {
     /// # Panics
     ///
     /// Panics on an unknown workload name, like
-    /// [`workload`](crate::workload).
+    /// [`workload`].
     pub fn features(&self, name: &str, n: usize, seed: u64) -> Arc<TraceFeatures> {
         let slot = {
             let mut slots = self.feat_slots.lock().expect("feature cache poisoned");
@@ -146,7 +146,7 @@ pub fn global() -> &'static TraceCache {
     GLOBAL.get_or_init(TraceCache::new)
 }
 
-/// Cached variant of [`workload`](crate::workload): same trace, shared
+/// Cached variant of [`workload`]: same trace, shared
 /// through the process-wide [`TraceCache`].
 pub fn cached_workload(name: &str, n: usize, seed: u64) -> Arc<Trace> {
     global().get(name, n, seed)

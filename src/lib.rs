@@ -15,6 +15,7 @@ pub use ballerino_frontend as frontend;
 pub use ballerino_isa as isa;
 pub use ballerino_mem as mem;
 pub use ballerino_sched as sched;
+pub use ballerino_serve as serve;
 pub use ballerino_sim as sim;
 pub use ballerino_workloads as workloads;
 

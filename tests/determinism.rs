@@ -2,6 +2,8 @@
 //! simulation → statistics) must reproduce identically run-to-run, since
 //! every figure in EXPERIMENTS.md depends on it.
 
+use ballerino::bench::{enumerate_cells, grid_points};
+use ballerino::serve::{merge_records, run_campaign, run_cell, to_jsonl, EngineConfig, Shard};
 use ballerino::sim::{run_machine, MachineKind, Width};
 use ballerino::workloads::workload;
 
@@ -33,4 +35,78 @@ fn different_seeds_change_dynamic_behavior_but_not_correctness() {
         let r = run_machine(MachineKind::Ballerino, Width::Eight, &t);
         assert_eq!(r.committed, t.len() as u64);
     }
+}
+
+/// The campaign-service invariant on *real* simulation: the merged,
+/// key-sorted JSONL of a campaign is byte-identical whether it ran in
+/// one uninterrupted process or as three shards, one of which crashed
+/// mid-run and resumed from its journal. (The serve crate's own tests
+/// pin the same property exhaustively on a synthetic runner; this is
+/// the end-to-end cross-check through the cycle-accurate simulator.)
+#[test]
+fn sharded_crash_resumed_campaign_is_byte_identical_to_uninterrupted() {
+    let points = grid_points(
+        &[MachineKind::OutOfOrder, MachineKind::Ballerino],
+        &[Width::Eight],
+        &[None],
+        &[100, 200],
+    );
+    let cells = enumerate_cells(
+        &points,
+        &["int_crunch", "pointer_chase", "branchy_sort"],
+        1_500,
+        42,
+    );
+    let cfg = |shard: Shard, halt_after: Option<usize>| EngineConfig {
+        workers: 3,
+        mailbox_cap: 2,
+        max_attempts: 2,
+        backoff_ms: 0,
+        shard,
+        halt_after,
+    };
+
+    // Reference: one process, one shard, no interruptions.
+    let single = run_campaign(&cells, &cfg(Shard::single(), None), None, run_cell, |_| {})
+        .expect("single-shard campaign");
+    let reference = to_jsonl(&single.records);
+
+    // Three shards; shard 1 crashes after 2 cells and resumes from its
+    // journal.
+    let dir = std::env::temp_dir().join(format!("ballerino-serve-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let journal = dir.join("shard1.jsonl");
+    let _ = std::fs::remove_file(&journal);
+
+    let mut shard_sets = Vec::new();
+    for index in 0..3u64 {
+        let shard = Shard { index, count: 3 };
+        let records = if index == 1 {
+            let crashed = run_campaign(
+                &cells,
+                &cfg(shard, Some(2)),
+                Some(&journal),
+                run_cell,
+                |_| {},
+            )
+            .expect("crashing shard");
+            assert!(crashed.halted, "halt_after must trip");
+            let resumed = run_campaign(&cells, &cfg(shard, None), Some(&journal), run_cell, |_| {})
+                .expect("resumed shard");
+            assert_eq!(resumed.replayed, crashed.records.len());
+            resumed.records
+        } else {
+            run_campaign(&cells, &cfg(shard, None), None, run_cell, |_| {})
+                .expect("shard campaign")
+                .records
+        };
+        shard_sets.push(records);
+    }
+    let merged = merge_records(&shard_sets).expect("shards must not conflict");
+    assert_eq!(
+        to_jsonl(&merged),
+        reference,
+        "merged shard output diverged from the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
