@@ -140,62 +140,6 @@ impl Default for KindCalib {
 /// kind via [`calib_for`].
 pub const CALIBRATION: &[(MachineKind, KindCalib)] = &[
     (
-        MachineKind::InOrder,
-        KindCalib {
-            eta_pct: 25,
-            alpha_milli: [
-                [1208, 1044, 1033],
-                [1190, 1029, 997],
-                [1177, 1024, 996],
-                [1175, 1024, 993],
-            ],
-            alpha_wl_milli: [
-                [
-                    1187, 1004, 1012, 1111, 1029, 1009, 1831, 1052, 1011, 1068, 1161, 1077, 1006,
-                    1052, 1003,
-                ],
-                [
-                    1092, 1005, 1020, 1082, 996, 1008, 1840, 1038, 1012, 1004, 1105, 1062, 1006,
-                    1045, 992,
-                ],
-                [
-                    1067, 1004, 1011, 1042, 997, 1007, 1838, 1033, 1011, 1006, 1105, 1055, 1006,
-                    1045, 984,
-                ],
-                [
-                    1067, 1004, 1011, 1032, 993, 1006, 1837, 1030, 1011, 1001, 1105, 1055, 1006,
-                    1045, 984,
-                ],
-            ],
-        },
-    ), // class-fallback mean abs err 6.9%
-    (
-        MachineKind::OutOfOrder,
-        KindCalib {
-            eta_pct: 35,
-            alpha_milli: [
-                [629, 529, 657],
-                [955, 796, 581],
-                [971, 918, 739],
-                [840, 771, 647],
-            ],
-            alpha_wl_milli: [
-                [
-                    1046, 671, 343, 636, 726, 519, 1562, 705, 200, 833, 466, 620, 277, 1010, 470,
-                ],
-                [
-                    1085, 1004, 803, 555, 520, 301, 1622, 723, 740, 648, 1505, 729, 1117, 1030, 582,
-                ],
-                [
-                    1133, 1007, 715, 517, 623, 488, 1612, 877, 756, 793, 1648, 881, 1441, 1035, 816,
-                ],
-                [
-                    1133, 1006, 411, 573, 645, 521, 1612, 993, 407, 841, 969, 1136, 652, 1035, 500,
-                ],
-            ],
-        },
-    ), // class-fallback mean abs err 36.8%
-    (
         MachineKind::Ces,
         KindCalib {
             eta_pct: 25,
@@ -276,6 +220,141 @@ pub const CALIBRATION: &[(MachineKind, KindCalib)] = &[
         },
     ), // class-fallback mean abs err 37.6%
     (
+        MachineKind::Ballerino,
+        KindCalib {
+            eta_pct: 40,
+            alpha_milli: [
+                [792, 639, 700],
+                [1065, 826, 613],
+                [1031, 916, 763],
+                [888, 771, 664],
+            ],
+            alpha_wl_milli: [
+                [
+                    1043, 671, 530, 752, 807, 533, 1630, 761, 356, 896, 670, 717, 419, 1023, 474,
+                ],
+                [
+                    1057, 1006, 1002, 583, 557, 321, 1681, 735, 851, 684, 1815, 768, 1219, 1012,
+                    606,
+                ],
+                [
+                    1076, 1008, 792, 593, 634, 493, 1636, 896, 760, 820, 1698, 891, 1452, 1021, 855,
+                ],
+                [
+                    1094, 1007, 430, 675, 655, 523, 1618, 1032, 409, 871, 966, 1218, 651, 1027, 512,
+                ],
+            ],
+        },
+    ), // class-fallback mean abs err 31.7%
+    (
+        MachineKind::Ldt,
+        KindCalib {
+            eta_pct: 35,
+            alpha_milli: [
+                [637, 531, 661],
+                [951, 805, 579],
+                [972, 923, 738],
+                [841, 774, 647],
+            ],
+            alpha_wl_milli: [
+                [
+                    1046, 671, 342, 654, 728, 520, 1562, 719, 200, 845, 479, 628, 277, 1010, 471,
+                ],
+                [
+                    1085, 1004, 805, 543, 517, 309, 1622, 767, 740, 646, 1520, 723, 1117, 1030, 580,
+                ],
+                [
+                    1133, 1007, 726, 515, 622, 489, 1612, 911, 756, 792, 1636, 880, 1441, 1035, 818,
+                ],
+                [
+                    1133, 1006, 413, 573, 644, 524, 1612, 1017, 407, 842, 969, 1135, 651, 1035, 500,
+                ],
+            ],
+        },
+    ), // class-fallback mean abs err 36.7%
+    (
+        MachineKind::BallerinoLdt,
+        KindCalib {
+            eta_pct: 25,
+            alpha_milli: [
+                [780, 645, 739],
+                [946, 732, 604],
+                [970, 891, 720],
+                [867, 779, 703],
+            ],
+            alpha_wl_milli: [
+                [
+                    1043, 708, 530, 738, 798, 533, 1564, 761, 361, 884, 668, 704, 419, 1023, 573,
+                ],
+                [
+                    1057, 1053, 702, 589, 558, 322, 1672, 741, 467, 683, 1425, 769, 902, 1009, 578,
+                ],
+                [
+                    1074, 1073, 682, 533, 635, 496, 1625, 893, 757, 820, 1629, 894, 1124, 1023, 717,
+                ],
+                [
+                    1094, 1055, 428, 649, 655, 526, 1615, 1032, 415, 840, 956, 1145, 651, 1027, 630,
+                ],
+            ],
+        },
+    ), // class-fallback mean abs err 31.1%
+    (
+        MachineKind::OutOfOrder,
+        KindCalib {
+            eta_pct: 35,
+            alpha_milli: [
+                [629, 529, 657],
+                [955, 796, 581],
+                [971, 918, 739],
+                [840, 771, 647],
+            ],
+            alpha_wl_milli: [
+                [
+                    1046, 671, 343, 636, 726, 519, 1562, 705, 200, 833, 466, 620, 277, 1010, 470,
+                ],
+                [
+                    1085, 1004, 803, 555, 520, 301, 1622, 723, 740, 648, 1505, 729, 1117, 1030, 582,
+                ],
+                [
+                    1133, 1007, 715, 517, 623, 488, 1612, 877, 756, 793, 1648, 881, 1441, 1035, 816,
+                ],
+                [
+                    1133, 1006, 411, 573, 645, 521, 1612, 993, 407, 841, 969, 1136, 652, 1035, 500,
+                ],
+            ],
+        },
+    ), // class-fallback mean abs err 36.8%
+    (
+        MachineKind::InOrder,
+        KindCalib {
+            eta_pct: 25,
+            alpha_milli: [
+                [1208, 1044, 1033],
+                [1190, 1029, 997],
+                [1177, 1024, 996],
+                [1175, 1024, 993],
+            ],
+            alpha_wl_milli: [
+                [
+                    1187, 1004, 1012, 1111, 1029, 1009, 1831, 1052, 1011, 1068, 1161, 1077, 1006,
+                    1052, 1003,
+                ],
+                [
+                    1092, 1005, 1020, 1082, 996, 1008, 1840, 1038, 1012, 1004, 1105, 1062, 1006,
+                    1045, 992,
+                ],
+                [
+                    1067, 1004, 1011, 1042, 997, 1007, 1838, 1033, 1011, 1006, 1105, 1055, 1006,
+                    1045, 984,
+                ],
+                [
+                    1067, 1004, 1011, 1032, 993, 1006, 1837, 1030, 1011, 1001, 1105, 1055, 1006,
+                    1045, 984,
+                ],
+            ],
+        },
+    ), // class-fallback mean abs err 6.9%
+    (
         MachineKind::LoadSliceCore,
         KindCalib {
             eta_pct: 20,
@@ -331,40 +410,15 @@ pub const CALIBRATION: &[(MachineKind, KindCalib)] = &[
             ],
         },
     ), // class-fallback mean abs err 34.6%
-    (
-        MachineKind::Ballerino,
-        KindCalib {
-            eta_pct: 40,
-            alpha_milli: [
-                [792, 639, 700],
-                [1065, 826, 613],
-                [1031, 916, 763],
-                [888, 771, 664],
-            ],
-            alpha_wl_milli: [
-                [
-                    1043, 671, 530, 752, 807, 533, 1630, 761, 356, 896, 670, 717, 419, 1023, 474,
-                ],
-                [
-                    1057, 1006, 1002, 583, 557, 321, 1681, 735, 851, 684, 1815, 768, 1219, 1012,
-                    606,
-                ],
-                [
-                    1076, 1008, 792, 593, 634, 493, 1636, 896, 760, 820, 1698, 891, 1452, 1021, 855,
-                ],
-                [
-                    1094, 1007, 430, 675, 655, 523, 1618, 1032, 409, 871, 966, 1218, 651, 1027, 512,
-                ],
-            ],
-        },
-    ), // class-fallback mean abs err 31.7%
 ];
 
-/// Looks up the calibration for a kind, folding ablation variants onto
-/// their base kind and falling back to [`KindCalib::default`] for
-/// anything never calibrated.
-pub fn calib_for(kind: MachineKind) -> KindCalib {
-    let base = match kind {
+/// The calibration base a kind folds onto: ablation variants share
+/// their base kind's constants; everything else is its own base.
+/// `BallerinoLdt` deliberately does *not* fold onto `Ballerino` — its
+/// delay-tracked steering redistributes μops across the P-IQs, so its
+/// effective window efficiency is fit separately.
+fn calib_base_kind(kind: MachineKind) -> MachineKind {
+    match kind {
         MachineKind::OutOfOrderNoMdp | MachineKind::OutOfOrderOldestFirst => {
             MachineKind::OutOfOrder
         }
@@ -375,7 +429,24 @@ pub fn calib_for(kind: MachineKind) -> KindCalib {
         | MachineKind::Ballerino12
         | MachineKind::BallerinoN(_) => MachineKind::Ballerino,
         k => k,
-    };
+    }
+}
+
+/// Whether a kind resolves to a committed [`CALIBRATION`] entry
+/// (directly or by variant folding) rather than the
+/// [`KindCalib::default`] fallback. Coverage gates (the sweep grid's
+/// completeness test in `ballerino-bench`) use this to catch kinds that
+/// would silently triage on default constants.
+pub fn has_calibration(kind: MachineKind) -> bool {
+    let base = calib_base_kind(kind);
+    CALIBRATION.iter().any(|(k, _)| *k == base)
+}
+
+/// Looks up the calibration for a kind, folding ablation variants onto
+/// their base kind and falling back to [`KindCalib::default`] for
+/// anything never calibrated.
+pub fn calib_for(kind: MachineKind) -> KindCalib {
+    let base = calib_base_kind(kind);
     CALIBRATION
         .iter()
         .find(|(k, _)| *k == base)
@@ -483,11 +554,14 @@ mod tests {
             MachineKind::LoadSliceCore,
             MachineKind::DelayAndBypass,
             MachineKind::Ballerino,
+            MachineKind::Ldt,
+            MachineKind::BallerinoLdt,
         ] {
             assert!(
                 CALIBRATION.iter().any(|(k, _)| *k == kind),
                 "{kind:?} missing from the calibration table"
             );
+            assert!(has_calibration(kind));
         }
     }
 
@@ -506,6 +580,13 @@ mod tests {
             calib_for(MachineKind::OutOfOrder)
         );
         assert_eq!(calib_for(MachineKind::CesMda), calib_for(MachineKind::Ces));
+        // BallerinoLdt is its own calibration base, not a Ballerino
+        // variant: delay-tracked steering changes the P-IQ population.
+        assert_ne!(
+            calib_for(MachineKind::BallerinoLdt),
+            KindCalib::default(),
+            "BallerinoLdt must own a committed entry"
+        );
     }
 
     #[test]

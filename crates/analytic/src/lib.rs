@@ -44,7 +44,7 @@ pub mod calib;
 pub mod model;
 
 pub use calib::{
-    calib_for, class_error_bound_pct, class_index, default_promotion_margin_pct,
+    calib_for, class_error_bound_pct, class_index, default_promotion_margin_pct, has_calibration,
     promotion_margin_pct, suite_index, width_index, workload_class, KindCalib, WorkloadClass,
     CALIBRATION, SUITE,
 };

@@ -7,7 +7,7 @@
 //! grid stresses) over the whole suite at `n = 8_000`. The committed
 //! table is fit at `n = 30_000` over all four widths; `tier0_calibrate`
 //! is the authoritative full check, this test catches drift cheaply.
-//! Ignored by default (it simulates 240 cells); CI's `sweep-smoke` job
+//! Ignored by default (it simulates 300 cells); CI's `sweep-smoke` job
 //! runs it with `--ignored`.
 
 use ballerino_analytic::{
@@ -19,7 +19,7 @@ use ballerino_workloads::{cached_dag, cached_features, cached_workload, workload
 const N: usize = 8_000;
 const SEED: u64 = 42;
 
-const BASE_KINDS: [MachineKind; 8] = [
+const BASE_KINDS: [MachineKind; 10] = [
     MachineKind::InOrder,
     MachineKind::OutOfOrder,
     MachineKind::Ces,
@@ -28,10 +28,12 @@ const BASE_KINDS: [MachineKind; 8] = [
     MachineKind::LoadSliceCore,
     MachineKind::DelayAndBypass,
     MachineKind::Ballerino,
+    MachineKind::Ldt,
+    MachineKind::BallerinoLdt,
 ];
 
 #[test]
-#[ignore = "simulates 240 kind x width x workload cells (~minutes); run in CI's sweep-smoke job"]
+#[ignore = "simulates 300 kind x width x workload cells (~minutes); run in CI's sweep-smoke job"]
 fn committed_calibration_stays_within_class_bounds() {
     let mut class_err: Vec<(WorkloadClass, Vec<f64>)> = WorkloadClass::ALL
         .iter()

@@ -5,7 +5,8 @@
 //! (within 2% of OoO), OoO ≈ 2.86×, OoO+oldest-first ≈ +2% over OoO.
 
 use ballerino_bench::{
-    print_header, print_row, run_suite, speedups_with_geomean, suite_len, workload_cols,
+    fig11_kinds, print_header, print_row, run_suite, speedups_with_geomean, suite_len,
+    workload_cols,
 };
 use ballerino_sim::{MachineKind, Width};
 
@@ -17,7 +18,7 @@ fn main() {
     let base = run_suite(MachineKind::InOrder, Width::Eight);
     let cols = workload_cols();
     print_header(&cols, 9);
-    for kind in MachineKind::FIG11 {
+    for kind in fig11_kinds() {
         let runs = run_suite(kind, Width::Eight);
         let sp = speedups_with_geomean(&runs, &base);
         print_row(&kind.label(), &sp, 9, 2);

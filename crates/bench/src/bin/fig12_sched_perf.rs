@@ -6,9 +6,9 @@
 //! (like CES); Rst shows a small ready→issue delay from steering stalls
 //! in the middle of the S-IQ.
 
-use ballerino_bench::{run_suite, suite_len};
+use ballerino_bench::{fig12_kinds, run_suite, suite_len};
 use ballerino_sim::stats::TIMING_CLASSES;
-use ballerino_sim::{MachineKind, Width};
+use ballerino_sim::Width;
 
 fn main() {
     println!("Fig. 12 — decode-to-issue breakdown (avg cycles/μop, suite-wide)\n");
@@ -17,13 +17,7 @@ fn main() {
         "{:<12} {:<5} {:>14} {:>15} {:>13}",
         "design", "class", "decode→dispatch", "dispatch→ready", "ready→issue"
     );
-    for kind in [
-        MachineKind::Ces,
-        MachineKind::Casino,
-        MachineKind::Ballerino,
-        MachineKind::Ballerino12,
-        MachineKind::OutOfOrder,
-    ] {
+    for kind in fig12_kinds() {
         let runs = run_suite(kind, Width::Eight);
         for class in TIMING_CLASSES {
             let (mut s0, mut s1, mut s2, mut n) = (0.0, 0.0, 0.0, 0u64);

@@ -6,7 +6,7 @@
 //! inter-queue copies; FXA keeps a half-size CAM IQ and lands highest of
 //! the alternatives; Ballerino-12 totals ≈0.81× OoO.
 
-use ballerino_bench::run_suite;
+use ballerino_bench::{fig15_kinds, run_suite};
 use ballerino_energy::{DvfsLevel, EnergyModel, COMPONENTS};
 use ballerino_sim::{MachineKind, Width};
 
@@ -28,14 +28,7 @@ fn main() {
     }
     println!("{:>10}", "TOTAL");
 
-    for kind in [
-        MachineKind::Ces,
-        MachineKind::Casino,
-        MachineKind::Fxa,
-        MachineKind::Ballerino,
-        MachineKind::Ballerino12,
-        MachineKind::OutOfOrder,
-    ] {
+    for kind in fig15_kinds() {
         let runs = run_suite(kind, Width::Eight);
         let mut per_comp = [0.0f64; 9];
         for r in &runs {

@@ -5,7 +5,8 @@
 //! simulate <machine> [workload] [width] [n] [seed]
 //!   machine : ino | ooo | ooo-of | ooo-nomdp | ces | ces-mda | casino |
 //!             fxa | step1 | step2 | ballerino | ideal | ballerino12 |
-//!             lsc | dnb | b<N>   (ballerino_bench::kind_from_name)
+//!             ldt | ballerino-ldt | lsc | dnb | b<N>
+//!             (ballerino_bench::kind_from_name / KIND_REGISTRY)
 //!   workload: any name from ballerino-workloads (default hash_join),
 //!             or "all" for the whole suite
 //!   width   : 2 | 4 | 8 | 10          (default 8)
@@ -13,7 +14,7 @@
 //!   seed    : generator seed           (default 42)
 //! ```
 
-use ballerino_bench::{kind_from_name, width_from_str};
+use ballerino_bench::{kind_from_name, width_from_str, KIND_REGISTRY};
 use ballerino_energy::{DvfsLevel, EnergyModel};
 use ballerino_sim::stats::TIMING_CLASSES;
 use ballerino_sim::{run_machine, SimResult, Width};
@@ -75,8 +76,8 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let usage = || {
         eprintln!("usage: simulate <machine> [workload|all] [width] [n] [seed]");
-        eprintln!("machines: ino ooo ooo-of ooo-nomdp ces ces-mda casino fxa");
-        eprintln!("          step1 step2 ballerino ideal ballerino12 lsc dnb b<N>");
+        let names: Vec<&str> = KIND_REGISTRY.iter().map(|i| i.name).collect();
+        eprintln!("machines: {} b<N>", names.join(" "));
         eprintln!("workloads: {}", workload_names().join(" "));
         std::process::exit(2);
     };

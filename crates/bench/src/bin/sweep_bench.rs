@@ -17,7 +17,7 @@
 //! Environment:
 //!
 //! * `BALLERINO_SWEEP_SMALL` — use the CI smoke spec (40 points) instead
-//!   of the full 2052-point grid.
+//!   of the full 2556-point grid.
 //! * `BALLERINO_SWEEP_N` — override μops per workload trace.
 //! * `BALLERINO_SWEEP_MARGIN` — promotion margin in percent (default:
 //!   the widest committed per-class calibration bound).

@@ -31,20 +31,9 @@ use ballerino_analytic::{
     class_error_bound_pct, class_index, predict_cycles_with, width_index, workload_class,
     KindCalib, MachineParams, WorkloadClass,
 };
-use ballerino_bench::{run_cells, seed, threads};
-use ballerino_sim::{DesignPoint, MachineKind, SimResult, Width};
+use ballerino_bench::{calib_kinds, run_cells, seed, threads};
+use ballerino_sim::{DesignPoint, SimResult, Width};
 use ballerino_workloads::{cached_dag, cached_features, workload_names};
-
-const BASE_KINDS: [MachineKind; 8] = [
-    MachineKind::InOrder,
-    MachineKind::OutOfOrder,
-    MachineKind::Ces,
-    MachineKind::Casino,
-    MachineKind::Fxa,
-    MachineKind::LoadSliceCore,
-    MachineKind::DelayAndBypass,
-    MachineKind::Ballerino,
-];
 
 const WIDTHS: [Width; 4] = [Width::Two, Width::Four, Width::Eight, Width::Ten];
 
@@ -55,9 +44,10 @@ fn main() {
         .unwrap_or(30_000);
     let s = seed();
     let names = workload_names();
+    let base_kinds = calib_kinds();
     println!(
         "tier0_calibrate: {} kinds x {} widths x {} workloads, N={n}, seed={s}, threads={}",
-        BASE_KINDS.len(),
+        base_kinds.len(),
         WIDTHS.len(),
         names.len(),
         threads()
@@ -71,7 +61,7 @@ fn main() {
         .collect();
 
     println!("\npub const CALIBRATION: &[(MachineKind, KindCalib)] = &[");
-    for kind in BASE_KINDS {
+    for kind in base_kinds {
         // sim[w][j] = cycle-accurate result for width w, workload j.
         let sim: Vec<Vec<SimResult>> = WIDTHS
             .iter()

@@ -28,6 +28,233 @@
 use ballerino_sim::{run_point, DesignPoint, MachineKind, SimResult, Width};
 use ballerino_workloads::{cached_dag, cached_workload};
 
+/// One row of the machine-kind registry: every per-kind registration
+/// fact the harness tiers need, in one place.
+///
+/// Before this table, adding a `MachineKind` meant hand-editing the fig
+/// binaries' row lists, `SweepSpec::full()`, `tier0_calibrate`'s base
+/// kinds and the CLI name parser — and a forgotten layer surfaced as a
+/// silently missing table row months later. Now each tier derives its
+/// kind list from the registry ([`fig11_kinds`], [`fig12_kinds`],
+/// [`fig15_kinds`], [`sweep_kinds`], [`calib_kinds`]) and tests
+/// cross-check the registry against `MachineKind::FIG11`,
+/// [`kind_from_name`] and `ballerino_analytic::CALIBRATION`, so the
+/// next forgotten layer is a test failure, not a reviewer's catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KindInfo {
+    /// The machine kind this row registers.
+    pub kind: MachineKind,
+    /// Canonical CLI/campaign-spec name ([`kind_from_name`] parses it).
+    pub name: &'static str,
+    /// Enumerated by the full design-space sweep (`SweepSpec::full`).
+    pub in_full_sweep: bool,
+    /// Carries its own `ballerino_analytic::CALIBRATION` entry (variants
+    /// that fold onto a base kind via `calib_for` leave this unset).
+    pub calib_base: bool,
+    /// Appears as a Fig. 11 speedup row.
+    pub fig11: bool,
+    /// Appears as a Fig. 12 decode-to-issue breakdown row.
+    pub fig12: bool,
+    /// Appears as a Fig. 15 energy-by-component row.
+    pub fig15: bool,
+}
+
+/// The machine-kind registry, in figure display order (the Fig. 11 bar
+/// order first, then the remaining kinds). `BallerinoN` is absent by
+/// design: it is parametric, so it has no single registry row — the CLI
+/// parses it via the `b<N>` fallback and sensitivity figs enumerate it
+/// explicitly.
+pub const KIND_REGISTRY: &[KindInfo] = &[
+    KindInfo {
+        kind: MachineKind::Ces,
+        name: "ces",
+        in_full_sweep: true,
+        calib_base: true,
+        fig11: true,
+        fig12: true,
+        fig15: true,
+    },
+    KindInfo {
+        kind: MachineKind::Casino,
+        name: "casino",
+        in_full_sweep: true,
+        calib_base: true,
+        fig11: true,
+        fig12: true,
+        fig15: true,
+    },
+    KindInfo {
+        kind: MachineKind::Fxa,
+        name: "fxa",
+        in_full_sweep: true,
+        calib_base: true,
+        fig11: true,
+        fig12: false,
+        fig15: true,
+    },
+    KindInfo {
+        kind: MachineKind::Ballerino,
+        name: "ballerino",
+        in_full_sweep: true,
+        calib_base: true,
+        fig11: true,
+        fig12: true,
+        fig15: true,
+    },
+    KindInfo {
+        kind: MachineKind::Ballerino12,
+        name: "ballerino12",
+        in_full_sweep: true,
+        calib_base: false,
+        fig11: true,
+        fig12: true,
+        fig15: true,
+    },
+    KindInfo {
+        kind: MachineKind::Ldt,
+        name: "ldt",
+        in_full_sweep: true,
+        calib_base: true,
+        fig11: true,
+        fig12: true,
+        fig15: true,
+    },
+    KindInfo {
+        kind: MachineKind::BallerinoLdt,
+        name: "ballerino-ldt",
+        in_full_sweep: true,
+        calib_base: true,
+        fig11: true,
+        fig12: true,
+        fig15: true,
+    },
+    KindInfo {
+        kind: MachineKind::OutOfOrder,
+        name: "ooo",
+        in_full_sweep: true,
+        calib_base: true,
+        fig11: true,
+        fig12: true,
+        fig15: true,
+    },
+    KindInfo {
+        kind: MachineKind::OutOfOrderOldestFirst,
+        name: "ooo-of",
+        in_full_sweep: false,
+        calib_base: false,
+        fig11: true,
+        fig12: false,
+        fig15: false,
+    },
+    KindInfo {
+        kind: MachineKind::InOrder,
+        name: "ino",
+        in_full_sweep: true,
+        calib_base: true,
+        fig11: false,
+        fig12: false,
+        fig15: false,
+    },
+    KindInfo {
+        kind: MachineKind::OutOfOrderNoMdp,
+        name: "ooo-nomdp",
+        in_full_sweep: false,
+        calib_base: false,
+        fig11: false,
+        fig12: false,
+        fig15: false,
+    },
+    KindInfo {
+        kind: MachineKind::CesMda,
+        name: "ces-mda",
+        in_full_sweep: false,
+        calib_base: false,
+        fig11: false,
+        fig12: false,
+        fig15: false,
+    },
+    KindInfo {
+        kind: MachineKind::BallerinoStep1,
+        name: "step1",
+        in_full_sweep: false,
+        calib_base: false,
+        fig11: false,
+        fig12: false,
+        fig15: false,
+    },
+    KindInfo {
+        kind: MachineKind::BallerinoStep2,
+        name: "step2",
+        in_full_sweep: false,
+        calib_base: false,
+        fig11: false,
+        fig12: false,
+        fig15: false,
+    },
+    KindInfo {
+        kind: MachineKind::BallerinoIdeal,
+        name: "ideal",
+        in_full_sweep: false,
+        calib_base: false,
+        fig11: false,
+        fig12: false,
+        fig15: false,
+    },
+    KindInfo {
+        kind: MachineKind::LoadSliceCore,
+        name: "lsc",
+        in_full_sweep: true,
+        calib_base: true,
+        fig11: false,
+        fig12: false,
+        fig15: false,
+    },
+    KindInfo {
+        kind: MachineKind::DelayAndBypass,
+        name: "dnb",
+        in_full_sweep: true,
+        calib_base: true,
+        fig11: false,
+        fig12: false,
+        fig15: false,
+    },
+];
+
+fn registry_kinds(select: impl Fn(&KindInfo) -> bool) -> Vec<MachineKind> {
+    KIND_REGISTRY
+        .iter()
+        .filter(|i| select(i))
+        .map(|i| i.kind)
+        .collect()
+}
+
+/// The Fig. 11 speedup rows, registry display order (a test pins this
+/// equal to `MachineKind::FIG11`).
+pub fn fig11_kinds() -> Vec<MachineKind> {
+    registry_kinds(|i| i.fig11)
+}
+
+/// The Fig. 12 decode-to-issue breakdown rows, registry display order.
+pub fn fig12_kinds() -> Vec<MachineKind> {
+    registry_kinds(|i| i.fig12)
+}
+
+/// The Fig. 15 energy rows, registry display order.
+pub fn fig15_kinds() -> Vec<MachineKind> {
+    registry_kinds(|i| i.fig15)
+}
+
+/// The kinds `SweepSpec::full()` enumerates, registry display order.
+pub fn sweep_kinds() -> Vec<MachineKind> {
+    registry_kinds(|i| i.in_full_sweep)
+}
+
+/// The kinds `tier0_calibrate` fits — every kind that owns a
+/// `ballerino_analytic::CALIBRATION` entry, registry display order.
+pub fn calib_kinds() -> Vec<MachineKind> {
+    registry_kinds(|i| i.calib_base)
+}
+
 /// One independent unit of simulation work: a [`DesignPoint`] evaluated
 /// on one `(workload, n, seed)` trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -145,31 +372,34 @@ pub fn enumerate_cells(
 }
 
 /// Parses a machine-kind name as used by the `simulate` CLI and
-/// campaign specs: `ino | ooo | ooo-of | ooo-nomdp | ces | ces-mda |
-/// casino | fxa | step1 | step2 | ballerino | ideal | ballerino12 |
-/// lsc | dnb | b<N>`.
+/// campaign specs. Accepts every [`KIND_REGISTRY`] row's canonical name
+/// (`ino | ooo | ooo-of | ooo-nomdp | ces | ces-mda | casino | fxa |
+/// step1 | step2 | ballerino | ideal | ballerino12 | ldt |
+/// ballerino-ldt | lsc | dnb`), every [`MachineKind::label`] display
+/// label (`OoO`, `Ballerino-12`, `LDT`, …), and the parametric
+/// `b<N>` / `Ballerino-<N+1>` forms for [`MachineKind::BallerinoN`] —
+/// so every enumerable kind's label round-trips (a test pins this).
 pub fn kind_from_name(s: &str) -> Option<MachineKind> {
-    Some(match s {
-        "ino" => MachineKind::InOrder,
-        "ooo" => MachineKind::OutOfOrder,
-        "ooo-of" => MachineKind::OutOfOrderOldestFirst,
-        "ooo-nomdp" => MachineKind::OutOfOrderNoMdp,
-        "ces" => MachineKind::Ces,
-        "ces-mda" => MachineKind::CesMda,
-        "casino" => MachineKind::Casino,
-        "fxa" => MachineKind::Fxa,
-        "step1" => MachineKind::BallerinoStep1,
-        "step2" => MachineKind::BallerinoStep2,
-        "ballerino" => MachineKind::Ballerino,
-        "ideal" => MachineKind::BallerinoIdeal,
-        "ballerino12" => MachineKind::Ballerino12,
-        "lsc" => MachineKind::LoadSliceCore,
-        "dnb" => MachineKind::DelayAndBypass,
-        other => {
-            let n: usize = other.strip_prefix('b')?.parse().ok()?;
-            MachineKind::BallerinoN(n)
+    if let Some(i) = KIND_REGISTRY.iter().find(|i| i.name == s) {
+        return Some(i.kind);
+    }
+    // Registry labels take precedence over the parametric `Ballerino-N`
+    // form, so `Ballerino-12` parses as the named Ballerino12 kind (the
+    // same machine as BallerinoN(11), enumerated under its own name).
+    if let Some(i) = KIND_REGISTRY.iter().find(|i| i.kind.label() == s) {
+        return Some(i.kind);
+    }
+    if let Some(rest) = s.strip_prefix("Ballerino-") {
+        // `BallerinoN(n)` displays as `Ballerino-{n+1}` (one S-IQ plus
+        // n P-IQs).
+        if let Ok(n) = rest.parse::<usize>() {
+            if n >= 1 {
+                return Some(MachineKind::BallerinoN(n - 1));
+            }
         }
-    })
+    }
+    let n: usize = s.strip_prefix('b')?.parse().ok()?;
+    Some(MachineKind::BallerinoN(n))
 }
 
 /// Parses a machine width: `2 | 4 | 8 | 10`.
@@ -261,6 +491,8 @@ mod tests {
             ("fxa", MachineKind::Fxa),
             ("ballerino", MachineKind::Ballerino),
             ("ballerino12", MachineKind::Ballerino12),
+            ("ldt", MachineKind::Ldt),
+            ("ballerino-ldt", MachineKind::BallerinoLdt),
             ("lsc", MachineKind::LoadSliceCore),
             ("dnb", MachineKind::DelayAndBypass),
             ("b5", MachineKind::BallerinoN(5)),
@@ -270,5 +502,103 @@ mod tests {
         assert_eq!(kind_from_name("nope"), None);
         assert_eq!(width_from_str("8"), Some(Width::Eight));
         assert_eq!(width_from_str("3"), None);
+    }
+
+    #[test]
+    fn registry_names_and_labels_invert_for_every_enumerable_kind() {
+        // Canonical names and display labels both parse back to the
+        // registered kind, so a new kind cannot silently miss the
+        // campaign/sweep grid: forgetting its registry row fails the
+        // registry tests, and the registry row *is* the name mapping.
+        for info in KIND_REGISTRY {
+            assert_eq!(
+                kind_from_name(info.name),
+                Some(info.kind),
+                "name {:?} must parse to {:?}",
+                info.name,
+                info.kind
+            );
+            assert_eq!(
+                kind_from_name(&info.kind.label()),
+                Some(info.kind),
+                "label {:?} must round-trip",
+                info.kind.label()
+            );
+        }
+        // The parametric family round-trips through its display label
+        // (except BallerinoN(11), whose label is owned by the named
+        // Ballerino12 registry row — the same machine).
+        for n in [2, 4, 5, 9, 20] {
+            let kind = MachineKind::BallerinoN(n);
+            assert_eq!(kind_from_name(&kind.label()), Some(kind));
+        }
+        assert_eq!(
+            kind_from_name(&MachineKind::BallerinoN(11).label()),
+            Some(MachineKind::Ballerino12)
+        );
+    }
+
+    #[test]
+    fn registry_is_complete_and_unambiguous() {
+        // Every non-parametric MachineKind has exactly one registry row
+        // (FIG11 kinds are a subset; the build test in ballerino-sim
+        // enumerates the full variant list, which this mirrors).
+        let all = [
+            MachineKind::InOrder,
+            MachineKind::OutOfOrder,
+            MachineKind::OutOfOrderOldestFirst,
+            MachineKind::OutOfOrderNoMdp,
+            MachineKind::Ces,
+            MachineKind::CesMda,
+            MachineKind::Casino,
+            MachineKind::Fxa,
+            MachineKind::BallerinoStep1,
+            MachineKind::BallerinoStep2,
+            MachineKind::Ballerino,
+            MachineKind::BallerinoIdeal,
+            MachineKind::Ballerino12,
+            MachineKind::LoadSliceCore,
+            MachineKind::DelayAndBypass,
+            MachineKind::Ldt,
+            MachineKind::BallerinoLdt,
+        ];
+        assert_eq!(KIND_REGISTRY.len(), all.len());
+        for kind in all {
+            assert_eq!(
+                KIND_REGISTRY.iter().filter(|i| i.kind == kind).count(),
+                1,
+                "{kind:?} must have exactly one registry row"
+            );
+        }
+        let mut names: Vec<&str> = KIND_REGISTRY.iter().map(|i| i.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), KIND_REGISTRY.len(), "names must be unique");
+    }
+
+    #[test]
+    fn registry_fig11_filter_matches_machine_kind_fig11() {
+        assert_eq!(fig11_kinds(), MachineKind::FIG11.to_vec());
+    }
+
+    #[test]
+    fn every_sweep_kind_has_a_calibration_entry() {
+        // The tier-0 triage is only sound for kinds the committed
+        // CALIBRATION covers (directly or by variant folding); a grid
+        // kind without one would silently triage on default constants.
+        for kind in sweep_kinds() {
+            assert!(
+                ballerino_analytic::has_calibration(kind),
+                "{kind:?} is enumerated by SweepSpec::full() but has no \
+                 CALIBRATION entry — run tier0_calibrate and commit it"
+            );
+        }
+        // And every registered calibration base actually owns an entry.
+        for kind in calib_kinds() {
+            assert!(
+                ballerino_analytic::has_calibration(kind),
+                "{kind:?} is flagged calib_base but CALIBRATION lacks it"
+            );
+        }
     }
 }

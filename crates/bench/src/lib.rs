@@ -61,7 +61,10 @@ pub mod cells;
 pub mod provenance;
 pub mod sweep;
 
-pub use cells::{enumerate_cells, fnv1a, grid_points, kind_from_name, width_from_str, SimCell};
+pub use cells::{
+    calib_kinds, enumerate_cells, fig11_kinds, fig12_kinds, fig15_kinds, fnv1a, grid_points,
+    kind_from_name, sweep_kinds, width_from_str, KindInfo, SimCell, KIND_REGISTRY,
+};
 pub use provenance::Provenance;
 pub use sweep::{
     anchored_survivors, pareto_indices, point_cost, promote_indices, run_sweep, simulate_points,

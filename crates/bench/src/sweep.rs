@@ -38,7 +38,7 @@
 //! Cost is a static area proxy ([`point_cost`]) — identical for both
 //! tiers, so promotion error comes from the cycle axis alone.
 
-use crate::cells::{enumerate_cells, grid_points, SimCell};
+use crate::cells::{enumerate_cells, grid_points, sweep_kinds, SimCell};
 use crate::{run_pool, threads};
 use ballerino_analytic::{default_promotion_margin_pct, MachineParams};
 use ballerino_sim::{build_scheduler_point, DesignPoint, MachineKind, Width};
@@ -66,10 +66,11 @@ pub struct SweepSpec {
 }
 
 impl SweepSpec {
-    /// The full design-space sweep: 8 windowed kinds × 4 widths × 7 IQ
-    /// budgets × 9 DRAM grades, plus the windowless InOrder baseline on
-    /// the width × DRAM axes only = 2052 points, scored on six workloads
-    /// spanning all three calibration classes.
+    /// The full design-space sweep: every [`sweep_kinds`] registry kind
+    /// (10 windowed kinds × 4 widths × 7 IQ budgets × 9 DRAM grades,
+    /// plus the windowless InOrder baseline on the width × DRAM axes
+    /// only = 2556 points), scored on six workloads spanning all three
+    /// calibration classes.
     ///
     /// Axis choices that keep the grid honest: every IQ budget is
     /// explicit (`None` would duplicate whichever explicit value matches
@@ -85,17 +86,7 @@ impl SweepSpec {
     /// is a genuine cost/performance trade.
     pub fn full() -> SweepSpec {
         SweepSpec {
-            kinds: vec![
-                MachineKind::InOrder,
-                MachineKind::OutOfOrder,
-                MachineKind::Ces,
-                MachineKind::Casino,
-                MachineKind::Fxa,
-                MachineKind::LoadSliceCore,
-                MachineKind::DelayAndBypass,
-                MachineKind::Ballerino,
-                MachineKind::Ballerino12,
-            ],
+            kinds: sweep_kinds(),
             widths: vec![Width::Two, Width::Four, Width::Eight, Width::Ten],
             iq_budgets: vec![
                 Some(16),

@@ -5,9 +5,9 @@
 use crate::piq::{PartId, Piq};
 use ballerino_isa::{PhysReg, MAX_PORTS};
 use ballerino_sched::{
-    DispatchOutcome, HeadState, HeadStateStats, IssueBreakdown, LocTable, PortAlloc, ReadyCtx,
-    SchedEnergyEvents, SchedUop, Scheduler, StallReason, SteerEvent, SteerStats, WakeFabric,
-    WakeState,
+    DelayTable, DispatchOutcome, HeadState, HeadStateStats, IssueBreakdown, LocTable, PortAlloc,
+    ReadyCtx, SchedEnergyEvents, SchedUop, Scheduler, StallReason, SteerEvent, SteerStats,
+    WakeFabric, WakeState,
 };
 use std::collections::VecDeque;
 
@@ -25,6 +25,10 @@ pub struct BallerinoConfig {
     pub piq_entries: usize,
     /// Step 2: steer M-dependent loads behind their producer stores.
     pub mda_steering: bool,
+    /// LDT steering: place memory μops behind the P-IQ tail whose
+    /// predicted ready cycle (from the tracked load-delay table) best
+    /// matches their own, in place of store-set (MDA) steering.
+    pub ldt_steering: bool,
     /// Step 3: allow two chains to share one P-IQ.
     pub piq_sharing: bool,
     /// Fig. 13 "w/o constraints": lift the same-half and single-active-
@@ -57,6 +61,7 @@ impl BallerinoConfig {
             num_piqs: 7,
             piq_entries: 12,
             mda_steering: true,
+            ldt_steering: false,
             piq_sharing: true,
             ideal_sharing: false,
             num_phys_regs: 348,
@@ -86,6 +91,16 @@ impl BallerinoConfig {
     pub fn step2() -> Self {
         BallerinoConfig {
             piq_sharing: false,
+            ..Self::eight_wide()
+        }
+    }
+
+    /// Ballerino-LDT: store-set steering replaced by tracked-load-delay
+    /// steering (the LDT extension kind; see `ballerino_sched::ldt`).
+    pub fn ldt() -> Self {
+        BallerinoConfig {
+            mda_steering: false,
+            ldt_steering: true,
             ..Self::eight_wide()
         }
     }
@@ -138,6 +153,10 @@ fn decode_loc(loc: u16) -> (usize, PartId) {
     ((loc / 2) as usize, PartId((loc % 2) as u8))
 }
 
+/// Initial load-delay estimate before any observation (LDT mode;
+/// matches `ballerino_sched::ldt`).
+const INITIAL_TRACKED_DELAY: u64 = 4;
+
 /// Per-cycle shape of an idle S-IQ window walk (see
 /// `Ballerino::idle_window_shape`).
 struct IdleWindow {
@@ -158,6 +177,13 @@ pub struct Ballerino {
     /// P-SCB producer-location extension.
     loc: LocTable,
     lfst_steer: Vec<Option<LfstSteer>>,
+    /// Predicted-ready-cycle table for LDT steering (only mutated when
+    /// `cfg.ldt_steering`; its access counters fold into the P-SCB's).
+    dt: DelayTable,
+    /// Running load-delay estimate (LDT mode).
+    tracked_delay: u64,
+    /// Issued loads awaiting delay observation (LDT mode).
+    inflight: VecDeque<(PhysReg, u64)>,
     energy: SchedEnergyEvents,
     steer: SteerStats,
     heads: HeadStateStats,
@@ -179,8 +205,11 @@ impl Ballerino {
             .collect();
         let loc = LocTable::new(cfg.num_phys_regs);
         let lfst_steer = vec![None; cfg.num_ssids];
+        let dt = DelayTable::new(cfg.num_phys_regs);
         let mut name = format!("ballerino-{}", cfg.num_piqs + 1);
-        if !cfg.mda_steering {
+        if cfg.ldt_steering {
+            name.push_str("-ldt");
+        } else if !cfg.mda_steering {
             name.push_str("-step1");
         } else if !cfg.piq_sharing {
             name.push_str("-step2");
@@ -193,6 +222,9 @@ impl Ballerino {
             siq: VecDeque::new(),
             loc,
             lfst_steer,
+            dt,
+            tracked_delay: INITIAL_TRACKED_DELAY,
+            inflight: VecDeque::new(),
             energy: SchedEnergyEvents::default(),
             steer: SteerStats::default(),
             heads: HeadStateStats::default(),
@@ -241,6 +273,107 @@ impl Ballerino {
         }
         self.energy.queue_writes += 1;
         self.piqs[piq].push(part, uop);
+    }
+
+    /// LDT steering target: the partition whose tail's predicted ready
+    /// cycle is the latest one not exceeding the μop's own prediction —
+    /// the memory μop queues behind work that should finish no later
+    /// than its operands arrive. Replaces store-set (MDA) steering in
+    /// LDT mode; only memory μops are considered, mirroring MDA's
+    /// applicability.
+    ///
+    /// Only tails *older* than the μop qualify: dependence-based steering
+    /// (MDA, P-SCB) keeps every partition age-sorted for free because
+    /// producers precede consumers, and forward progress leans on that —
+    /// an unordered FIFO lets the globally oldest unissued μop sit behind
+    /// younger entries whose producers wait behind it in another queue
+    /// (a cross-queue dependence cycle that live-locks the machine).
+    fn ldt_target(&mut self, uop: &SchedUop) -> Option<(usize, PartId)> {
+        if !self.cfg.ldt_steering || !(uop.is_load() || uop.is_store()) {
+            return None;
+        }
+        let mut pred = 0u64;
+        for src in uop.srcs.iter().flatten() {
+            pred = pred.max(self.dt.predicted_ready(*src));
+        }
+        let mut best: Option<(u64, usize, PartId)> = None;
+        for (k, q) in self.piqs.iter().enumerate() {
+            for part in [PartId(0), PartId(1)] {
+                if !q.can_push(part) {
+                    continue;
+                }
+                let Some(tail) = q.back(part) else { continue };
+                if tail.seq >= uop.seq {
+                    continue;
+                }
+                let Some(d) = tail.dst else { continue };
+                let tp = self.dt.peek(d);
+                if tp == 0 || tp > pred {
+                    continue;
+                }
+                // Strict improvement only: first-come wins ties, so the
+                // lowest (queue, partition) pair is deterministic.
+                if best.map(|(bt, _, _)| tp > bt).unwrap_or(true) {
+                    best = Some((tp, k, part));
+                }
+            }
+        }
+        best.map(|(_, k, p)| (k, p))
+    }
+
+    /// Read-only replica of a successful `ldt_target`.
+    fn ldt_would_target(&self, uop: &SchedUop) -> bool {
+        if !self.cfg.ldt_steering || !(uop.is_load() || uop.is_store()) {
+            return false;
+        }
+        let mut pred = 0u64;
+        for src in uop.srcs.iter().flatten() {
+            pred = pred.max(self.dt.peek(*src));
+        }
+        self.piqs.iter().any(|q| {
+            [PartId(0), PartId(1)].into_iter().any(|part| {
+                q.can_push(part)
+                    && q.back(part)
+                        .filter(|tail| tail.seq < uop.seq)
+                        .and_then(|tail| tail.dst)
+                        .map(|d| {
+                            let tp = self.dt.peek(d);
+                            tp != 0 && tp <= pred
+                        })
+                        .unwrap_or(false)
+            })
+        })
+    }
+
+    /// Queues a just-issued load for delay observation (LDT mode).
+    fn note_ldt_issue(&mut self, u: &SchedUop, cycle: u64) {
+        if self.cfg.ldt_steering && u.is_load() {
+            if let Some(d) = u.dst {
+                self.inflight.push_back((d, cycle));
+            }
+        }
+    }
+
+    /// Folds completed load observations into the running delay
+    /// estimate (LDT mode; see `ballerino_sched::ldt`). The scoreboard
+    /// publishes a load's completion cycle the same cycle it issues, so
+    /// the queue fully drains at the next scheduler activity.
+    fn observe_loads(&mut self, ctx: &ReadyCtx<'_>) {
+        while let Some(&(dst, issued_at)) = self.inflight.front() {
+            self.inflight.pop_front();
+            let rc = ctx.scb.ready_cycle(dst);
+            if rc == u64::MAX {
+                continue; // reallocated before observation; no sample
+            }
+            let observed = rc.saturating_sub(issued_at);
+            self.tracked_delay = ((3 * self.tracked_delay + observed) / 4).max(1);
+            self.energy.loc_writes += 1; // delay-estimate register update
+        }
+    }
+
+    /// Current load-delay estimate (LDT mode; tests/diagnostics).
+    pub fn tracked_delay(&self) -> u64 {
+        self.tracked_delay
     }
 
     /// MDA steering target (§III-B): the partition whose tail is the
@@ -328,6 +461,11 @@ impl Ballerino {
     /// P-IQ accepted it.
     fn steer(&mut self, uop: &SchedUop) -> bool {
         self.energy.steer_ops += 1;
+        if let Some((k, part)) = self.ldt_target(uop) {
+            self.steer.record(SteerEvent::SteerDc);
+            self.push_tracked(k, part, *uop);
+            return true;
+        }
         if let Some((k, part)) = self.mda_target(uop) {
             self.steer.record(SteerEvent::SteerDc);
             self.push_tracked(k, part, *uop);
@@ -411,7 +549,10 @@ impl Ballerino {
     /// Whether `steer` would move `uop` into a P-IQ, without mutating
     /// any steering state.
     fn would_steer(&self, uop: &SchedUop) -> bool {
-        self.mda_would_target(uop) || self.rdep_would_target(uop) || self.alloc_would_target()
+        self.ldt_would_target(uop)
+            || self.mda_would_target(uop)
+            || self.rdep_would_target(uop)
+            || self.alloc_would_target()
     }
 
     /// Walks the S-IQ window exactly as an issue-free `issue` call would,
@@ -563,6 +704,7 @@ impl Ballerino {
                     self.energy.queue_reads += 1;
                     self.breakdown.from_piq += 1;
                     self.release_store_lfst(&u);
+                    self.note_ldt_issue(&u, ctx.cycle);
                     note_issue(&u, &mut just_issued);
                     out.push(u.seq);
                     issued_part = Some(part);
@@ -587,6 +729,7 @@ impl Ballerino {
                     self.breakdown.from_siq += 1;
                     self.steer.record(SteerEvent::SpeculativeIssue);
                     self.release_store_lfst(&u);
+                    self.note_ldt_issue(&u, ctx.cycle);
                     note_issue(&u, &mut just_issued);
                     out.push(u.seq);
                     remove.push(i);
@@ -661,6 +804,23 @@ impl Scheduler for Ballerino {
         if self.siq.len() >= self.cfg.siq_entries {
             return DispatchOutcome::Stall(StallReason::Full);
         }
+        if self.cfg.ldt_steering {
+            // Annotate the dependence chain with predicted ready cycles
+            // (after the full-check: refused dispatches touch nothing,
+            // which the quiesce replay relies on).
+            let mut pred = ctx.cycle;
+            for src in uop.srcs.iter().flatten() {
+                pred = pred.max(self.dt.predicted_ready(*src));
+            }
+            if let Some(d) = uop.dst {
+                let lat = if uop.is_load() {
+                    self.tracked_delay
+                } else {
+                    uop.class.exec_latency() as u64
+                };
+                self.dt.set_predicted(d, pred + lat);
+            }
+        }
         self.energy.queue_writes += 1;
         self.fabric.insert(&uop, 0, ctx);
         self.siq.push_back(uop);
@@ -668,6 +828,9 @@ impl Scheduler for Ballerino {
     }
 
     fn issue(&mut self, ctx: &ReadyCtx<'_>, ports: &mut PortAlloc<'_>, out: &mut Vec<u64>) {
+        if self.cfg.ldt_steering {
+            self.observe_loads(ctx);
+        }
         if self.reference_issue {
             return self.issue_reference(ctx, ports, out);
         }
@@ -726,6 +889,7 @@ impl Scheduler for Ballerino {
                     self.energy.queue_reads += 1;
                     self.breakdown.from_piq += 1;
                     self.release_store_lfst(&u);
+                    self.note_ldt_issue(&u, ctx.cycle);
                     note_issue(&u, &mut just_issued, &mut n_issued);
                     out.push(u.seq);
                     issued_part = Some(part);
@@ -755,6 +919,7 @@ impl Scheduler for Ballerino {
                     self.breakdown.from_siq += 1;
                     self.steer.record(SteerEvent::SpeculativeIssue);
                     self.release_store_lfst(&u);
+                    self.note_ldt_issue(&u, ctx.cycle);
                     note_issue(&u, &mut just_issued, &mut n_issued);
                     out.push(u.seq);
                     remove_mask |= 1 << i;
@@ -825,6 +990,10 @@ impl Scheduler for Ballerino {
 
     fn on_complete(&mut self, dst: PhysReg) {
         self.loc.clear(dst);
+        if self.cfg.ldt_steering {
+            // The value exists: its delay prediction is spent.
+            self.dt.clear(dst);
+        }
         self.fabric.on_complete(dst);
     }
 
@@ -838,6 +1007,13 @@ impl Scheduler for Ballerino {
         }
         for d in flushed_dests {
             self.loc.clear(*d);
+        }
+        if self.cfg.ldt_steering {
+            for d in flushed_dests {
+                self.dt.clear(*d);
+            }
+            // Squashed issued loads must not contribute delay samples.
+            self.inflight.retain(|(d, _)| !flushed_dests.contains(d));
         }
         for e in &mut self.lfst_steer {
             if e.map(|s| s.store_seq > seq).unwrap_or(false) {
@@ -856,8 +1032,8 @@ impl Scheduler for Ballerino {
 
     fn energy_events(&self) -> SchedEnergyEvents {
         let mut e = self.energy;
-        e.loc_reads += self.loc.reads;
-        e.loc_writes += self.loc.writes;
+        e.loc_reads += self.loc.reads + self.dt.reads;
+        e.loc_writes += self.loc.writes + self.dt.writes;
         e
     }
 
@@ -902,6 +1078,12 @@ impl Scheduler for Ballerino {
     fn note_idle_cycles(&mut self, ctx: &ReadyCtx<'_>, _pending: Option<&SchedUop>, k: u64) {
         if k == 0 {
             return;
+        }
+        if self.cfg.ldt_steering {
+            // The first idle `issue` call would have drained the
+            // observation queue; it cannot refill during an idle window,
+            // so one drain replicates all k.
+            self.observe_loads(ctx);
         }
         // ---- 1. P-IQ heads: replay examinations, head-state records and
         //         the active-pointer toggle in closed form.
@@ -987,10 +1169,41 @@ impl Scheduler for Ballerino {
                     self.energy.loc_reads += k;
                 }
                 let n_srcs = b.srcs.iter().flatten().count() as u64;
+                if self.cfg.ldt_steering && (b.is_load() || b.is_store()) {
+                    // The failed `ldt_target` probe re-reads the delay
+                    // table for each source every cycle.
+                    self.dt.reads += k * n_srcs;
+                }
                 self.loc.reads += k * n_srcs;
                 self.steer.record_n(SteerEvent::StallNonReady, k);
             }
         }
+    }
+
+    fn debug_locate(&self, seq: u64) -> String {
+        let mut s = String::new();
+        if let Some(i) = self.siq.iter().position(|u| u.seq == seq) {
+            s.push_str(&format!(
+                "siq[{i}] (window {}, len {}); ",
+                self.cfg.siq_window,
+                self.siq.len()
+            ));
+        }
+        for (k, q) in self.piqs.iter().enumerate() {
+            for (j, u) in q.iter().enumerate() {
+                if u.seq == seq {
+                    s.push_str(&format!(
+                        "piq[{k}][{j}] shared={} active={:?} f0={:?} f1={:?}; ",
+                        q.is_shared(),
+                        q.active_part(),
+                        q.front(PartId(0)).map(|u| u.seq),
+                        q.front(PartId(1)).map(|u| u.seq),
+                    ));
+                }
+            }
+        }
+        s.push_str(&format!("fabric: {}", self.fabric.debug_entry(seq)));
+        s
     }
 }
 
@@ -1343,6 +1556,34 @@ mod tests {
     }
 
     #[test]
+    fn ldt_steering_places_memory_op_behind_predicted_tail() {
+        let mut r = Rig::new(BallerinoConfig::ldt());
+        r.scb.allocate(PhysReg(10));
+        r.scb.allocate(PhysReg(20));
+        // Load A annotates dst 10 with the tracked delay and issues.
+        let mut a = op(0, Some(10), [None, None]);
+        a.class = OpClass::Load;
+        r.dispatch(a);
+        // Chain head C is steered to a fresh P-IQ; its dst prediction
+        // (exec latency) becomes a steering tail candidate.
+        r.dispatch(op(1, Some(21), [Some(20), None]));
+        // Load D consumes A's dst: its prediction (4) covers C's tail
+        // prediction (1), so LDT steering queues it behind C.
+        let mut d = op(2, Some(11), [Some(10), None]);
+        d.class = OpClass::Load;
+        r.dispatch(d);
+        let out = r.issue(0);
+        assert_eq!(out, vec![0]);
+        assert_eq!(r.b.piq_len(0), 2, "D steered behind C's predicted tail");
+        assert_eq!(r.b.steer_stats().steer_dc, 1);
+        assert_eq!(r.b.steer_stats().alloc_nonready, 1);
+        // A's actual delay is observed at the next scheduler activity.
+        r.scb.set_ready_at(PhysReg(10), 20);
+        let _ = r.issue(1);
+        assert_eq!(r.b.tracked_delay(), (3 * INITIAL_TRACKED_DELAY + 20) / 4);
+    }
+
+    #[test]
     fn names_encode_steps() {
         assert_eq!(
             Ballerino::new(BallerinoConfig::eight_wide()).name(),
@@ -1363,6 +1604,10 @@ mod tests {
         assert_eq!(
             Ballerino::new(BallerinoConfig::step3_ideal()).name(),
             "ballerino-8-ideal"
+        );
+        assert_eq!(
+            Ballerino::new(BallerinoConfig::ldt()).name(),
+            "ballerino-8-ldt"
         );
     }
 }

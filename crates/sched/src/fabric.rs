@@ -539,6 +539,17 @@ impl WakeFabric {
         }
     }
 
+    /// Diagnostic rendering of the entry for `seq` (see
+    /// [`Scheduler::debug_locate`](crate::Scheduler::debug_locate)).
+    pub fn debug_entry(&self, seq: u64) -> String {
+        let i = (seq.saturating_sub(self.base)) as usize;
+        match self.slab.get(i) {
+            Some(Some(e)) => format!("{e:?}"),
+            Some(None) => "gone".into(),
+            None => "out-of-slab".into(),
+        }
+    }
+
     /// Sequence numbers granted by the last [`WakeFabric::select`], in
     /// grant order.
     pub fn grants(&self) -> &[u64] {

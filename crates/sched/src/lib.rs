@@ -15,6 +15,9 @@
 //!   extension baseline from the paper's related work (§VII),
 //! * [`lsc`] — Load Slice Core \[8\]: a slice-out-of-order extension
 //!   baseline from the paper's related work (§VII),
+//! * [`ldt`] — real-time load-delay tracking (Diavastos & Carlson, see
+//!   PAPERS.md): delay-sorted select driven by a per-register predicted
+//!   ready-cycle table, an extension kind beyond the paper's own set,
 //! * [`fxa`] — front-end execution architecture: an in-order execution
 //!   unit (IXU) filtering ready μops ahead of a half-size OoO IQ \[1\].
 //!
@@ -37,6 +40,7 @@ pub mod fabric;
 pub mod fxa;
 pub mod held;
 pub mod ino;
+pub mod ldt;
 pub mod loc;
 pub mod lsc;
 pub mod ooo;
@@ -53,6 +57,7 @@ pub use fabric::{WakeFabric, WakeState};
 pub use fxa::{Fxa, FxaConfig};
 pub use held::HeldSet;
 pub use ino::{InOrderIq, InOrderIqConfig};
+pub use ldt::{DelayTable, Ldt, LdtConfig};
 pub use loc::{LocEntry, LocTable};
 pub use lsc::{Lsc, LscConfig};
 pub use ooo::{OooIq, OooIqConfig};

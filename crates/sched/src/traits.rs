@@ -183,6 +183,14 @@ pub trait Scheduler {
     /// [`Scheduler::next_event_cycle`] returned `Some(t)` with
     /// `ctx.cycle + k <= t`; never called otherwise.
     fn note_idle_cycles(&mut self, _ctx: &ReadyCtx<'_>, _pending: Option<&SchedUop>, _k: u64) {}
+
+    /// Diagnostic rendering of where resident μop `seq` lives inside the
+    /// scheduler (queue position, wake state). Only consulted by the
+    /// simulator's no-forward-progress panic, where "which queue is the
+    /// ROB head stuck in, and why" is the first debugging question.
+    fn debug_locate(&self, _seq: u64) -> String {
+        String::new()
+    }
 }
 
 #[cfg(test)]

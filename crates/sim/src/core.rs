@@ -267,8 +267,9 @@ impl Core {
                         i.uop.mdp_wait,
                     )
                 });
+                let loc = self.rob.front().map(|s| self.sched.debug_locate(*s));
                 panic!(
-                    "no forward progress: {} committed of {target} after {} cycles (sched {}, wl {}); rob head: {head:?}; occupancy {}/{}; held {}; cycles_skipped {}; cycles_macro {}; last skip horizon {}",
+                    "no forward progress: {} committed of {target} after {} cycles (sched {}, wl {}); rob head: {head:?}; locate: {loc:?}; occupancy {}/{}; held {}; cycles_skipped {}; cycles_macro {}; last skip horizon {}",
                     self.committed, self.cycle, self.sched.name(), trace.name,
                     self.sched.occupancy(), self.sched.capacity(), self.held.len(),
                     self.cycles_skipped, self.cycles_macro, self.last_skip_horizon,

@@ -9,7 +9,7 @@ use ballerino_energy::StructureSizes;
 use ballerino_isa::Trace;
 use ballerino_sched::{
     Casino, CasinoConfig, Ces, CesConfig, Dnb, DnbConfig, Fxa, FxaConfig, InOrderIq,
-    InOrderIqConfig, Lsc, LscConfig, OooIq, OooIqConfig, Scheduler,
+    InOrderIqConfig, Ldt, LdtConfig, Lsc, LscConfig, OooIq, OooIqConfig, Scheduler,
 };
 
 /// Which microarchitecture to simulate.
@@ -47,16 +47,25 @@ pub enum MachineKind {
     LoadSliceCore,
     /// Delay-and-Bypass (extension baseline from §VII related work).
     DelayAndBypass,
+    /// Load-delay-tracking issue queue (Diavastos & Carlson, see
+    /// PAPERS.md): delay-sorted select from a per-register predicted
+    /// ready-cycle table.
+    Ldt,
+    /// Ballerino with tracked load delays replacing store-set (MDA)
+    /// steering for S-IQ→P-IQ placement.
+    BallerinoLdt,
 }
 
 impl MachineKind {
     /// All headline designs of Fig. 11, in display order.
-    pub const FIG11: [MachineKind; 7] = [
+    pub const FIG11: [MachineKind; 9] = [
         MachineKind::Ces,
         MachineKind::Casino,
         MachineKind::Fxa,
         MachineKind::Ballerino,
         MachineKind::Ballerino12,
+        MachineKind::Ldt,
+        MachineKind::BallerinoLdt,
         MachineKind::OutOfOrder,
         MachineKind::OutOfOrderOldestFirst,
     ];
@@ -80,6 +89,8 @@ impl MachineKind {
             MachineKind::BallerinoN(n) => format!("Ballerino-{}", n + 1),
             MachineKind::LoadSliceCore => "LSC".into(),
             MachineKind::DelayAndBypass => "DNB".into(),
+            MachineKind::Ldt => "LDT".into(),
+            MachineKind::BallerinoLdt => "Ballerino-LDT".into(),
         }
     }
 }
@@ -436,11 +447,26 @@ fn build_scheduler_inner(
                 },
             )
         }
+        MachineKind::Ldt => {
+            let iq = Ldt::new(LdtConfig {
+                entries,
+                num_phys_regs: phys,
+            });
+            (
+                Box::new(iq),
+                StructureSizes {
+                    cam_entries: entries,
+                    fifo_entries: 0,
+                    ..common_sizes
+                },
+            )
+        }
         MachineKind::BallerinoStep1
         | MachineKind::BallerinoStep2
         | MachineKind::Ballerino
         | MachineKind::BallerinoIdeal
         | MachineKind::Ballerino12
+        | MachineKind::BallerinoLdt
         | MachineKind::BallerinoN(_) => {
             let mut c = ballerino_cfg(width, phys);
             match kind {
@@ -451,6 +477,10 @@ fn build_scheduler_inner(
                 MachineKind::BallerinoStep2 => c.piq_sharing = false,
                 MachineKind::BallerinoIdeal => c.ideal_sharing = true,
                 MachineKind::Ballerino12 => c.num_piqs = 11,
+                MachineKind::BallerinoLdt => {
+                    c.mda_steering = false;
+                    c.ldt_steering = true;
+                }
                 MachineKind::BallerinoN(n) => c.num_piqs = n,
                 _ => {}
             }
@@ -547,6 +577,8 @@ mod tests {
             MachineKind::BallerinoN(5),
             MachineKind::LoadSliceCore,
             MachineKind::DelayAndBypass,
+            MachineKind::Ldt,
+            MachineKind::BallerinoLdt,
         ];
         for kind in kinds {
             for width in [Width::Two, Width::Four, Width::Eight, Width::Ten] {
@@ -600,6 +632,8 @@ mod tests {
             MachineKind::Ballerino,
             MachineKind::LoadSliceCore,
             MachineKind::DelayAndBypass,
+            MachineKind::Ldt,
+            MachineKind::BallerinoLdt,
         ] {
             for width in [Width::Two, Width::Four, Width::Eight] {
                 let (cfg_a, sched_a, sizes_a) = build_scheduler(kind, width);
@@ -623,6 +657,8 @@ mod tests {
             MachineKind::Ballerino,
             MachineKind::LoadSliceCore,
             MachineKind::DelayAndBypass,
+            MachineKind::Ldt,
+            MachineKind::BallerinoLdt,
         ] {
             let mut prev = 0;
             for budget in [24, 48, 96, 160, 256] {

@@ -18,7 +18,7 @@ use ballerino_sched::SchedEnergyEvents;
 use ballerino_sim::{build_scheduler, Core, MachineKind, SimResult, Width};
 use ballerino_workloads::{workload, workload_names};
 
-const ALL_KINDS: [MachineKind; 16] = [
+const ALL_KINDS: [MachineKind; 18] = [
     MachineKind::InOrder,
     MachineKind::OutOfOrder,
     MachineKind::OutOfOrderOldestFirst,
@@ -35,6 +35,8 @@ const ALL_KINDS: [MachineKind; 16] = [
     MachineKind::BallerinoN(4),
     MachineKind::LoadSliceCore,
     MachineKind::DelayAndBypass,
+    MachineKind::Ldt,
+    MachineKind::BallerinoLdt,
 ];
 
 /// Runs one machine with the macro-step engine forced on or off (and the

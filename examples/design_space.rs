@@ -6,7 +6,7 @@
 //! the cost/performance Pareto frontier to cycle-accurate simulation —
 //! the workflow an architect would use to cut a thousand-point space
 //! down to the handful worth simulating (scaled down here so the example
-//! finishes in seconds; `sweep_bench` runs the full 2052-point grid).
+//! finishes in seconds; `sweep_bench` runs the full 2556-point grid).
 //!
 //! ```sh
 //! cargo run --release --example design_space
