@@ -33,6 +33,10 @@ fn normalized(r: &SimResult) -> String {
     z.host_wall_s = 0.0;
     z.cycles_skipped = 0;
     z.cycles_macro = 0;
+    z.cycles_block = 0;
+    z.blocks_built = 0;
+    z.blocks_invalidated = 0;
+    z.block_len_hist = [0; 8];
     format!("{z:?}")
 }
 
@@ -54,8 +58,8 @@ fn main() {
         DENSE.len()
     );
     println!(
-        "{:<14} {:<13} {:>9} {:>9} {:>7}  {:>10}",
-        "machine", "workload", "off(ms)", "on(ms)", "ratio", "macro%"
+        "{:<14} {:<13} {:>9} {:>9} {:>7}  {:>10} {:>7}",
+        "machine", "workload", "off(ms)", "on(ms)", "ratio", "macro%", "block%"
     );
 
     let mut mismatches = 0usize;
@@ -87,13 +91,14 @@ fn main() {
             let ratio = off / on;
             ratios.push(ratio);
             println!(
-                "{:<14} {:<13} {:>9.2} {:>9.2} {:>6.2}x  {:>9.1}%",
+                "{:<14} {:<13} {:>9.2} {:>9.2} {:>6.2}x  {:>9.1}% {:>6.1}%",
                 kind.label(),
                 wl,
                 off,
                 on,
                 ratio,
                 100.0 * r_on.cycles_macro as f64 / r_on.cycles.max(1) as f64,
+                100.0 * r_on.cycles_block as f64 / r_on.cycles_macro.max(1) as f64,
             );
         }
     }

@@ -198,6 +198,7 @@ fn main() {
         frontier_match,
     );
     let path = "BENCH_sweep.json";
+    Provenance::capture().warn_if_dirty(path);
     std::fs::write(path, json).expect("write BENCH_sweep.json");
     println!("wrote {path}");
 

@@ -45,6 +45,24 @@ impl Provenance {
         }
     }
 
+    /// Prints a loud stderr warning when the working tree was dirty at
+    /// capture time. A dirty-tree artifact records a `git_sha` that does
+    /// **not** reproduce the numbers, so it must never be committed;
+    /// every bench binary calls this right before writing its
+    /// `BENCH_*.json`.
+    pub fn warn_if_dirty(&self, artifact: &str) {
+        if self.git_dirty {
+            eprintln!("=======================================================================");
+            eprintln!(
+                "WARNING: {artifact} was produced by a DIRTY tree (HEAD {})",
+                self.git_sha
+            );
+            eprintln!("WARNING: its git_sha does not reproduce these numbers — do NOT commit");
+            eprintln!("WARNING: this artifact; re-run from a clean checkout to regenerate it.");
+            eprintln!("=======================================================================");
+        }
+    }
+
     /// The three provenance lines of a JSON object body, each indented
     /// two spaces and newline-terminated, for splicing into hand-rolled
     /// JSON (every bench binary renders JSON by hand — no serde in the

@@ -46,3 +46,10 @@ pub use trace_io::{from_text, to_text, ParseTraceError};
 pub fn env_flag(name: &str) -> bool {
     std::env::var_os(name).is_some_and(|v| !v.is_empty())
 }
+
+/// Reads an environment knob's value. A set-but-empty variable counts
+/// as unset, matching [`env_flag`] (so CI matrices can pass `VAR=` to
+/// mean "default").
+pub fn env_val(name: &str) -> Option<String> {
+    std::env::var(name).ok().filter(|v| !v.is_empty())
+}

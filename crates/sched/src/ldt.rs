@@ -27,7 +27,7 @@
 use crate::fabric::WakeFabric;
 use crate::ports::PortAlloc;
 use crate::stats::{IssueBreakdown, SchedEnergyEvents};
-use crate::traits::{DispatchOutcome, ReadyCtx, Scheduler, StallReason};
+use crate::traits::{BlockHorizon, DispatchOutcome, GrantBlock, ReadyCtx, Scheduler, StallReason};
 use crate::uop::SchedUop;
 use ballerino_isa::{PhysReg, MAX_PORTS};
 use std::cmp::Reverse;
@@ -409,6 +409,61 @@ impl Scheduler for Ldt {
         }
         for k in 0..self.fabric.grant_count() {
             let seq = self.fabric.grant(k);
+            let i = (self.fabric.tag_of(seq) & SLOT_MASK) as usize;
+            debug_assert_eq!(self.slots[i].as_ref().map(|u| u.seq), Some(seq));
+            self.grant_slot(i, ctx.cycle, out);
+        }
+        true
+    }
+
+    fn macro_grant_block(
+        &mut self,
+        ctx: &ReadyCtx<'_>,
+        ports: &mut PortAlloc<'_>,
+        horizon: BlockHorizon,
+    ) -> Option<GrantBlock> {
+        if self.broadcast_wakeup {
+            return None; // legacy A/B path goes through `issue`
+        }
+        if self.occupancy == 0 {
+            return None; // `macro_grant` already handles empty for free
+        }
+        // Tags are unique (slot index in the low bits), so the plan's
+        // tag-keyed select is exact; delay-sorted priority carries over
+        // because the tag *is* the priority.
+        self.fabric.plan_block(ctx, ports, horizon, false)
+    }
+
+    fn block_advance(
+        &mut self,
+        ctx: &ReadyCtx<'_>,
+        block: &mut GrantBlock,
+        out: &mut Vec<u64>,
+    ) -> bool {
+        // Validation first, mutating nothing: a failed cycle falls back
+        // to `macro_grant`/`issue`, which charges it exactly once.
+        if !self.fabric.verify_block_cycle(block, ctx.cycle) {
+            return false;
+        }
+        if self.occupancy == 0 {
+            return true; // `issue` would return without side effects
+        }
+        // Serve the validated cycle with `macro_grant`'s exact
+        // bookkeeping. The delay observation runs every served cycle at
+        // the same point `issue` would run it: the tracked-delay EWMA
+        // feeds future dispatch tags, so its update cadence is
+        // behaviour, not just accounting.
+        self.energy.head_examinations += self.occupancy as u64;
+        self.observe_loads(ctx);
+        if self.fabric.ready_len() > 0 {
+            self.energy.select_inputs += (self.cfg.entries * MAX_PORTS.min(8)) as u64;
+        }
+        while let Some(&(c, seq)) = block.grants.get(block.g_cursor) {
+            debug_assert!(c >= ctx.cycle, "block cycles are served in order");
+            if c != ctx.cycle {
+                break;
+            }
+            block.g_cursor += 1;
             let i = (self.fabric.tag_of(seq) & SLOT_MASK) as usize;
             debug_assert_eq!(self.slots[i].as_ref().map(|u| u.seq), Some(seq));
             self.grant_slot(i, ctx.cycle, out);

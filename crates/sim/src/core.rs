@@ -13,7 +13,8 @@ use ballerino_mem::lsq::{Forward, MemRange};
 use ballerino_mem::{AccessKind, Hierarchy, LoadQueue, Mdp, MdpConfig, StoreQueue};
 use ballerino_sched::ports::PortArbiter;
 use ballerino_sched::{
-    DispatchOutcome, FuBusy, HeldSet, PortAlloc, ReadyCtx, SchedUop, Scheduler, Scoreboard,
+    BlockHorizon, DispatchOutcome, FuBusy, GrantBlock, HeldSet, PortAlloc, ReadyCtx, SchedUop,
+    Scheduler, Scoreboard,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -28,18 +29,39 @@ const FORWARD_LATENCY: u64 = 3;
 /// every fixed execution latency and all but the rarest memory fills.
 const RING_SPAN: u64 = 128;
 
-/// Fused runs shorter than this are treated as a failed engagement: the
-/// regime was not steady enough to amortize the macro loop's entry and
-/// ring-flush overhead, so the engine backs off (see `macro_backoff`).
-const MACRO_MIN_RUN: u64 = 8;
+/// Maximum grant-block planning horizon in cycles. Blocks rarely run
+/// this long (a dependence on an unresolved event ends the plan, and
+/// dispatch-driven wakes invalidate live blocks), so the effective
+/// horizon adapts to the achieved block length; this cap bounds planner
+/// work per attempt, halved in load-dense fetch windows where cache
+/// timing invalidates long plans anyway.
+const BLOCK_HORIZON: u64 = 64;
 
-/// Dormancy bounds after failed engagements. The first failure costs
-/// only `MACRO_BACKOFF_MIN` cycles of dormancy (so warm-up hiccups do
-/// not suppress the engine), but consecutive failures double it up to
-/// `MACRO_BACKOFF_MAX`, so persistently unsteady phases (e.g. the
-/// memory-bound `stream_triad`) re-test the gate only rarely.
-const MACRO_BACKOFF_MIN: u64 = 8;
-const MACRO_BACKOFF_MAX: u64 = 512;
+/// Minimum adaptive planning horizon: even in churny regimes a plan
+/// covers at least this many cycles, so one successful block amortizes
+/// its own planning pass.
+const BLOCK_HORIZON_MIN: u64 = 8;
+
+/// Fetch-window ops inspected (via [`TraceDag::loads_in`]) to decide
+/// whether the upcoming region is load-dense for horizon sizing.
+const BLOCK_DENSITY_WINDOW: usize = 256;
+
+/// An invalidated block that served at least this many cycles paid for
+/// its plan: replan immediately instead of climbing the backoff ladder
+/// (dispatch-driven wakes kill blocks every few cycles in bursty code,
+/// and that is the profitable regime, not a failure of the planner).
+const BLOCK_MIN_SERVE: u64 = 2;
+
+/// Planning stays eager while the achieved-block-length EWMA holds at
+/// least this many cycles. Below it the regime is hostile — a streaming
+/// front-end whose dispatch-driven wakes kill every plan within a few
+/// cycles — and measured A/B shows even a few percent of short-block
+/// engagement costs more than it saves, so the engine drops to one
+/// probe plan per maximum backoff period. Regimes that thrive
+/// (dispatch-quiet drains) rarely *record* block ends at all — their
+/// blocks drop unrecorded at macro-loop exit — so their EWMA never
+/// decays and planning stays eager.
+const BLOCK_PROBE_EWMA: u64 = 8;
 
 #[derive(Debug)]
 struct Inflight {
@@ -118,6 +140,16 @@ pub struct Core {
     /// Current dormancy length, doubled on consecutive failed
     /// engagements and reset by a successful one.
     macro_backoff_len: u64,
+    /// Cycle before which no new grant block is planned, after a block
+    /// was declined or invalidated. Same exponential ladder as
+    /// `macro_backoff`, and likewise purely a performance throttle.
+    block_backoff: u64,
+    /// Current block-planning dormancy length.
+    block_backoff_len: u64,
+    /// EWMA of recently achieved block lengths in cycles, used to size
+    /// the next plan's horizon (planning far past the point dispatch
+    /// kills the block is wasted planner work).
+    block_len_ewma: u64,
     /// Scratch buffer for the macro loop's per-cycle writeback batch.
     wb_buf: Vec<u64>,
     /// Load-taint table indexed by physical-register number: the seq of
@@ -134,6 +166,14 @@ pub struct Core {
     cycles_skipped: u64,
     /// Cycles executed inside the macro-step engine's fused loop.
     cycles_macro: u64,
+    /// Cycles whose issue stage was served from a grant block (a subset
+    /// of `cycles_macro`).
+    cycles_block: u64,
+    /// Grant blocks built / died to validation failure.
+    blocks_built: u64,
+    blocks_invalidated: u64,
+    /// Built-block lengths, power-of-two buckets (last bucket open).
+    block_len_hist: [u64; 8],
     /// The last horizon the event-horizon engine jumped to (diagnostic
     /// context for the no-forward-progress panic).
     last_skip_horizon: u64,
@@ -190,6 +230,9 @@ impl Core {
             in_macro: false,
             macro_backoff: 0,
             macro_backoff_len: 0,
+            block_backoff: 0,
+            block_backoff_len: 0,
+            block_len_ewma: BLOCK_HORIZON,
             wb_buf: Vec::new(),
             taint: vec![0; total_phys],
             issue_buf: Vec::new(),
@@ -197,6 +240,10 @@ impl Core {
             mispredicts: 0,
             cycles_skipped: 0,
             cycles_macro: 0,
+            cycles_block: 0,
+            blocks_built: 0,
+            blocks_invalidated: 0,
+            block_len_hist: [0; 8],
             last_skip_horizon: 0,
             stall_reasons: [0; 5],
             violations: 0,
@@ -488,6 +535,45 @@ impl Core {
             && self.fetch_idx < trace.len()
     }
 
+    /// The planning horizon offered to [`Scheduler::macro_grant_block`]
+    /// this cycle. The load-latency hint is the exact L1-hit completion
+    /// path of `process_issue` (AGU next cycle, then the L1D hit
+    /// latency), so optimistically chained load consumers verify clean
+    /// whenever the load actually hits; the horizon length is halved in
+    /// load-dense fetch windows, where cache timing invalidates long
+    /// plans before they pay off. Both are heuristics — a wrong hint
+    /// fails block validation, it never changes simulated state.
+    fn block_horizon(&self, dag: &TraceDag) -> BlockHorizon {
+        let hi = (self.fetch_idx + BLOCK_DENSITY_WINDOW).min(dag.len());
+        let loads = dag.loads_in(self.fetch_idx, hi) as usize;
+        let cap = if loads * 4 > hi.saturating_sub(self.fetch_idx) {
+            BLOCK_HORIZON / 2
+        } else {
+            BLOCK_HORIZON
+        };
+        // Plan roughly twice as far as blocks have recently survived:
+        // dispatch-driven wakes bound block lifetime in dense code, and
+        // planning far past that point is pure wasted planner work.
+        let cycles = (self.block_len_ewma * 2).clamp(BLOCK_HORIZON_MIN, cap);
+        BlockHorizon {
+            cycles,
+            load_latency: 1 + self.cfg.mem.l1d.latency,
+        }
+    }
+
+    /// Records a finished block's achieved length (cycles actually
+    /// served before consumption or invalidation) in the diagnostic
+    /// histogram and the horizon-sizing EWMA. Takes the fields directly
+    /// so it can run while a [`ReadyCtx`] borrows the scoreboard.
+    fn note_block_end(hist: &mut [u64; 8], ewma: &mut u64, served: u64) {
+        hist[(served.max(1).ilog2() as usize).min(7)] += 1;
+        // Floor division so a run of single-cycle deaths decays the
+        // average all the way below `BLOCK_MIN_SERVE` (a ceiling here
+        // would fix-point at 4 and the hostile-regime probe gate could
+        // never engage).
+        *ewma = (*ewma * 3 + served) / 4;
+    }
+
     /// Executes a run of consecutive cycles in one fused pass while the
     /// pipeline stays in a steady busy regime.
     ///
@@ -495,18 +581,25 @@ impl Core {
     /// [`Core::step`] (writeback → commit → issue → dispatch → fetch),
     /// so results are byte-identical to cycle stepping; the win is
     /// structural: completions drain from a calendar ring instead of the
-    /// heap, issue goes through the scheduler's
-    /// [`Scheduler::macro_grant`] fast path when it offers one, and fetch
-    /// uses the trace DAG's pre-resolved line-cross flags. The loop exits
-    /// — falling back to the per-cycle path — at the first cycle with no
-    /// activity (which the event-horizon engine then skips in closed
-    /// form) and after any memory-order violation squash.
+    /// heap, issue is served from a pre-planned [`GrantBlock`] while its
+    /// per-cycle validation holds (falling back to the scheduler's
+    /// single-cycle [`Scheduler::macro_grant`] fast path, then a full
+    /// select), and fetch uses the trace DAG's pre-resolved line-cross
+    /// flags. The loop exits — falling back to the per-cycle path — at
+    /// the first cycle with no activity (which the event-horizon engine
+    /// then skips in closed form) and after any memory-order violation
+    /// squash.
     fn macro_step(&mut self, trace: &Trace, dag: &TraceDag, target: u64, max_cycles: u64) {
         if self.cycle < self.macro_backoff || !self.macro_ready(trace) {
             return;
         }
         let fused0 = self.cycles_macro;
         self.in_macro = true;
+        // The live grant block, if any. Owned here rather than by the
+        // scheduler so every exit from the fused loop (violation, dead
+        // cycle, commit target) drops it and the per-cycle path never
+        // observes block state.
+        let mut block: Option<GrantBlock> = None;
         while self.committed < target && self.cycle < max_cycles {
             let violations0 = self.violations;
             let mut activity = false;
@@ -545,7 +638,9 @@ impl Core {
             self.commit();
             activity |= self.committed != committed0;
 
-            // -- issue (scheduler fast path when it offers one)
+            // -- issue: served from the live grant block when its
+            // validation holds, else the scheduler's single-cycle fast
+            // path, else a full select.
             let mut out = std::mem::take(&mut self.issue_buf);
             out.clear();
             {
@@ -560,7 +655,71 @@ impl Core {
                     &self.fu_busy,
                     self.cycle,
                 );
-                if !self.sched.macro_grant(&ctx, &mut ports, &mut out) {
+                // A fully-consumed block was a successful engagement:
+                // record its length, reset the dormancy ladder, and
+                // re-plan immediately.
+                if let Some(b) = block.take_if(|b| self.cycle >= b.end) {
+                    Self::note_block_end(
+                        &mut self.block_len_hist,
+                        &mut self.block_len_ewma,
+                        b.end - b.start,
+                    );
+                    self.block_backoff_len = 0;
+                }
+                let mut served = false;
+                loop {
+                    if self.cfg.use_block && block.is_none() && self.cycle >= self.block_backoff {
+                        // Regime detector: when recent blocks kept dying
+                        // within a couple of cycles (a streaming
+                        // front-end whose dispatch-driven wakes bound
+                        // every plan's life), planning costs more than
+                        // serving saves — drop to one probe plan per
+                        // maximum backoff period. A probe that survives
+                        // a drain or stall phase pulls the EWMA back up
+                        // and re-arms the engine.
+                        if self.block_len_ewma < BLOCK_PROBE_EWMA {
+                            self.block_backoff = self.cycle + self.cfg.macro_backoff_max;
+                        }
+                        let horizon = self.block_horizon(dag);
+                        match self.sched.macro_grant_block(&ctx, &mut ports, horizon) {
+                            Some(b) => {
+                                self.blocks_built += 1;
+                                block = Some(b);
+                            }
+                            None => {
+                                // Declined: the regime is unplannable
+                                // right now; stop paying the planning
+                                // cost for a while.
+                                self.block_backoff_len = (self.block_backoff_len * 2)
+                                    .clamp(self.cfg.macro_backoff_min, self.cfg.macro_backoff_max);
+                                self.block_backoff = self.cycle + self.block_backoff_len;
+                            }
+                        }
+                    }
+                    let Some(b) = block.as_mut() else { break };
+                    if self.sched.block_advance(&ctx, b, &mut out) {
+                        served = true;
+                        self.cycles_block += 1;
+                        break;
+                    }
+                    // The contract guarantees a failed advance mutated
+                    // nothing, so this cycle can still be served — by a
+                    // fresh plan (whose first advance always validates)
+                    // when the dead block ran long enough to have paid
+                    // for its own planning pass, else by the live path.
+                    let ran = self.cycle - b.start;
+                    Self::note_block_end(&mut self.block_len_hist, &mut self.block_len_ewma, ran);
+                    block = None;
+                    self.blocks_invalidated += 1;
+                    if ran >= BLOCK_MIN_SERVE && self.block_len_ewma >= BLOCK_PROBE_EWMA {
+                        continue;
+                    }
+                    self.block_backoff_len = (self.block_backoff_len * 2)
+                        .clamp(self.cfg.macro_backoff_min, self.cfg.macro_backoff_max);
+                    self.block_backoff = self.cycle + self.block_backoff_len;
+                    break;
+                }
+                if !served && !self.sched.macro_grant(&ctx, &mut ports, &mut out) {
                     self.sched.issue(&ctx, &mut ports, &mut out);
                 }
             }
@@ -610,9 +769,9 @@ impl Core {
         // a dead cycle, and exit). Re-arming the engine every cycle there
         // costs more than the fused cycles save, so back off and let the
         // per-cycle path (with its event-horizon skip) carry the phase.
-        if self.cycles_macro - fused0 < MACRO_MIN_RUN {
-            self.macro_backoff_len =
-                (self.macro_backoff_len * 2).clamp(MACRO_BACKOFF_MIN, MACRO_BACKOFF_MAX);
+        if self.cycles_macro - fused0 < self.cfg.macro_min_run {
+            self.macro_backoff_len = (self.macro_backoff_len * 2)
+                .clamp(self.cfg.macro_backoff_min, self.cfg.macro_backoff_max);
             self.macro_backoff = self.cycle + self.macro_backoff_len;
         } else {
             self.macro_backoff_len = 0;
@@ -1239,6 +1398,10 @@ impl Core {
             host_wall_s: 0.0,
             cycles_skipped: self.cycles_skipped,
             cycles_macro: self.cycles_macro,
+            cycles_block: self.cycles_block,
+            blocks_built: self.blocks_built,
+            blocks_invalidated: self.blocks_invalidated,
+            block_len_hist: self.block_len_hist,
         }
     }
 }

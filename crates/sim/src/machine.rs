@@ -239,6 +239,30 @@ fn build_scheduler_inner(
     if ballerino_isa::env_flag("BALLERINO_NO_MACRO") {
         cfg.use_macro = false;
     }
+    // A/B oracle knob for block-grant macro-stepping; results are
+    // identical either way (see tests/macro_equivalence.rs).
+    if ballerino_isa::env_flag("BALLERINO_NO_BLOCK") {
+        cfg.use_block = false;
+    }
+    // Macro-engine hysteresis override, `min_run[,backoff_min[,backoff_max]]`
+    // (e.g. `BALLERINO_MACRO_BACKOFF=4,8,256`), for A/B-ing block-vs-
+    // backoff interactions without rebuilds. Results are identical for
+    // any values: the ladder only shifts which engine serves a cycle.
+    if let Some(v) = ballerino_isa::env_val("BALLERINO_MACRO_BACKOFF") {
+        let mut parts = v.split(',').map(|p| p.trim().parse::<u64>());
+        let mut take = |dst: &mut u64| {
+            if let Some(Ok(x)) = parts.next() {
+                *dst = x;
+            }
+        };
+        take(&mut cfg.macro_min_run);
+        take(&mut cfg.macro_backoff_min);
+        take(&mut cfg.macro_backoff_max);
+        assert!(
+            cfg.macro_backoff_min > 0 && cfg.macro_backoff_min <= cfg.macro_backoff_max,
+            "BALLERINO_MACRO_BACKOFF: need 0 < backoff_min <= backoff_max, got {v:?}"
+        );
+    }
     if point.dram_scale_pct != 100 {
         let scale = |x: u64| ((x * point.dram_scale_pct as u64) / 100).max(1);
         cfg.mem.dram.cas = scale(cfg.mem.dram.cas);
